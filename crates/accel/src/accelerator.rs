@@ -1,0 +1,677 @@
+use crate::memory::{DramModel, SramModel};
+use crate::sched;
+use crate::synth::{sample_selection, SelectionProfile};
+use crate::energy;
+use dota_quant::rmmu::RmmuConfig;
+use dota_quant::Precision;
+use dota_tensor::rng::SeededRng;
+use dota_transformer::{ForwardTrace, TransformerConfig};
+
+/// Configuration of one DOTA accelerator (paper Table 2 defaults).
+#[derive(Debug, Clone)]
+pub struct AccelConfig {
+    /// Number of compute Lanes (paper: 4, the LCM of head counts §4.1).
+    pub lanes: usize,
+    /// Per-Lane RMMU shape/precision configuration.
+    pub rmmu: RmmuConfig,
+    /// Queries processed in parallel per head (paper: 4, §5.5).
+    pub token_parallelism: usize,
+    /// Sustained DRAM bandwidth in GB/s.
+    pub dram_gbps: f64,
+    /// Precision of the detection computation.
+    pub detect_precision: Precision,
+    /// Precision of the parameterized GEMMs (linear transformations and
+    /// FFN). FX16 by default; §5.3 suggests INT8 weight quantization once
+    /// detection has made these stages the bottleneck, which the RMMU runs
+    /// 4× faster on the same PEs.
+    pub linear_precision: Precision,
+    /// Locality-aware out-of-order scheduling enabled (ablation toggle).
+    pub out_of_order: bool,
+    /// Compute scale factor: 1.0 is the 2 TOPS Table 2 design; 6.0 matches
+    /// the GPU-comparable 12 TOPS build used in §5.3's comparison.
+    pub scale: f64,
+    /// Sustained PE utilization (pipeline fill, drain and tail-imbalance
+    /// losses). Applied to all compute rates.
+    pub utilization: f64,
+}
+
+impl Default for AccelConfig {
+    fn default() -> Self {
+        Self {
+            lanes: 4,
+            rmmu: RmmuConfig::uniform(Precision::Fx16),
+            token_parallelism: 4,
+            dram_gbps: 128.0,
+            detect_precision: Precision::Int4,
+            linear_precision: Precision::Fx16,
+            out_of_order: true,
+            scale: 1.0,
+            utilization: 0.75,
+        }
+    }
+}
+
+impl AccelConfig {
+    /// The 12 TOPS build scaled to V100-comparable peak throughput (§5.3).
+    pub fn gpu_comparable() -> Self {
+        Self {
+            scale: 6.0,
+            dram_gbps: 768.0,
+            ..Self::default()
+        }
+    }
+
+    /// Effective FX16 MACs per cycle across all lanes (with scaling and
+    /// sustained utilization).
+    pub fn fx16_macs_per_cycle(&self) -> f64 {
+        self.lanes as f64
+            * self.rmmu.macs_per_cycle(Precision::Fx16) as f64
+            * self.scale
+            * self.utilization
+    }
+
+    /// Effective MACs per cycle at the detection precision when the array
+    /// is reconfigured for detection work.
+    pub fn detect_macs_per_cycle(&self) -> f64 {
+        self.reconfigured_macs_per_cycle(self.detect_precision)
+    }
+
+    /// Effective MACs per cycle at the linear-stage precision.
+    pub fn linear_macs_per_cycle(&self) -> f64 {
+        self.reconfigured_macs_per_cycle(self.linear_precision)
+    }
+
+    /// MACs per cycle with the whole array reconfigured to `precision`.
+    fn reconfigured_macs_per_cycle(&self, precision: Precision) -> f64 {
+        let per_lane = self.rmmu.cols() as f64
+            * self.rmmu.rows() as f64
+            * precision.throughput_multiplier() as f64;
+        self.lanes as f64 * per_lane * self.scale * self.utilization
+    }
+}
+
+/// Cycle counts of the four pipeline stages of one encoder pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageLatency {
+    /// Linear transformation (QKV + output projections).
+    pub linear: u64,
+    /// Attention detection (low-precision estimate + threshold + schedule).
+    pub detection: u64,
+    /// Sparse attention computation (scores, softmax, aggregation).
+    pub attention: u64,
+    /// Feed-forward network.
+    pub ffn: u64,
+}
+
+impl StageLatency {
+    /// Total cycles.
+    pub fn total(&self) -> u64 {
+        self.linear + self.detection + self.attention + self.ffn
+    }
+
+    /// Cycles of the attention block (detection + attention), the quantity
+    /// Figure 12a compares.
+    pub fn attention_block(&self) -> u64 {
+        self.detection + self.attention
+    }
+
+    /// Element-wise sum.
+    pub fn add(&self, other: &StageLatency) -> StageLatency {
+        StageLatency {
+            linear: self.linear + other.linear,
+            detection: self.detection + other.detection,
+            attention: self.attention + other.attention,
+            ffn: self.ffn + other.ffn,
+        }
+    }
+}
+
+/// Energy breakdown in picojoules.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// RMMU MAC energy.
+    pub rmmu_pj: f64,
+    /// Multi-Function Unit (softmax, GELU, (de)quantize).
+    pub mfu_pj: f64,
+    /// Scheduler / Filter.
+    pub scheduler_pj: f64,
+    /// Cross-lane Accumulator.
+    pub accumulator_pj: f64,
+    /// On-chip SRAM traffic.
+    pub sram_pj: f64,
+    /// Off-chip DRAM traffic.
+    pub dram_pj: f64,
+    /// SRAM leakage over the run.
+    pub leakage_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in pJ.
+    pub fn total_pj(&self) -> f64 {
+        self.rmmu_pj
+            + self.mfu_pj
+            + self.scheduler_pj
+            + self.accumulator_pj
+            + self.sram_pj
+            + self.dram_pj
+            + self.leakage_pj
+    }
+
+    /// Total energy in joules.
+    pub fn total_j(&self) -> f64 {
+        self.total_pj() * 1e-12
+    }
+
+    /// Element-wise sum.
+    pub fn add(&self, o: &EnergyBreakdown) -> EnergyBreakdown {
+        EnergyBreakdown {
+            rmmu_pj: self.rmmu_pj + o.rmmu_pj,
+            mfu_pj: self.mfu_pj + o.mfu_pj,
+            scheduler_pj: self.scheduler_pj + o.scheduler_pj,
+            accumulator_pj: self.accumulator_pj + o.accumulator_pj,
+            sram_pj: self.sram_pj + o.sram_pj,
+            dram_pj: self.dram_pj + o.dram_pj,
+            leakage_pj: self.leakage_pj + o.leakage_pj,
+        }
+    }
+}
+
+/// Result of simulating a model pass on the accelerator.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PerfReport {
+    /// Stage cycle counts.
+    pub cycles: StageLatency,
+    /// Energy breakdown.
+    pub energy: EnergyBreakdown,
+    /// K/V vector loads performed by the token-parallel scheduler.
+    pub key_loads: u64,
+    /// K/V vector loads a row-by-row dataflow would have performed.
+    pub key_loads_row_by_row: u64,
+    /// Attention retention this run executed at.
+    pub retention: f64,
+    /// Energy of the attention block alone (detection estimate, scheduler,
+    /// sparse attention MACs, softmax, K/V traffic), in pJ — the quantity
+    /// Figure 13's ELSA comparison needs.
+    pub attention_energy_pj: f64,
+}
+
+impl PerfReport {
+    /// Wall-clock seconds at the modeled frequency.
+    pub fn seconds(&self) -> f64 {
+        self.cycles.total() as f64 / (energy::FREQ_GHZ * 1e9)
+    }
+
+    /// Seconds spent in the attention block only.
+    pub fn attention_seconds(&self) -> f64 {
+        self.cycles.attention_block() as f64 / (energy::FREQ_GHZ * 1e9)
+    }
+
+    /// Accumulates another report (e.g. per-layer into per-model).
+    pub fn add(&self, o: &PerfReport) -> PerfReport {
+        PerfReport {
+            cycles: self.cycles.add(&o.cycles),
+            energy: self.energy.add(&o.energy),
+            key_loads: self.key_loads + o.key_loads,
+            key_loads_row_by_row: self.key_loads_row_by_row + o.key_loads_row_by_row,
+            retention: o.retention, // last writer wins; uniform in practice
+            attention_energy_pj: self.attention_energy_pj + o.attention_energy_pj,
+        }
+    }
+}
+
+/// The DOTA accelerator simulator.
+#[derive(Debug, Clone)]
+pub struct Accelerator {
+    config: AccelConfig,
+}
+
+impl Accelerator {
+    /// Creates a simulator with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lanes, token parallelism or scale are non-positive.
+    pub fn new(config: AccelConfig) -> Self {
+        assert!(config.lanes > 0, "need at least one lane");
+        assert!(config.token_parallelism > 0, "token parallelism must be positive");
+        assert!(config.scale > 0.0, "scale must be positive");
+        assert!(
+            config.utilization > 0.0 && config.utilization <= 1.0,
+            "utilization must be in (0, 1]"
+        );
+        Self { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &AccelConfig {
+        &self.config
+    }
+
+    /// Simulates one full model pass analytically for a model shape at
+    /// sequence length `n`, keeping `retention` of attention connections,
+    /// detecting with dimension-reduction factor `sigma` (`retention = 1.0`
+    /// and `sigma = 0` model DOTA-F: full attention, no detection).
+    ///
+    /// Key/value memory behaviour comes from one representative head's
+    /// synthetic selection (profile-controlled locality), scaled to all
+    /// heads and layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `retention` is outside `(0, 1]`.
+    pub fn simulate_shape(
+        &self,
+        model: &TransformerConfig,
+        n: usize,
+        retention: f64,
+        sigma: f64,
+        profile: &SelectionProfile,
+    ) -> PerfReport {
+        assert!(
+            retention > 0.0 && retention <= 1.0,
+            "retention {retention} out of range"
+        );
+        let heads = model.n_heads as u64;
+        let layers = model.n_layers as u64;
+        let k_per_row = ((retention * n as f64).round() as usize).clamp(1, n);
+
+        // One representative head's K/V schedule.
+        let mut rng = SeededRng::new(0xacce1);
+        let (key_loads_head, rbr_head) = if retention < 1.0 {
+            let sel = sample_selection(n, k_per_row, profile, &mut rng);
+            let s = sched::schedule_matrix(&sel, self.config.token_parallelism, self.config.out_of_order);
+            (s.total_loads(), sched::row_by_row_loads(&sel))
+        } else {
+            // Dense attention streams each K/V once per token-parallel group.
+            let groups = (n as u64).div_ceil(self.config.token_parallelism as u64);
+            ((n as u64) * groups, (n as u64) * (n as u64))
+        };
+        let key_loads = key_loads_head * heads * layers;
+        let key_loads_rbr = rbr_head * heads * layers;
+
+        let layer = self.layer_report(model, n, k_per_row, retention, sigma, key_loads_head, rbr_head);
+        let mut report = PerfReport::default();
+        for _ in 0..layers {
+            report = report.add(&layer);
+        }
+        report.key_loads = key_loads;
+        report.key_loads_row_by_row = key_loads_rbr;
+        report.retention = retention;
+        report
+    }
+
+    /// Simulates a replayed [`ForwardTrace`] from a real model inference:
+    /// the exact per-head selections drive the scheduler and the sparse
+    /// attention cost.
+    pub fn simulate_trace(&self, model: &TransformerConfig, trace: &ForwardTrace) -> PerfReport {
+        let mut total = PerfReport::default();
+        let n = trace.layers[0].heads[0].q.rows();
+        let sigma = 0.0; // detection cost is folded per-head below
+        for layer in &trace.layers {
+            let mut kept_sum = 0u64;
+            let mut key_loads = 0u64;
+            let mut rbr = 0u64;
+            for head in &layer.heads {
+                let kept = head.kept_connections();
+                kept_sum += kept;
+                if let Some(sel) = &head.selected {
+                    let s = sched::schedule_matrix(
+                        sel,
+                        self.config.token_parallelism,
+                        self.config.out_of_order,
+                    );
+                    key_loads += s.total_loads();
+                    rbr += sched::row_by_row_loads(sel);
+                } else {
+                    let groups = (n as u64).div_ceil(self.config.token_parallelism as u64);
+                    key_loads += n as u64 * groups;
+                    rbr += (n * n) as u64;
+                }
+            }
+            let heads = layer.heads.len() as u64;
+            let retention = kept_sum as f64 / (heads * (n * n) as u64) as f64;
+            let k_per_row = (kept_sum as f64 / (heads as f64 * n as f64)).round() as usize;
+            let mut rep = self.layer_report(
+                model,
+                n,
+                k_per_row.max(1),
+                retention,
+                sigma,
+                key_loads / heads.max(1),
+                rbr / heads.max(1),
+            );
+            rep.key_loads = key_loads;
+            rep.key_loads_row_by_row = rbr;
+            rep.retention = retention;
+            total = total.add(&rep);
+        }
+        total
+    }
+
+    /// Cycle/energy model of a single encoder layer.
+    #[allow(clippy::too_many_arguments)]
+    fn layer_report(
+        &self,
+        model: &TransformerConfig,
+        n: usize,
+        k_per_row: usize,
+        retention: f64,
+        sigma: f64,
+        key_loads_head: u64,
+        rbr_head: u64,
+    ) -> PerfReport {
+        let cfg = &self.config;
+        let d = model.d_model as u64;
+        let d_ff = model.d_ff as u64;
+        let hd = model.head_dim() as u64;
+        let heads = model.n_heads as u64;
+        let nn = n as u64;
+        let kept = heads * nn * k_per_row as u64;
+        let fx_rate = cfg.fx16_macs_per_cycle();
+        let detect_rate = cfg.detect_macs_per_cycle();
+        let bytes = 2u64; // FX16 operands
+
+        let mut dram = DramModel::new(cfg.dram_gbps);
+        let mut sram = SramModel::lane_default();
+
+        // --- Linear transformation stage: X(Wq|Wk|Wv) + Wo. ---
+        let linear_rate = cfg.linear_macs_per_cycle();
+        let linear_macs = nn * d * d * 4;
+        let linear_compute = (linear_macs as f64 / linear_rate).ceil() as u64;
+        let linear_dram = dram.read(4 * d * d * bytes) + dram.read(nn * d * bytes);
+        let linear = linear_compute.max(linear_dram);
+
+        // --- Detection stage (skipped when sigma == 0). ---
+        let (detection, detect_macs, sched_ids) = if sigma > 0.0 {
+            let k_rank = ((hd as f64 * sigma).floor() as u64).max(1);
+            let est_macs = heads * (nn * d * k_rank + 2 * nn * k_rank * k_rank + nn * k_rank * nn);
+            let est_cycles = (est_macs as f64 / detect_rate).ceil() as u64;
+            // Threshold compare + scheduling: the Scheduler issues 4 IDs
+            // per cycle per lane, ahead of the consuming RMMU. Issue is
+            // pipelined with the attention computation, so only the part
+            // that outruns the RMMU's consumption shows up as latency.
+            let ids = kept;
+            let issue_cycles = ids.div_ceil(4 * cfg.lanes as u64 * cfg.scale.ceil() as u64);
+            let consume_cycles = ((2 * kept * hd) as f64 / fx_rate).ceil() as u64;
+            let sched_exposed = issue_cycles.saturating_sub(consume_cycles);
+            (est_cycles + sched_exposed, est_macs, ids)
+        } else {
+            (0, 0, 0)
+        };
+
+        // --- Sparse attention stage: scores + softmax + aggregation. ---
+        let attn_macs = 2 * kept * hd;
+        let attn_compute = (attn_macs as f64 / fx_rate).ceil() as u64;
+        // MFU: one exp + one divide per kept weight, 16+16 units per lane.
+        let mfu_ops = 2 * kept;
+        let mfu_cycles = mfu_ops.div_ceil(32 * cfg.lanes as u64 * cfg.scale.ceil() as u64);
+        // K/V SRAM traffic follows the schedule (K and V vectors, FX16).
+        // Heads are distributed across lanes, each with its own SRAM, and
+        // the scaled build widens every lane's banks proportionally.
+        let kv_bytes = key_loads_head * heads * 2 * hd * bytes;
+        let kv_per_lane = (kv_bytes as f64 / (cfg.lanes as f64 * cfg.scale)).ceil() as u64;
+        let kv_cycles = sram.access(kv_per_lane);
+        // Pipelined: RMMU, MFU and SRAM streams overlap.
+        let attention = attn_compute.max(mfu_cycles).max(kv_cycles);
+
+        // --- FFN stage. ---
+        let ffn_macs = 2 * nn * d * d_ff;
+        let ffn_compute = (ffn_macs as f64 / linear_rate).ceil() as u64;
+        let ffn_dram = dram.read(2 * d * d_ff * bytes);
+        let gelu_cycles = (nn * d_ff).div_ceil(32 * cfg.lanes as u64 * cfg.scale.ceil() as u64);
+        let ffn = ffn_compute.max(ffn_dram) + gelu_cycles;
+
+        let cycles = StageLatency {
+            linear,
+            detection,
+            attention,
+            ffn,
+        };
+
+        // --- Energy. ---
+        let fx_macs = linear_macs + attn_macs + ffn_macs;
+        // Activation streams through SRAM: inputs and outputs of each GEMM.
+        let act_bytes = (nn * d * 8 + nn * d_ff * 2) * bytes;
+        sram.access(act_bytes);
+        let accum_ops = nn * d * 4 + kept + nn * d_ff + nn * d;
+        let mfu_total = mfu_ops + nn * d_ff; // softmax + GELU
+        let seconds = cycles.total() as f64 / (energy::FREQ_GHZ * 1e9);
+        let attention_energy_pj = attn_macs as f64 * energy::mac_pj(Precision::Fx16)
+            + detect_macs as f64 * energy::mac_pj(cfg.detect_precision)
+            + sched_ids as f64 * energy::SCHED_ID_PJ
+            + mfu_ops as f64 * energy::MFU_OP_PJ
+            + kv_bytes as f64 * energy::SRAM_PJ_PER_BYTE;
+        let linear_stage_macs = linear_macs + ffn_macs;
+        let attn_stage_macs = fx_macs - linear_stage_macs;
+        let energy = EnergyBreakdown {
+            rmmu_pj: attn_stage_macs as f64 * energy::mac_pj(Precision::Fx16)
+                + linear_stage_macs as f64 * energy::mac_pj(cfg.linear_precision)
+                + detect_macs as f64 * energy::mac_pj(cfg.detect_precision),
+            mfu_pj: mfu_total as f64 * energy::MFU_OP_PJ,
+            scheduler_pj: sched_ids as f64 * energy::SCHED_ID_PJ,
+            accumulator_pj: accum_ops as f64 * energy::ACCUM_PJ,
+            sram_pj: sram.energy_pj(),
+            dram_pj: dram.energy_pj(),
+            leakage_pj: energy::SRAM_LEAKAGE_MW * 1e-3 * seconds * 1e12,
+        };
+
+        PerfReport {
+            cycles,
+            energy,
+            key_loads: key_loads_head * heads,
+            key_loads_row_by_row: rbr_head * heads,
+            retention,
+            attention_energy_pj,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lra() -> TransformerConfig {
+        TransformerConfig::lra(2048, 2)
+    }
+
+    #[test]
+    fn sparse_attention_much_faster_than_dense() {
+        let acc = Accelerator::new(AccelConfig::default());
+        let profile = SelectionProfile::default();
+        let dense = acc.simulate_shape(&lra(), 512, 1.0, 0.0, &profile);
+        let sparse = acc.simulate_shape(&lra(), 512, 0.1, 0.2, &profile);
+        let speedup = dense.cycles.attention_block() as f64
+            / sparse.cycles.attention_block() as f64;
+        assert!(speedup > 4.0, "attention speedup {speedup}");
+        // End-to-end also improves, but less (Amdahl).
+        let e2e = dense.cycles.total() as f64 / sparse.cycles.total() as f64;
+        assert!(e2e > 1.0 && e2e < speedup, "e2e {e2e} vs attention {speedup}");
+    }
+
+    #[test]
+    fn detection_overhead_is_small_fraction() {
+        let acc = Accelerator::new(AccelConfig::default());
+        let rep = acc.simulate_shape(&lra(), 2048, 0.1, 0.2, &SelectionProfile::default());
+        let frac = rep.cycles.detection as f64 / rep.cycles.total() as f64;
+        assert!(frac < 0.2, "detection fraction {frac}");
+        assert!(rep.cycles.detection > 0);
+    }
+
+    #[test]
+    fn energy_dominated_by_fc_after_detection() {
+        // §5.4: with effective attention reduction, the FC layers dominate
+        // energy while detection is well under 1%.
+        let acc = Accelerator::new(AccelConfig::default());
+        let rep = acc.simulate_shape(&lra(), 2048, 0.05, 0.2, &SelectionProfile::default());
+        let sched_frac = rep.energy.scheduler_pj / rep.energy.total_pj();
+        assert!(sched_frac < 0.05, "scheduler energy fraction {sched_frac}");
+    }
+
+    #[test]
+    fn out_of_order_reduces_key_loads() {
+        let in_order = Accelerator::new(AccelConfig {
+            out_of_order: false,
+            ..Default::default()
+        });
+        let ooo = Accelerator::new(AccelConfig::default());
+        let prof = SelectionProfile::default();
+        let a = in_order.simulate_shape(&lra(), 512, 0.1, 0.2, &prof);
+        let b = ooo.simulate_shape(&lra(), 512, 0.1, 0.2, &prof);
+        assert!(b.key_loads <= a.key_loads, "{} vs {}", b.key_loads, a.key_loads);
+        assert!(b.key_loads < b.key_loads_row_by_row);
+    }
+
+    #[test]
+    fn retention_scales_attention_cycles() {
+        let acc = Accelerator::new(AccelConfig::default());
+        let prof = SelectionProfile::default();
+        let r20 = acc.simulate_shape(&lra(), 1024, 0.2, 0.2, &prof);
+        let r05 = acc.simulate_shape(&lra(), 1024, 0.05, 0.2, &prof);
+        let ratio = r20.cycles.attention as f64 / r05.cycles.attention as f64;
+        assert!(ratio > 2.0 && ratio < 6.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn gpu_comparable_build_is_faster() {
+        let base = Accelerator::new(AccelConfig::default());
+        let big = Accelerator::new(AccelConfig::gpu_comparable());
+        let prof = SelectionProfile::default();
+        let a = base.simulate_shape(&lra(), 1024, 0.1, 0.2, &prof);
+        let b = big.simulate_shape(&lra(), 1024, 0.1, 0.2, &prof);
+        assert!(b.cycles.total() < a.cycles.total());
+    }
+
+    #[test]
+    fn trace_replay_matches_shape_roughly() {
+        use dota_autograd::ParamSet;
+        use dota_transformer::Model;
+        let mut params = ParamSet::new();
+        let tiny = TransformerConfig::tiny(32, 8, 2);
+        let model = Model::init(tiny.clone(), &mut params, 1);
+        let ids: Vec<usize> = (0..32).map(|i| i % 8).collect();
+        let trace = model.infer(&params, &ids, &dota_transformer::NoHook);
+        let acc = Accelerator::new(AccelConfig::default());
+        let rep = acc.simulate_trace(&tiny, &trace);
+        assert!(rep.cycles.total() > 0);
+        assert_eq!(rep.retention, 1.0);
+        assert!(rep.energy.total_pj() > 0.0);
+    }
+
+    #[test]
+    fn report_add_accumulates() {
+        let a = PerfReport {
+            cycles: StageLatency { linear: 1, detection: 2, attention: 3, ffn: 4 },
+            key_loads: 10,
+            ..Default::default()
+        };
+        let sum = a.add(&a);
+        assert_eq!(sum.cycles.total(), 20);
+        assert_eq!(sum.key_loads, 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "retention")]
+    fn rejects_zero_retention() {
+        let acc = Accelerator::new(AccelConfig::default());
+        let _ = acc.simulate_shape(&lra(), 128, 0.0, 0.2, &SelectionProfile::default());
+    }
+}
+
+impl Accelerator {
+    /// Pipelined variant of [`simulate_shape`](Accelerator::simulate_shape):
+    /// the same per-stage work is scheduled through the event-driven
+    /// [`lane`](crate::lane) tile model, so layer `l+1`'s weight stream
+    /// overlaps layer `l`'s compute and the Detector's low-precision rows
+    /// run concurrently with FX16 work. Returns the overlapped report plus
+    /// the pipeline's resource view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `retention` is outside `(0, 1]`.
+    pub fn simulate_shape_pipelined(
+        &self,
+        model: &TransformerConfig,
+        n: usize,
+        retention: f64,
+        sigma: f64,
+        profile: &SelectionProfile,
+    ) -> (PerfReport, crate::lane::PipelineReport) {
+        let sequential = self.simulate_shape(model, n, retention, sigma, profile);
+        let layers = model.n_layers as u64;
+        // Per-layer stage cycles from the sequential report.
+        let per = |x: u64| x / layers.max(1);
+        let d = model.d_model as u64;
+        let d_ff = model.d_ff as u64;
+        let weight_bytes = (4 * d * d + 2 * d * d_ff) * 2;
+        let weight_cycles = (weight_bytes as f64 / self.config.dram_gbps).ceil() as u64;
+        // Attention-stage MFU work rides with the attention tile; K/V
+        // streaming gets its own SRAM tile sized from the key loads.
+        let kv_bytes =
+            sequential.key_loads / layers.max(1) * 2 * model.head_dim() as u64 * 2;
+        let kv_cycles = (kv_bytes as f64
+            / (64.0 * 10.0 * self.config.lanes as f64 * self.config.scale))
+            .ceil() as u64;
+        let tiles = crate::lane::encoder_tiles(
+            model.n_layers,
+            weight_cycles,
+            per(sequential.cycles.linear),
+            per(sequential.cycles.detection),
+            per(sequential.cycles.attention),
+            per(sequential.cycles.attention) / 4, // MFU softmax rides behind
+            kv_cycles,
+            per(sequential.cycles.ffn),
+        );
+        let pipeline = crate::lane::schedule(&tiles);
+        let mut report = sequential.clone();
+        // The pipelined makespan replaces the additive total; keep the
+        // stage split for breakdowns (scaled proportionally).
+        let ratio = pipeline.makespan as f64 / sequential.cycles.total().max(1) as f64;
+        let scale_stage = |x: u64| (x as f64 * ratio).round() as u64;
+        report.cycles = StageLatency {
+            linear: scale_stage(sequential.cycles.linear),
+            detection: scale_stage(sequential.cycles.detection),
+            attention: scale_stage(sequential.cycles.attention),
+            ffn: scale_stage(sequential.cycles.ffn),
+        };
+        (report, pipeline)
+    }
+}
+
+#[cfg(test)]
+mod pipeline_tests {
+    use super::*;
+    use crate::lane::Resource;
+
+    #[test]
+    fn pipelined_never_slower_than_sequential() {
+        let acc = Accelerator::new(AccelConfig::default());
+        let model = TransformerConfig::lra(2048, 2);
+        let prof = SelectionProfile::default();
+        let seq = acc.simulate_shape(&model, 1024, 0.1, 0.2, &prof);
+        let (piped, pipeline) = acc.simulate_shape_pipelined(&model, 1024, 0.1, 0.2, &prof);
+        // The coarse model already overlaps within stages (max of compute
+        // and memory), while the tile DAG exposes real dependencies it
+        // ignores, so the two agree within a few percent — and the
+        // pipelined makespan must beat the fully serial tile schedule.
+        assert!(
+            (piped.cycles.total() as f64) <= seq.cycles.total() as f64 * 1.05,
+            "pipelined {} way above sequential {}",
+            piped.cycles.total(),
+            seq.cycles.total()
+        );
+        assert!(piped.cycles.total() < pipeline.serial_cycles());
+        assert!(pipeline.utilization(Resource::RmmuFx) > 0.3);
+    }
+
+    #[test]
+    fn pipelined_breakdown_preserves_proportions() {
+        let acc = Accelerator::new(AccelConfig::default());
+        let model = TransformerConfig::lra(2048, 2);
+        let prof = SelectionProfile::default();
+        let seq = acc.simulate_shape(&model, 512, 0.1, 0.2, &prof);
+        let (piped, _) = acc.simulate_shape_pipelined(&model, 512, 0.1, 0.2, &prof);
+        let seq_frac = seq.cycles.linear as f64 / seq.cycles.total() as f64;
+        let piped_frac = piped.cycles.linear as f64 / piped.cycles.total().max(1) as f64;
+        assert!((seq_frac - piped_frac).abs() < 0.02);
+    }
+}

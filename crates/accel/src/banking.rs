@@ -1,0 +1,204 @@
+//! K/V bank-placement and conflict analysis (paper §4.4).
+//!
+//! The Lane's SRAM is banked (10 × 64 KB in Table 2); a token-parallel
+//! round loads several key vectors *in the same cycle window*, so two keys
+//! resident in the same bank serialize. Placement policy therefore
+//! interacts with the Scheduler: this module models vector→bank maps and
+//! counts the conflict stalls a schedule incurs, quantifying why
+//! interleaved placement is the right default.
+
+use crate::sched::Schedule;
+
+/// A policy assigning key/value vector IDs to SRAM banks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Vector `i` lives in bank `i % banks` — adjacent vectors spread
+    /// across banks (the design the paper's banked SRAM implies).
+    Interleaved,
+    /// Vectors are stored contiguously: bank `i / ceil(n/banks)` — adjacent
+    /// vectors share a bank (the naive layout).
+    Blocked,
+}
+
+impl Placement {
+    /// Bank of vector `id` under this policy, for `n` vectors over `banks`
+    /// banks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks == 0` or `n == 0`.
+    pub fn bank(&self, id: u32, n: usize, banks: usize) -> usize {
+        assert!(banks > 0 && n > 0, "empty banking configuration");
+        match self {
+            Placement::Interleaved => (id as usize) % banks,
+            Placement::Blocked => {
+                let per_bank = n.div_ceil(banks);
+                ((id as usize) / per_bank).min(banks - 1)
+            }
+        }
+    }
+}
+
+/// Conflict analysis of a schedule under a placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConflictReport {
+    /// Rounds analyzed.
+    pub rounds: usize,
+    /// Total key loads.
+    pub loads: u64,
+    /// Cycles assuming every round's loads were conflict-free
+    /// (`max(1, loads_in_round)` served one per bank per cycle — i.e. the
+    /// maximum per-bank occupancy is 1).
+    pub ideal_cycles: u64,
+    /// Cycles with bank conflicts: each round costs the maximum number of
+    /// loads landing in any single bank.
+    pub actual_cycles: u64,
+}
+
+impl ConflictReport {
+    /// Stall cycles attributable to conflicts.
+    pub fn stall_cycles(&self) -> u64 {
+        self.actual_cycles - self.ideal_cycles
+    }
+
+    /// Slowdown factor from conflicts (1.0 = conflict-free).
+    pub fn slowdown(&self) -> f64 {
+        self.actual_cycles as f64 / self.ideal_cycles.max(1) as f64
+    }
+}
+
+/// Counts bank conflicts of `schedule` when `n` key vectors are placed over
+/// `banks` banks by `placement`. Each round's loads are issued together; a
+/// round takes as many access cycles as its most-loaded bank.
+///
+/// # Panics
+///
+/// Panics if `banks == 0` or `n == 0`.
+pub fn analyze_conflicts(
+    schedule: &Schedule,
+    n: usize,
+    banks: usize,
+    placement: Placement,
+) -> ConflictReport {
+    assert!(banks > 0 && n > 0, "empty banking configuration");
+    let mut ideal = 0u64;
+    let mut actual = 0u64;
+    let mut loads = 0u64;
+    let mut per_bank = vec![0u64; banks];
+    for round in &schedule.rounds {
+        per_bank.fill(0);
+        for &key in &round.loads {
+            per_bank[placement.bank(key, n, banks)] += 1;
+        }
+        let max_bank = per_bank.iter().copied().max().unwrap_or(0);
+        let round_loads = round.loads.len() as u64;
+        loads += round_loads;
+        // Conflict-free: loads stripe across banks, ceil(loads/banks).
+        ideal += round_loads.div_ceil(banks as u64).max(u64::from(round_loads > 0));
+        actual += max_bank;
+    }
+    ConflictReport {
+        rounds: schedule.rounds.len(),
+        loads,
+        ideal_cycles: ideal,
+        actual_cycles: actual,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched;
+    use crate::synth::{sample_selection, SelectionProfile};
+    use dota_tensor::rng::SeededRng;
+
+    #[test]
+    fn placements_assign_in_range() {
+        for placement in [Placement::Interleaved, Placement::Blocked] {
+            for id in 0..64u32 {
+                let b = placement.bank(id, 64, 10);
+                assert!(b < 10, "{placement:?}: bank {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn interleaved_spreads_adjacent_vectors() {
+        let p = Placement::Interleaved;
+        assert_ne!(p.bank(0, 64, 10), p.bank(1, 64, 10));
+        let b = Placement::Blocked;
+        assert_eq!(b.bank(0, 64, 10), b.bank(1, 64, 10));
+    }
+
+    #[test]
+    fn conflict_free_round_counts_one_cycle_per_bank_wave() {
+        // Four loads in distinct banks: 1 cycle actual, ceil(4/10)=1 ideal.
+        let schedule = Schedule {
+            rounds: vec![crate::sched::Round {
+                loads: vec![0, 1, 2, 3],
+                assignments: vec![],
+            }],
+        };
+        let rep = analyze_conflicts(&schedule, 64, 10, Placement::Interleaved);
+        assert_eq!(rep.actual_cycles, 1);
+        assert_eq!(rep.ideal_cycles, 1);
+        assert_eq!(rep.stall_cycles(), 0);
+    }
+
+    #[test]
+    fn same_bank_loads_serialize() {
+        // Keys 0, 10, 20 all land in bank 0 under interleaving with 10
+        // banks: 3 cycles.
+        let schedule = Schedule {
+            rounds: vec![crate::sched::Round {
+                loads: vec![0, 10, 20],
+                assignments: vec![],
+            }],
+        };
+        let rep = analyze_conflicts(&schedule, 64, 10, Placement::Interleaved);
+        assert_eq!(rep.actual_cycles, 3);
+        assert_eq!(rep.stall_cycles(), 2);
+        assert!(rep.slowdown() > 2.9);
+    }
+
+    #[test]
+    fn interleaved_beats_blocked_on_local_selections() {
+        // Windowed locality makes rounds load *adjacent* keys — adjacent
+        // keys share a bank under blocked placement and spread under
+        // interleaving.
+        let mut rng = SeededRng::new(3);
+        let profile = SelectionProfile {
+            global_fraction: 0.0,
+            local_fraction: 1.0,
+            n_important: 0,
+            window: 8,
+        };
+        let sel = sample_selection(256, 12, &profile, &mut rng);
+        let schedule = sched::schedule_matrix(&sel, 4, true);
+        let inter = analyze_conflicts(&schedule, 256, 10, Placement::Interleaved);
+        let blocked = analyze_conflicts(&schedule, 256, 10, Placement::Blocked);
+        assert!(
+            inter.stall_cycles() < blocked.stall_cycles(),
+            "interleaved {} vs blocked {} stalls",
+            inter.stall_cycles(),
+            blocked.stall_cycles()
+        );
+    }
+
+    #[test]
+    fn more_banks_fewer_stalls() {
+        let mut rng = SeededRng::new(4);
+        let sel = sample_selection(128, 16, &SelectionProfile::default(), &mut rng);
+        let schedule = sched::schedule_matrix(&sel, 4, true);
+        let few = analyze_conflicts(&schedule, 128, 2, Placement::Interleaved);
+        let many = analyze_conflicts(&schedule, 128, 16, Placement::Interleaved);
+        assert!(many.actual_cycles <= few.actual_cycles);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty banking")]
+    fn rejects_zero_banks() {
+        let schedule = Schedule::default();
+        let _ = analyze_conflicts(&schedule, 16, 0, Placement::Interleaved);
+    }
+}

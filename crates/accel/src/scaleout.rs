@@ -1,0 +1,153 @@
+//! Sequence-level scale-out (paper §4.1).
+//!
+//! One DOTA accelerator processes one input sequence at a time; sequences
+//! share weights but need duplicated compute. The paper scales *out* —
+//! multiple accelerators working on different sequences — rather than up.
+//! This model answers throughput/latency questions for a fleet: `A`
+//! accelerators fed from a shared memory system, processing a batch of `B`
+//! sequences.
+
+use crate::PerfReport;
+
+/// A fleet of identical DOTA accelerators sharing a memory system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScaleOut {
+    /// Number of accelerators.
+    pub accelerators: usize,
+    /// Whether the shared weight stream is broadcast to all accelerators
+    /// (one DRAM read serves everyone — the paper's "different input
+    /// sequences share the same weights").
+    pub broadcast_weights: bool,
+}
+
+/// Batch execution summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchReport {
+    /// Wall-clock seconds to finish the whole batch.
+    pub makespan_s: f64,
+    /// Sequences per second at steady state.
+    pub throughput_seq_per_s: f64,
+    /// Total energy in joules.
+    pub energy_j: f64,
+    /// Mean accelerator utilization over the makespan, in `[0, 1]`.
+    pub utilization: f64,
+}
+
+impl ScaleOut {
+    /// A fleet of `accelerators` with weight broadcast enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `accelerators == 0`.
+    pub fn new(accelerators: usize) -> Self {
+        assert!(accelerators > 0, "need at least one accelerator");
+        Self {
+            accelerators,
+            broadcast_weights: true,
+        }
+    }
+
+    /// Disables weight broadcast (each accelerator streams its own copy).
+    pub fn without_broadcast(mut self) -> Self {
+        self.broadcast_weights = false;
+        self
+    }
+
+    /// Executes a batch of `batch` equal sequences whose single-sequence
+    /// behaviour is `per_seq` (from
+    /// [`Accelerator::simulate_shape`](crate::Accelerator::simulate_shape)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch == 0`.
+    pub fn run_batch(&self, per_seq: &PerfReport, batch: usize) -> BatchReport {
+        assert!(batch > 0, "empty batch");
+        let latency_s = per_seq.seconds();
+        // Waves of `A` sequences; the last wave may be partial.
+        let waves = batch.div_ceil(self.accelerators);
+        let makespan_s = waves as f64 * latency_s;
+        let busy = batch as f64 * latency_s;
+        let capacity = (self.accelerators * waves) as f64 * latency_s;
+
+        // Energy: compute energy per sequence is duplicated; the DRAM
+        // weight-stream component is shared when broadcasting.
+        let per_seq_j = per_seq.energy.total_j();
+        let dram_j = per_seq.energy.dram_pj * 1e-12;
+        let energy_j = if self.broadcast_weights {
+            // One weight stream per wave + non-DRAM energy per sequence.
+            let non_dram = per_seq_j - dram_j;
+            batch as f64 * non_dram + waves as f64 * dram_j
+        } else {
+            batch as f64 * per_seq_j
+        };
+
+        BatchReport {
+            makespan_s,
+            throughput_seq_per_s: batch as f64 / makespan_s.max(1e-15),
+            energy_j,
+            utilization: busy / capacity.max(1e-15),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::SelectionProfile;
+    use crate::{AccelConfig, Accelerator};
+    use dota_transformer::TransformerConfig;
+
+    fn per_seq() -> PerfReport {
+        let acc = Accelerator::new(AccelConfig::default());
+        acc.simulate_shape(
+            &TransformerConfig::lra(1024, 2),
+            1024,
+            0.1,
+            0.2,
+            &SelectionProfile::default(),
+        )
+    }
+
+    #[test]
+    fn throughput_scales_linearly_on_full_waves() {
+        let rep = per_seq();
+        let t1 = ScaleOut::new(1).run_batch(&rep, 8).throughput_seq_per_s;
+        let t4 = ScaleOut::new(4).run_batch(&rep, 8).throughput_seq_per_s;
+        assert!((t4 / t1 - 4.0).abs() < 1e-9, "t4/t1 = {}", t4 / t1);
+    }
+
+    #[test]
+    fn partial_wave_lowers_utilization() {
+        let rep = per_seq();
+        let full = ScaleOut::new(4).run_batch(&rep, 8);
+        let partial = ScaleOut::new(4).run_batch(&rep, 9);
+        assert!((full.utilization - 1.0).abs() < 1e-9);
+        assert!(partial.utilization < 1.0);
+        assert!(partial.makespan_s > full.makespan_s);
+    }
+
+    #[test]
+    fn broadcast_saves_weight_energy() {
+        let rep = per_seq();
+        let shared = ScaleOut::new(4).run_batch(&rep, 8);
+        let dup = ScaleOut::new(4).without_broadcast().run_batch(&rep, 8);
+        assert!(shared.energy_j < dup.energy_j);
+        // Makespan is identical — broadcast only saves energy.
+        assert_eq!(shared.makespan_s, dup.makespan_s);
+    }
+
+    #[test]
+    fn single_sequence_degenerates_to_latency() {
+        let rep = per_seq();
+        let one = ScaleOut::new(4).run_batch(&rep, 1);
+        assert!((one.makespan_s - rep.seconds()).abs() < 1e-15);
+        assert!(one.utilization <= 0.25 + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty batch")]
+    fn rejects_empty_batch() {
+        let rep = per_seq();
+        let _ = ScaleOut::new(2).run_batch(&rep, 0);
+    }
+}

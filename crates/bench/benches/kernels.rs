@@ -1,0 +1,106 @@
+//! Criterion benches of the hot numeric kernels: dense vs sparse attention
+//! forward, the detector's estimated-score path (float and quantized), and
+//! integer GEMM.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dota_autograd::ParamSet;
+use dota_detector::{DetectorConfig, LowRankDetector};
+use dota_quant::{Precision, Quantizer};
+use dota_tensor::rng::SeededRng;
+use dota_tensor::{ops, topk, Matrix};
+
+fn attention_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attention_forward");
+    let hd = 64;
+    for &n in &[128usize, 256, 512] {
+        let mut rng = SeededRng::new(1);
+        let q = rng.normal_matrix(n, hd, 1.0);
+        let k = rng.normal_matrix(n, hd, 1.0);
+        let v = rng.normal_matrix(n, hd, 1.0);
+
+        group.bench_with_input(BenchmarkId::new("dense", n), &n, |b, _| {
+            b.iter(|| {
+                let s = q.matmul_nt(&k).unwrap();
+                let a = ops::softmax_rows(&s);
+                a.matmul(&v).unwrap()
+            })
+        });
+
+        // Sparse at 10% retention with precomputed masks (the accelerator's
+        // regime: detection already happened).
+        let kpr = n / 10;
+        let s_full = q.matmul_nt(&k).unwrap();
+        let sel = topk::top_k_rows(&s_full, kpr);
+        let mask = topk::indices_to_mask(&sel, n);
+        group.bench_with_input(BenchmarkId::new("sparse10", n), &n, |b, _| {
+            b.iter(|| {
+                // Score only the kept pairs, masked softmax, aggregate.
+                let mut s = Matrix::zeros(n, n);
+                for (i, row) in sel.iter().enumerate() {
+                    for &j in row {
+                        s[(i, j)] = Matrix::dot(q.row(i), k.row(j));
+                    }
+                }
+                let a = ops::masked_softmax_rows(&s, &mask);
+                a.matmul(&v).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn detector_estimate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("detector_estimate");
+    let d = 128;
+    let hd = 64;
+    for &n in &[256usize, 512] {
+        let cfg = DetectorConfig::new(0.1).with_sigma(0.2);
+        let mut params = ParamSet::new();
+        let det = LowRankDetector::init(&cfg, d, hd, &mut params, "bench", 3);
+        let mut rng = SeededRng::new(2);
+        let x = rng.normal_matrix(n, d, 1.0);
+
+        group.bench_with_input(BenchmarkId::new("f32", n), &n, |b, _| {
+            b.iter(|| det.estimated_scores_f32(&params, &x))
+        });
+        group.bench_with_input(BenchmarkId::new("int4", n), &n, |b, _| {
+            b.iter(|| det.estimated_scores_quantized(&cfg, &params, &x))
+        });
+        // The full-rank scores it replaces.
+        let wq = rng.xavier(d, hd);
+        let wk = rng.xavier(d, hd);
+        group.bench_with_input(BenchmarkId::new("exact_scores", n), &n, |b, _| {
+            b.iter(|| {
+                let q = x.matmul(&wq).unwrap();
+                let k = x.matmul(&wk).unwrap();
+                q.matmul_nt(&k).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn quantized_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quantized_gemm");
+    let mut rng = SeededRng::new(3);
+    let a = rng.normal_matrix(256, 64, 1.0);
+    let b_mat = rng.normal_matrix(256, 64, 1.0);
+    for precision in [Precision::Int8, Precision::Int4] {
+        let qa = Quantizer::symmetric(precision).quantize(&a);
+        let qb = Quantizer::symmetric(precision).quantize(&b_mat);
+        group.bench_function(BenchmarkId::new("matmul_nt", precision.to_string()), |bch| {
+            bch.iter(|| qa.matmul_nt_dequant(&qb).unwrap())
+        });
+    }
+    group.bench_function("f32_reference", |bch| {
+        bch.iter(|| a.matmul_nt(&b_mat).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = attention_forward, detector_estimate, quantized_gemm
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion benches of the bit-fusion multiplier composition (Fig. 7):
+//! fused multiply throughput at each precision, and the quantizer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dota_quant::bitfusion::FusedMultiplier;
+use dota_quant::{Precision, Quantizer};
+use dota_tensor::rng::SeededRng;
+
+fn fused_multiplier(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fused_multiplier_dot");
+    let len = 4096;
+    for precision in Precision::ALL {
+        let qmax = precision.qmax();
+        let a: Vec<i32> = (0..len).map(|i| (i % (2 * qmax as usize + 1)) as i32 - qmax).collect();
+        let b: Vec<i32> = (0..len).map(|i| ((i * 7) % (2 * qmax as usize + 1)) as i32 - qmax).collect();
+        group.bench_function(BenchmarkId::from_parameter(precision.to_string()), |bch| {
+            bch.iter(|| {
+                let mut m = FusedMultiplier::new(precision);
+                m.dot(&a, &b)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn quantize_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quantize");
+    let mut rng = SeededRng::new(9);
+    let m = rng.normal_matrix(512, 64, 1.0);
+    for precision in [Precision::Int8, Precision::Int4, Precision::Int2] {
+        group.bench_function(BenchmarkId::from_parameter(precision.to_string()), |b| {
+            b.iter(|| Quantizer::symmetric(precision).quantize(&m))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = fused_multiplier, quantize_roundtrip
+}
+criterion_main!(benches);

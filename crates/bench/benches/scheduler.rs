@@ -1,0 +1,45 @@
+//! Criterion benches of the locality-aware Scheduler (Algorithm 1) against
+//! the in-order dataflow, across selection sizes and localities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dota_accel::sched;
+use dota_accel::synth::{sample_selection, SelectionProfile};
+use dota_tensor::rng::SeededRng;
+
+fn schedule_benchmarks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler");
+    for &(n, k) in &[(256usize, 26usize), (1024, 102)] {
+        let mut rng = SeededRng::new(7);
+        let sel = sample_selection(n, k, &SelectionProfile::default(), &mut rng);
+        group.bench_with_input(
+            BenchmarkId::new("out_of_order", format!("{n}x{k}")),
+            &sel,
+            |b, sel| b.iter(|| sched::schedule_matrix(sel, 4, true).total_loads()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("in_order", format!("{n}x{k}")),
+            &sel,
+            |b, sel| b.iter(|| sched::schedule_matrix(sel, 4, false).total_loads()),
+        );
+    }
+    group.finish();
+}
+
+fn parallelism_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler_parallelism");
+    let mut rng = SeededRng::new(8);
+    let sel = sample_selection(512, 51, &SelectionProfile::default(), &mut rng);
+    for t in [2usize, 4, 6] {
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
+            b.iter(|| sched::schedule_matrix(&sel, t, true).total_loads())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = schedule_benchmarks, parallelism_scaling
+}
+criterion_main!(benches);

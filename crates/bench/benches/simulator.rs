@@ -1,0 +1,38 @@
+//! Criterion benches of the accelerator simulator itself: analytic shape
+//! simulation per benchmark, and the comparison pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dota_accel::synth::SelectionProfile;
+use dota_accel::{AccelConfig, Accelerator};
+use dota_core::presets::{self, OperatingPoint};
+use dota_core::DotaSystem;
+use dota_workloads::Benchmark;
+
+fn simulate_shape(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_shape");
+    let acc = Accelerator::new(AccelConfig::default());
+    let profile = SelectionProfile::default();
+    for b in [Benchmark::Qa, Benchmark::Text] {
+        let model = presets::paper_model(b);
+        let n = b.paper_seq_len();
+        let r = presets::retention(b, OperatingPoint::Conservative);
+        group.bench_function(BenchmarkId::from_parameter(b.name()), |bch| {
+            bch.iter(|| acc.simulate_shape(&model, n, r, presets::SIGMA, &profile))
+        });
+    }
+    group.finish();
+}
+
+fn full_comparison(c: &mut Criterion) {
+    let system = DotaSystem::paper_default();
+    c.bench_function("speedup_row_text_conservative", |b| {
+        b.iter(|| system.speedup_row(Benchmark::Text, OperatingPoint::Conservative))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = simulate_shape, full_comparison
+}
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Figure 13: energy-efficiency of DOTA-C/A relative to the GPU and ELSA.
+//!
+//! Run with: `cargo run --release -p dota-bench --bin fig13_energy`
+
+use dota_core::presets::OperatingPoint;
+use dota_core::{DotaSystem, EnergyRow};
+use dota_workloads::Benchmark;
+
+fn main() {
+    let system = DotaSystem::paper_default();
+    let mut rows: Vec<EnergyRow> = Vec::new();
+
+    println!("Figure 13: energy-efficiency improvements\n");
+    println!(
+        "{:>10} {:>8} {:>12} {:>14} {:>12}",
+        "benchmark", "variant", "vs GPU", "vs ELSA(attn)", "DOTA mJ/inf"
+    );
+    for b in Benchmark::ALL {
+        for p in [OperatingPoint::Conservative, OperatingPoint::Aggressive] {
+            let row = system.energy_row(b, p);
+            println!(
+                "{:>10} {:>8} {:>11.0}x {:>13.2}x {:>12.3}",
+                row.benchmark, row.variant, row.vs_gpu, row.vs_elsa_attention, row.dota_mj
+            );
+            rows.push(row);
+        }
+    }
+    println!("\nPaper shape: DOTA-C 618-5185x and DOTA-A 1236-8642x over GPU;");
+    println!("1.97-5.14x (C) and 3.29-12.2x (A) over ELSA on the attention block.");
+
+    dota_bench::write_json("fig13_energy", &rows);
+}

@@ -1,0 +1,62 @@
+//! Shared helpers for the table/figure regeneration binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper
+//! (see `DESIGN.md` for the index). Results print as aligned text tables
+//! and are also written as JSON under `results/` so `EXPERIMENTS.md` can
+//! reference exact numbers.
+
+#![deny(missing_docs)]
+
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// Writes `value` as pretty JSON to `results/<name>.json` (relative to the
+/// workspace root), creating the directory if needed. Prints the path.
+///
+/// # Panics
+///
+/// Panics if serialization or the write fails — the bench binaries treat
+/// result persistence as essential.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serialize results");
+    std::fs::write(&path, json).expect("write results file");
+    println!("\n[results written to {}]", path.display());
+}
+
+/// The `results/` directory at the workspace root.
+fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench; the workspace root is two up.
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p.push("results");
+    p
+}
+
+/// Formats a ratio as `x.x×`.
+pub fn times(x: f64) -> String {
+    if x >= 100.0 {
+        format!("{x:.0}x")
+    } else {
+        format!("{x:.1}x")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn times_formats() {
+        assert_eq!(times(4.52), "4.5x");
+        assert_eq!(times(152.6), "153x");
+    }
+
+    #[test]
+    fn results_dir_ends_with_results() {
+        assert!(results_dir().ends_with("results"));
+    }
+}

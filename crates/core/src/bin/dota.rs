@@ -1,0 +1,299 @@
+//! `dota` — command-line front end for the DOTA reproduction.
+//!
+//! ```text
+//! dota table2                         # hardware inventory
+//! dota speedup [BENCH] [--variant c]  # Fig. 12-style comparison rows
+//! dota energy [BENCH]                 # Fig. 13-style comparison rows
+//! dota simulate BENCH --retention R   # raw simulator report
+//! dota decode --context N --tokens T  # decoder-mode analysis
+//! dota train BENCH [--retention R] [--seq N]   # tiny-model accuracy run
+//! ```
+//!
+//! Build/run: `cargo run --release -p dota-core --bin dota -- <command>`.
+
+use dota_accel::decode::simulate_decode;
+use dota_accel::synth::SelectionProfile;
+use dota_accel::{energy, AccelConfig, Accelerator};
+use dota_core::experiments::{BenchmarkRun, Method, TrainOptions};
+use dota_core::presets::{self, OperatingPoint};
+use dota_core::DotaSystem;
+use dota_detector::DetectorConfig;
+use dota_workloads::Benchmark;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    let result = match command.as_str() {
+        "table2" => cmd_table2(),
+        "speedup" => cmd_speedup(rest),
+        "energy" => cmd_energy(rest),
+        "simulate" => cmd_simulate(rest),
+        "decode" => cmd_decode(rest),
+        "train" => cmd_train(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage: dota <command> [options]
+
+commands:
+  table2                          print the hardware inventory (Table 2)
+  speedup [BENCH] [--variant f|c|a]
+                                  speedups vs GPU and ELSA (Fig. 12)
+  energy  [BENCH] [--variant f|c|a]
+                                  energy-efficiency comparison (Fig. 13)
+  simulate BENCH --retention R [--sigma S]
+                                  raw cycle/energy report at a retention
+  decode --context N --tokens T [--retention R]
+                                  decoder-mode (KV-cache) analysis
+  train BENCH [--retention R] [--seq N] [--samples K] [--epochs E]
+        [--save FILE]             train a tiny model jointly with the
+                                  detector, report accuracy, optionally
+                                  checkpoint the adapted weights
+BENCH: qa | image | text | retrieval | lm";
+
+fn parse_benchmark(s: &str) -> Result<Benchmark, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "qa" => Ok(Benchmark::Qa),
+        "image" => Ok(Benchmark::Image),
+        "text" => Ok(Benchmark::Text),
+        "retrieval" => Ok(Benchmark::Retrieval),
+        "lm" => Ok(Benchmark::Lm),
+        other => Err(format!("unknown benchmark `{other}`")),
+    }
+}
+
+fn parse_variant(s: &str) -> Result<OperatingPoint, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "f" | "full" | "dota-f" => Ok(OperatingPoint::Full),
+        "c" | "conservative" | "dota-c" => Ok(OperatingPoint::Conservative),
+        "a" | "aggressive" | "dota-a" => Ok(OperatingPoint::Aggressive),
+        other => Err(format!("unknown variant `{other}` (use f|c|a)")),
+    }
+}
+
+/// Extracts `--flag value` from an argument list; returns remaining
+/// positional arguments.
+fn parse_flags(args: &[String]) -> Result<(Vec<String>, std::collections::BTreeMap<String, String>), String> {
+    let mut positional = Vec::new();
+    let mut flags = std::collections::BTreeMap::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            let value = it
+                .next()
+                .ok_or_else(|| format!("--{name} needs a value"))?;
+            flags.insert(name.to_owned(), value.clone());
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    Ok((positional, flags))
+}
+
+fn flag_f64(flags: &std::collections::BTreeMap<String, String>, name: &str) -> Result<Option<f64>, String> {
+    flags
+        .get(name)
+        .map(|v| v.parse::<f64>().map_err(|_| format!("--{name} must be a number")))
+        .transpose()
+}
+
+fn flag_usize(flags: &std::collections::BTreeMap<String, String>, name: &str) -> Result<Option<usize>, String> {
+    flags
+        .get(name)
+        .map(|v| v.parse::<usize>().map_err(|_| format!("--{name} must be an integer")))
+        .transpose()
+}
+
+fn cmd_table2() -> Result<(), String> {
+    println!("{:<18} {:<34} {:>10} {:>10}", "module", "configuration", "power mW", "area mm2");
+    for m in energy::table2() {
+        println!(
+            "{:<18} {:<34} {:>10.2} {:>10.3}",
+            m.name, m.configuration, m.power_mw, m.area_mm2
+        );
+    }
+    println!(
+        "total: {:.2} W, {:.3} mm2",
+        energy::total_power_w(),
+        energy::total_area_mm2()
+    );
+    Ok(())
+}
+
+fn selected_benchmarks(positional: &[String]) -> Result<Vec<Benchmark>, String> {
+    if positional.is_empty() {
+        Ok(Benchmark::ALL.to_vec())
+    } else {
+        positional.iter().map(|s| parse_benchmark(s)).collect()
+    }
+}
+
+fn cmd_speedup(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = parse_flags(args)?;
+    let variants = match flags.get("variant") {
+        Some(v) => vec![parse_variant(v)?],
+        None => vec![OperatingPoint::Conservative, OperatingPoint::Aggressive],
+    };
+    let system = DotaSystem::paper_default();
+    println!(
+        "{:>10} {:>8} {:>9} {:>12} {:>13} {:>9} {:>11}",
+        "benchmark", "variant", "retention", "attn vs GPU", "attn vs ELSA", "e2e GPU", "upper bound"
+    );
+    for b in selected_benchmarks(&positional)? {
+        for &v in &variants {
+            let row = system.speedup_row(b, v);
+            println!(
+                "{:>10} {:>8} {:>8.1}% {:>11.1}x {:>12.1}x {:>8.1}x {:>10.1}x",
+                row.benchmark,
+                row.variant,
+                row.retention * 100.0,
+                row.attention_vs_gpu,
+                row.attention_vs_elsa,
+                row.end_to_end_vs_gpu,
+                row.upper_bound_vs_gpu
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_energy(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = parse_flags(args)?;
+    let variants = match flags.get("variant") {
+        Some(v) => vec![parse_variant(v)?],
+        None => vec![OperatingPoint::Conservative, OperatingPoint::Aggressive],
+    };
+    let system = DotaSystem::paper_default();
+    println!(
+        "{:>10} {:>8} {:>12} {:>14} {:>12}",
+        "benchmark", "variant", "vs GPU", "vs ELSA(attn)", "DOTA mJ/inf"
+    );
+    for b in selected_benchmarks(&positional)? {
+        for &v in &variants {
+            let row = system.energy_row(b, v);
+            println!(
+                "{:>10} {:>8} {:>11.0}x {:>13.2}x {:>12.3}",
+                row.benchmark, row.variant, row.vs_gpu, row.vs_elsa_attention, row.dota_mj
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = parse_flags(args)?;
+    let bench = positional
+        .first()
+        .ok_or("simulate needs a benchmark")
+        .and_then(|s| parse_benchmark(s).map_err(|_| "simulate needs a valid benchmark"))
+        .map_err(str::to_owned)?;
+    let retention = flag_f64(&flags, "retention")?.unwrap_or(0.1);
+    let sigma = flag_f64(&flags, "sigma")?.unwrap_or(presets::SIGMA);
+    let model = presets::paper_model(bench);
+    let n = bench.paper_seq_len();
+    let acc = Accelerator::new(AccelConfig::gpu_comparable());
+    let rep = acc.simulate_shape(&model, n, retention, sigma, &SelectionProfile::default());
+    println!("benchmark {} (seq {n}), retention {:.1}%, sigma {sigma}", bench.name(), retention * 100.0);
+    println!("cycles: linear {} | detection {} | attention {} | ffn {} | total {}",
+        rep.cycles.linear, rep.cycles.detection, rep.cycles.attention, rep.cycles.ffn, rep.cycles.total());
+    println!("latency: {:.3} ms; attention block {:.3} ms",
+        rep.seconds() * 1e3, rep.attention_seconds() * 1e3);
+    println!("K/V loads: {} (row-by-row would be {})", rep.key_loads, rep.key_loads_row_by_row);
+    let e = &rep.energy;
+    println!(
+        "energy (mJ): rmmu {:.2} | mfu {:.2} | sched {:.3} | accum {:.2} | sram {:.2} | dram {:.2} | total {:.2}",
+        e.rmmu_pj * 1e-9, e.mfu_pj * 1e-9, e.scheduler_pj * 1e-9, e.accumulator_pj * 1e-9,
+        e.sram_pj * 1e-9, e.dram_pj * 1e-9, e.total_pj() * 1e-9
+    );
+    Ok(())
+}
+
+fn cmd_decode(args: &[String]) -> Result<(), String> {
+    let (_, flags) = parse_flags(args)?;
+    let context = flag_usize(&flags, "context")?.unwrap_or(4096);
+    let tokens = flag_usize(&flags, "tokens")?.unwrap_or(32);
+    let retention = flag_f64(&flags, "retention")?.unwrap_or(0.1);
+    let model = dota_transformer::TransformerConfig::gpt2(context + tokens);
+    let cfg = AccelConfig::default();
+    let dense = simulate_decode(&cfg, &model, context, tokens, 1.0, 0.0);
+    let sparse = simulate_decode(&cfg, &model, context, tokens, retention, presets::SIGMA);
+    println!("decode: GPT-2 shape, context {context}, {tokens} generated tokens");
+    println!(
+        "dense: {:.0} us/token ({:.1}% K/V traffic); DOTA @ {:.0}%: {:.0} us/token; speedup {:.2}x",
+        dense.us_per_token(tokens),
+        100.0 * dense.kv_stream_cycles as f64 / dense.cycles as f64,
+        retention * 100.0,
+        sparse.us_per_token(tokens),
+        dense.seconds() / sparse.seconds()
+    );
+    Ok(())
+}
+
+fn cmd_train(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = parse_flags(args)?;
+    let bench = positional
+        .first()
+        .ok_or("train needs a benchmark".to_owned())
+        .and_then(|s| parse_benchmark(s))?;
+    let retention = flag_f64(&flags, "retention")?.unwrap_or(0.25);
+    let seq = flag_usize(&flags, "seq")?.unwrap_or(24);
+    let samples = flag_usize(&flags, "samples")?.unwrap_or(400);
+    let epochs = flag_usize(&flags, "epochs")?.unwrap_or(20);
+    println!(
+        "training {} (seq {seq}, {samples} samples, {epochs} epochs) with DOTA at {:.1}% retention...",
+        bench.name(),
+        retention * 100.0
+    );
+    let run = BenchmarkRun::train(
+        bench,
+        seq,
+        samples,
+        100,
+        DetectorConfig::new(retention).with_sigma(0.5),
+        &TrainOptions {
+            epochs,
+            warmup_epochs: (epochs / 5).max(1),
+            lr_warmup_steps: 600,
+            ..Default::default()
+        },
+        5,
+    );
+    println!("{:>8} {:>10} {:>12}", "method", "accuracy", "perplexity");
+    for (name, method, r) in [
+        ("dense", Method::Dense, 1.0),
+        ("DOTA", Method::Dota, retention),
+        ("oracle", Method::Oracle, retention),
+        ("ELSA", Method::Elsa, retention),
+        ("random", Method::Random, retention),
+    ] {
+        let p = run.evaluate(method, r, 1);
+        match p.perplexity {
+            Some(ppl) => println!("{name:>8} {:>10.3} {ppl:>12.2}", p.accuracy),
+            None => println!("{name:>8} {:>10.3} {:>12}", p.accuracy, "-"),
+        }
+    }
+    if let Some(path) = flags.get("save") {
+        dota_core::checkpoint::save_params(&run.dota_params, std::path::Path::new(path))
+            .map_err(|e| e.to_string())?;
+        println!("adapted weights saved to {path}");
+    }
+    Ok(())
+}

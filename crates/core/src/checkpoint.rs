@@ -1,0 +1,210 @@
+//! Parameter checkpointing.
+//!
+//! Trained model + detector weights serialize to a single JSON document so
+//! experiments are resumable and results shippable. The format is
+//! deliberately simple (names, shapes, row-major values); loading restores
+//! a [`ParamSet`] whose registration order — and therefore every
+//! [`ParamId`](dota_autograd::ParamId) handed out by re-initialized models
+//! and hooks with the same construction order — matches the saved one.
+
+use dota_autograd::ParamSet;
+use dota_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::path::Path;
+
+/// One serialized parameter.
+#[derive(Debug, Serialize, Deserialize)]
+struct SavedParam {
+    name: String,
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+/// The on-disk checkpoint document.
+#[derive(Debug, Serialize, Deserialize)]
+struct Checkpoint {
+    format_version: u32,
+    params: Vec<SavedParam>,
+}
+
+const FORMAT_VERSION: u32 = 1;
+
+/// Errors from loading a checkpoint.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// The file is not a valid checkpoint document.
+    Parse(String),
+    /// The document's format version is not supported.
+    Version(u32),
+    /// A parameter's data length disagrees with its shape.
+    Corrupt(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint io error: {e}"),
+            CheckpointError::Parse(e) => write!(f, "invalid checkpoint document: {e}"),
+            CheckpointError::Version(v) => write!(f, "unsupported checkpoint version {v}"),
+            CheckpointError::Corrupt(name) => {
+                write!(f, "parameter `{name}` has inconsistent shape/data")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Serializes every parameter of `params` to JSON at `path`.
+///
+/// # Errors
+///
+/// Returns a [`CheckpointError`] on filesystem failure.
+pub fn save_params(params: &ParamSet, path: &Path) -> Result<(), CheckpointError> {
+    let doc = Checkpoint {
+        format_version: FORMAT_VERSION,
+        params: params
+            .ids()
+            .map(|id| {
+                let m = params.value(id);
+                SavedParam {
+                    name: params.name(id).to_owned(),
+                    rows: m.rows(),
+                    cols: m.cols(),
+                    data: m.as_slice().to_vec(),
+                }
+            })
+            .collect(),
+    };
+    let json = serde_json::to_string(&doc)
+        .map_err(|e| CheckpointError::Parse(e.to_string()))?;
+    std::fs::write(path, json)?;
+    Ok(())
+}
+
+/// Loads a checkpoint into a fresh [`ParamSet`], preserving registration
+/// order (so ids line up with a model/hook built in the same order).
+///
+/// # Errors
+///
+/// Returns a [`CheckpointError`] if the file is missing, malformed, from an
+/// unsupported version, or internally inconsistent.
+pub fn load_params(path: &Path) -> Result<ParamSet, CheckpointError> {
+    let json = std::fs::read_to_string(path)?;
+    let doc: Checkpoint =
+        serde_json::from_str(&json).map_err(|e| CheckpointError::Parse(e.to_string()))?;
+    if doc.format_version != FORMAT_VERSION {
+        return Err(CheckpointError::Version(doc.format_version));
+    }
+    let mut params = ParamSet::new();
+    for p in doc.params {
+        if p.data.len() != p.rows * p.cols {
+            return Err(CheckpointError::Corrupt(p.name));
+        }
+        let m = Matrix::from_vec(p.rows, p.cols, p.data)
+            .map_err(|_| CheckpointError::Corrupt(p.name.clone()))?;
+        params.add(&p.name, m);
+    }
+    Ok(params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::{self, TrainOptions};
+    use dota_transformer::NoHook;
+    use dota_workloads::{Benchmark, TaskSpec};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("dota_ckpt_{name}_{}.json", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let spec = TaskSpec::tiny(Benchmark::Text, 20, 1);
+        let (_, params) = experiments::build_model(&spec, 1);
+        let path = tmp("roundtrip");
+        save_params(&params, &path).unwrap();
+        let loaded = load_params(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(params.len(), loaded.len());
+        for (a, b) in params.ids().zip(loaded.ids()) {
+            assert_eq!(params.name(a), loaded.name(b));
+            assert_eq!(params.value(a), loaded.value(b));
+        }
+    }
+
+    #[test]
+    fn reloaded_model_gives_identical_predictions() {
+        let spec = TaskSpec::tiny(Benchmark::Text, 20, 2);
+        let (train, test) = spec.generate_split(60, 20);
+        let (model, mut params) = experiments::build_model(&spec, 2);
+        experiments::train_dense(
+            &model,
+            &mut params,
+            &train,
+            &TrainOptions {
+                epochs: 4,
+                ..Default::default()
+            },
+        );
+        let path = tmp("predictions");
+        save_params(&params, &path).unwrap();
+        let loaded = load_params(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        for s in test.iter().take(5) {
+            let a = model.infer(&params, &s.ids, &NoHook);
+            let b = model.infer(&loaded, &s.ids, &NoHook);
+            assert_eq!(a.logits, b.logits);
+        }
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = load_params(Path::new("/nonexistent/dota.json")).unwrap_err();
+        assert!(matches!(err, CheckpointError::Io(_)), "{err}");
+    }
+
+    #[test]
+    fn malformed_document_is_parse_error() {
+        let path = tmp("malformed");
+        std::fs::write(&path, "not json").unwrap();
+        let err = load_params(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err, CheckpointError::Parse(_)), "{err}");
+    }
+
+    #[test]
+    fn corrupt_shape_detected() {
+        let path = tmp("corrupt");
+        std::fs::write(
+            &path,
+            r#"{"format_version":1,"params":[{"name":"w","rows":2,"cols":2,"data":[1.0]}]}"#,
+        )
+        .unwrap();
+        let err = load_params(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err, CheckpointError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        let path = tmp("version");
+        std::fs::write(&path, r#"{"format_version":999,"params":[]}"#).unwrap();
+        let err = load_params(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err, CheckpointError::Version(999)), "{err}");
+    }
+}

@@ -1,0 +1,247 @@
+//! Threshold calibration for the hardware Detector (paper §3.1, §4.3).
+//!
+//! The deployed Detector does not sort: it compares each estimated score
+//! against a *preset threshold* register and emits a bitmask. The paper
+//! obtains those thresholds "by top-k searching or tuning from the
+//! validation set". This module implements that calibration: given a
+//! trained detector bank and validation sequences, it finds one threshold
+//! per `(layer, head)` whose keep-rate matches the target retention, and
+//! provides an [`InferenceHook`] that selects by threshold exactly as the
+//! comparator hardware would.
+//!
+//! Unlike row-wise top-k, thresholding yields *variable* per-row counts —
+//! the workload-imbalance trade-off §4.3 discusses. The calibrated hook
+//! optionally caps each row at `max_per_row` to bound the imbalance.
+
+use crate::{DetectorConfig, DotaHook};
+use dota_autograd::ParamSet;
+use dota_tensor::Matrix;
+use dota_transformer::{InferenceHook, Model};
+
+/// Per-(layer, head) calibrated thresholds.
+#[derive(Debug, Clone)]
+pub struct ThresholdTable {
+    thresholds: Vec<Vec<f32>>,
+    retention_target: f64,
+}
+
+impl ThresholdTable {
+    /// The calibrated threshold of `(layer, head)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn threshold(&self, layer: usize, head: usize) -> f32 {
+        self.thresholds[layer][head]
+    }
+
+    /// The retention the table was calibrated for.
+    pub fn retention_target(&self) -> f64 {
+        self.retention_target
+    }
+
+    /// Number of layers covered.
+    pub fn layers(&self) -> usize {
+        self.thresholds.len()
+    }
+}
+
+/// Calibrates thresholds for `hook`'s detectors so that, on the provided
+/// validation sequences, each head keeps `retention` of its estimated
+/// scores.
+///
+/// The threshold is the `(1 - retention)` quantile of the head's estimated
+/// scores pooled over all validation sequences — the direct analogue of
+/// tuning the comparator register on a validation set.
+///
+/// # Panics
+///
+/// Panics if `validation` is empty or a sequence is invalid for the model.
+pub fn calibrate_thresholds(
+    model: &Model,
+    params: &ParamSet,
+    hook: &DotaHook,
+    validation: &[Vec<usize>],
+    retention: f64,
+) -> ThresholdTable {
+    assert!(!validation.is_empty(), "need at least one validation sequence");
+    assert!(
+        retention > 0.0 && retention <= 1.0,
+        "retention {retention} out of range"
+    );
+    let cfg = model.config();
+    let inference = hook.inference(params);
+    let mut thresholds = vec![vec![f32::NEG_INFINITY; cfg.n_heads]; cfg.n_layers];
+
+    for l in 0..cfg.n_layers {
+        for h in 0..cfg.n_heads {
+            let mut pooled: Vec<f32> = Vec::new();
+            for ids in validation {
+                let xs = crate::metrics::layer_inputs(model, params, ids);
+                let scores = inference.estimated_scores(l, h, &xs[l]);
+                pooled.extend(scores.iter().copied());
+            }
+            pooled.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+            let keep = ((retention * pooled.len() as f64).round() as usize)
+                .clamp(1, pooled.len());
+            thresholds[l][h] = pooled[keep - 1];
+        }
+    }
+    ThresholdTable {
+        thresholds,
+        retention_target: retention,
+    }
+}
+
+/// An [`InferenceHook`] that selects by comparing estimated scores against
+/// calibrated thresholds — the comparator datapath of Fig. 6.
+#[derive(Debug)]
+pub struct ThresholdHook<'a> {
+    hook: &'a DotaHook,
+    params: &'a ParamSet,
+    table: ThresholdTable,
+    max_per_row: Option<usize>,
+}
+
+impl<'a> ThresholdHook<'a> {
+    /// Creates the hook from a detector bank and its calibrated table.
+    pub fn new(hook: &'a DotaHook, params: &'a ParamSet, table: ThresholdTable) -> Self {
+        Self {
+            hook,
+            params,
+            table,
+            max_per_row: None,
+        }
+    }
+
+    /// Caps each query row at `cap` selected keys (strongest first) to
+    /// bound workload imbalance.
+    pub fn with_row_cap(mut self, cap: usize) -> Self {
+        assert!(cap > 0, "row cap must be positive");
+        self.max_per_row = Some(cap);
+        self
+    }
+
+    /// The calibration table.
+    pub fn table(&self) -> &ThresholdTable {
+        &self.table
+    }
+
+    fn cfg(&self) -> &DetectorConfig {
+        self.hook.config()
+    }
+}
+
+impl InferenceHook for ThresholdHook<'_> {
+    fn select(&self, layer: usize, head: usize, x: &Matrix) -> Option<Vec<Vec<u32>>> {
+        let scores = self.hook.inference(self.params).estimated_scores(layer, head, x);
+        let _ = self.cfg();
+        let thresh = self.table.threshold(layer, head);
+        let n = scores.cols();
+        Some(
+            (0..scores.rows())
+                .map(|r| {
+                    let row = scores.row(r);
+                    let mut keep: Vec<(f32, u32)> = row
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &v)| v >= thresh)
+                        .map(|(j, &v)| (v, j as u32))
+                        .collect();
+                    if keep.is_empty() {
+                        // A starved row keeps its single strongest key so
+                        // its output stays defined (as the Scheduler would).
+                        let best = dota_tensor::topk::top_k_indices(row, 1)[0] as u32;
+                        keep.push((row[best as usize], best));
+                    }
+                    if let Some(cap) = self.max_per_row {
+                        keep.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+                        keep.truncate(cap.min(n));
+                    }
+                    keep.into_iter().map(|(_, j)| j).collect()
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dota_transformer::TransformerConfig;
+
+    fn setup() -> (Model, ParamSet, DotaHook, Vec<Vec<usize>>) {
+        let mut params = ParamSet::new();
+        let model = Model::init(TransformerConfig::tiny(24, 12, 2), &mut params, 31);
+        let hook = DotaHook::init(
+            DetectorConfig::new(0.25).with_sigma(0.5),
+            model.config(),
+            &mut params,
+        );
+        let validation: Vec<Vec<usize>> = (0..4)
+            .map(|s| (0..24).map(|i| (i * 7 + s) % 12).collect())
+            .collect();
+        (model, params, hook, validation)
+    }
+
+    #[test]
+    fn calibrated_retention_close_to_target() {
+        let (model, params, hook, validation) = setup();
+        let table = calibrate_thresholds(&model, &params, &hook, &validation, 0.25);
+        let th = ThresholdHook::new(&hook, &params, table);
+        // Evaluate achieved retention on a held-out sequence.
+        let test_ids: Vec<usize> = (0..24).map(|i| (i * 5 + 3) % 12).collect();
+        let trace = model.infer(&params, &test_ids, &th);
+        let achieved = trace.retention();
+        assert!(
+            (achieved - 0.25).abs() < 0.12,
+            "achieved retention {achieved} vs target 0.25"
+        );
+    }
+
+    #[test]
+    fn thresholds_monotone_in_retention() {
+        let (model, params, hook, validation) = setup();
+        let loose = calibrate_thresholds(&model, &params, &hook, &validation, 0.5);
+        let tight = calibrate_thresholds(&model, &params, &hook, &validation, 0.1);
+        for l in 0..loose.layers() {
+            for h in 0..model.config().n_heads {
+                assert!(
+                    tight.threshold(l, h) >= loose.threshold(l, h),
+                    "tighter retention must raise the threshold"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn row_cap_bounds_counts() {
+        let (model, params, hook, validation) = setup();
+        let table = calibrate_thresholds(&model, &params, &hook, &validation, 0.5);
+        let th = ThresholdHook::new(&hook, &params, table).with_row_cap(3);
+        let ids: Vec<usize> = (0..24).map(|i| i % 12).collect();
+        let xs = crate::metrics::layer_inputs(&model, &params, &ids);
+        let sel = th.select(0, 0, &xs[0]).unwrap();
+        assert!(sel.iter().all(|r| !r.is_empty() && r.len() <= 3));
+    }
+
+    #[test]
+    fn no_row_starves() {
+        let (model, params, hook, validation) = setup();
+        // Extremely tight retention: some rows would keep nothing without
+        // the fallback.
+        let table = calibrate_thresholds(&model, &params, &hook, &validation, 0.02);
+        let th = ThresholdHook::new(&hook, &params, table);
+        let ids: Vec<usize> = (0..24).map(|i| (i * 3) % 12).collect();
+        let xs = crate::metrics::layer_inputs(&model, &params, &ids);
+        let sel = th.select(1, 0, &xs[1]).unwrap();
+        assert!(sel.iter().all(|r| !r.is_empty()));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one validation")]
+    fn empty_validation_rejected() {
+        let (model, params, hook, _) = setup();
+        let _ = calibrate_thresholds(&model, &params, &hook, &[], 0.25);
+    }
+}

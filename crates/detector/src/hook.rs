@@ -1,0 +1,331 @@
+use crate::{DetectorConfig, LowRankDetector};
+use dota_autograd::{Graph, ParamSet, Var};
+use dota_tensor::{topk, Matrix};
+use dota_transformer::{AttentionHook, HookOutcome, InferenceHook, TransformerConfig};
+
+/// The DOTA detector bank: one [`LowRankDetector`] per attention head of a
+/// model, plus the joint-training and inference hook adapters.
+///
+/// # Example
+///
+/// ```
+/// use dota_autograd::ParamSet;
+/// use dota_detector::{DetectorConfig, DotaHook};
+/// use dota_transformer::{Model, TransformerConfig};
+///
+/// let mut params = ParamSet::new();
+/// let model = Model::init(TransformerConfig::tiny(16, 8, 2), &mut params, 1);
+/// let hook = DotaHook::init(DetectorConfig::new(0.25), model.config(), &mut params);
+/// let trace = model.infer(&params, &[1, 2, 3, 4], &hook.inference(&params));
+/// assert!(trace.retention() < 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DotaHook {
+    cfg: DetectorConfig,
+    detectors: Vec<Vec<LowRankDetector>>,
+    masking_enabled: bool,
+}
+
+impl DotaHook {
+    /// Initializes one detector per `(layer, head)` of `model_cfg`,
+    /// registering all trainable low-rank parameters in `params`.
+    pub fn init(
+        cfg: DetectorConfig,
+        model_cfg: &TransformerConfig,
+        params: &mut ParamSet,
+    ) -> Self {
+        let hd = model_cfg.head_dim();
+        let detectors = (0..model_cfg.n_layers)
+            .map(|l| {
+                (0..model_cfg.n_heads)
+                    .map(|h| {
+                        LowRankDetector::init(
+                            &cfg,
+                            model_cfg.d_model,
+                            hd,
+                            params,
+                            &format!("l{l}.h{h}"),
+                            cfg.seed
+                                .wrapping_add(l as u64 * 1009)
+                                .wrapping_add(h as u64 * 9176),
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        Self {
+            cfg,
+            detectors,
+            masking_enabled: true,
+        }
+    }
+
+    /// The detector configuration.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.cfg
+    }
+
+    /// Returns this hook with a different runtime configuration (precision,
+    /// retention, strategy) but the same trained detectors. Used by the
+    /// design-space exploration to re-evaluate one trained detector bank at
+    /// several inference settings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.sigma` differs from the training configuration — the
+    /// detector rank is fixed at initialization.
+    pub fn with_config(mut self, cfg: DetectorConfig) -> Self {
+        assert_eq!(
+            cfg.sigma, self.cfg.sigma,
+            "sigma is fixed at init (detector rank would change)"
+        );
+        self.cfg = cfg;
+        self
+    }
+
+    /// The detector for `(layer, head)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn detector(&self, layer: usize, head: usize) -> &LowRankDetector {
+        &self.detectors[layer][head]
+    }
+
+    /// Enables/disables mask application during training. With masking off
+    /// the hook still contributes `L_MSE`, which is useful as a warm-up
+    /// phase before sparse adaptation.
+    pub fn set_masking(&mut self, enabled: bool) {
+        self.masking_enabled = enabled;
+    }
+
+    /// Binds the hook to the current parameter values for one training
+    /// forward pass.
+    pub fn training<'a>(&'a self, params: &'a ParamSet) -> DotaTrainingHook<'a> {
+        DotaTrainingHook { hook: self, params }
+    }
+
+    /// Binds the hook for quantized inference (the deployed detector).
+    pub fn inference<'a>(&'a self, params: &'a ParamSet) -> DotaInferenceHook<'a> {
+        DotaInferenceHook {
+            hook: self,
+            params,
+            quantized: true,
+        }
+    }
+
+    /// Binds the hook for FP32 inference (Fig. 14b's FP32 reference point).
+    pub fn inference_f32<'a>(&'a self, params: &'a ParamSet) -> DotaInferenceHook<'a> {
+        DotaInferenceHook {
+            hook: self,
+            params,
+            quantized: false,
+        }
+    }
+
+    /// Converts a per-row index selection into a boolean mask.
+    fn selection_to_mask(selection: &[Vec<u32>], n: usize) -> Vec<Vec<bool>> {
+        selection
+            .iter()
+            .map(|row| {
+                let mut mask = vec![false; n];
+                for &j in row {
+                    mask[j as usize] = true;
+                }
+                mask
+            })
+            .collect()
+    }
+}
+
+/// [`DotaHook`] bound to parameter values for a training step; implements
+/// the joint-optimization [`AttentionHook`] (paper §3.2): contributes the
+/// `L_MSE` estimation loss on every head and imposes the detected sparse
+/// mask so the model adapts to omission during fine-tuning.
+#[derive(Debug)]
+pub struct DotaTrainingHook<'a> {
+    hook: &'a DotaHook,
+    params: &'a ParamSet,
+}
+
+impl AttentionHook for DotaTrainingHook<'_> {
+    fn on_scores(
+        &mut self,
+        g: &mut Graph,
+        layer: usize,
+        head: usize,
+        x: Var,
+        scores: Var,
+    ) -> HookOutcome {
+        let det = self.hook.detector(layer, head);
+        let s_tilde = det.estimated_scores(g, self.params, x);
+        // Eq. 5: gradients flow into BOTH S and S̃ — the tape handles it.
+        let aux = g.mse(scores, s_tilde);
+        let mask = if self.hook.masking_enabled {
+            let n = g.value(scores).rows();
+            let selection =
+                LowRankDetector::select_for_layer(&self.hook.cfg, g.value(s_tilde), Some(layer));
+            Some(DotaHook::selection_to_mask(&selection, n))
+        } else {
+            None
+        };
+        HookOutcome {
+            mask,
+            aux_loss: Some(aux),
+        }
+    }
+}
+
+/// [`DotaHook`] bound for inference; implements [`InferenceHook`] using the
+/// quantized low-rank estimator, as the deployed accelerator would.
+#[derive(Debug)]
+pub struct DotaInferenceHook<'a> {
+    hook: &'a DotaHook,
+    params: &'a ParamSet,
+    quantized: bool,
+}
+
+impl DotaInferenceHook<'_> {
+    /// The estimated scores this hook would rank for `(layer, head)` —
+    /// exposed for detection-quality analysis.
+    pub fn estimated_scores(&self, layer: usize, head: usize, x: &Matrix) -> Matrix {
+        let det = self.hook.detector(layer, head);
+        if self.quantized {
+            det.estimated_scores_quantized(&self.hook.cfg, self.params, x)
+        } else {
+            det.estimated_scores_f32(self.params, x)
+        }
+    }
+}
+
+impl InferenceHook for DotaInferenceHook<'_> {
+    fn select(&self, layer: usize, head: usize, x: &Matrix) -> Option<Vec<Vec<u32>>> {
+        let scores = self.estimated_scores(layer, head, x);
+        Some(LowRankDetector::select_for_layer(
+            &self.hook.cfg,
+            &scores,
+            Some(layer),
+        ))
+    }
+}
+
+/// Oracle-quality reference selection for metrics: row-wise top-k on the
+/// *exact* scores of a head trace (used to score detector recall).
+pub fn oracle_selection(q: &Matrix, k_mat: &Matrix, keys_per_row: usize) -> Vec<Vec<usize>> {
+    let scores = q.matmul_nt(k_mat).expect("head shapes");
+    topk::top_k_rows(&scores, keys_per_row)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dota_transformer::Model;
+
+    fn setup() -> (Model, DotaHook, ParamSet) {
+        let mut params = ParamSet::new();
+        let model = Model::init(TransformerConfig::tiny(16, 8, 2), &mut params, 11);
+        let hook = DotaHook::init(DetectorConfig::new(0.25), model.config(), &mut params);
+        (model, hook, params)
+    }
+
+    #[test]
+    fn init_creates_detector_per_head() {
+        let (model, hook, _) = setup();
+        assert_eq!(hook.detectors.len(), model.config().n_layers);
+        assert_eq!(hook.detectors[0].len(), model.config().n_heads);
+        // Distinct seeds → distinct projections.
+        assert_ne!(
+            hook.detector(0, 0).projection(),
+            hook.detector(0, 1).projection()
+        );
+    }
+
+    #[test]
+    fn training_hook_contributes_masks_and_losses() {
+        let (model, hook, params) = setup();
+        let mut g = Graph::new();
+        let bound = &mut hook.training(&params);
+        let out = model.forward(&mut g, &params, &[1, 2, 3, 4, 5, 6], bound);
+        assert_eq!(out.aux_losses.len(), 4); // 2 layers x 2 heads
+        for &aux in &out.aux_losses {
+            assert!(g.value(aux)[(0, 0)] >= 0.0);
+        }
+    }
+
+    #[test]
+    fn masking_disabled_still_produces_losses() {
+        let (model, mut hook, params) = setup();
+        hook.set_masking(false);
+        let mut g = Graph::new();
+        let out = model.forward(&mut g, &params, &[1, 2, 3, 4], &mut hook.training(&params));
+        assert_eq!(out.aux_losses.len(), 4);
+        // Dense attention: inference with NoHook must agree with this
+        // forward's logits.
+        let trace = model.infer(&params, &[1, 2, 3, 4], &dota_transformer::NoHook);
+        assert!(trace.logits.approx_eq(g.value(out.logits), 1e-4));
+    }
+
+    #[test]
+    fn inference_hook_hits_configured_retention() {
+        let (model, hook, params) = setup();
+        let ids = vec![1, 2, 3, 4, 5, 6, 7, 0];
+        let trace = model.infer(&params, &ids, &hook.inference(&params));
+        // Balanced top-k with retention 0.25 on n=8 keeps 2 keys per row.
+        assert!((trace.retention() - 0.25).abs() < 1e-9);
+        for layer in &trace.layers {
+            for head in &layer.heads {
+                let sel = head.selected.as_ref().unwrap();
+                assert!(sel.iter().all(|r| r.len() == 2));
+            }
+        }
+    }
+
+    #[test]
+    fn joint_training_keeps_model_trainable() {
+        use dota_autograd::{Adam, Optimizer};
+        let (model, hook, mut params) = setup();
+        let data = [
+            (vec![1usize, 1, 2, 2], 0usize),
+            (vec![2, 2, 1, 1], 1),
+        ];
+        let mut opt = Adam::new(0.01);
+        let mut first = 0.0;
+        let mut last = 0.0;
+        for epoch in 0..40 {
+            let mut total = 0.0;
+            for (ids, label) in &data {
+                let mut g = Graph::new();
+                let out = model.forward(&mut g, &params, ids, &mut hook.training(&params));
+                let ml = model.classification_loss(&mut g, &out, *label);
+                let loss = model.total_loss(&mut g, ml, &out, hook.config().lambda);
+                total += g.value(loss)[(0, 0)];
+                g.backward(loss);
+                opt.step(&mut params, &g);
+            }
+            if epoch == 0 {
+                first = total;
+            }
+            last = total;
+        }
+        assert!(last < first, "joint loss {first} -> {last}");
+        // The detector parameters actually moved.
+        let det = hook.detector(0, 0);
+        let w = params.value(det.wq_tilde());
+        let mut fresh = ParamSet::new();
+        let fresh_model = Model::init(TransformerConfig::tiny(16, 8, 2), &mut fresh, 11);
+        let _ = fresh_model;
+        let fresh_hook = DotaHook::init(DetectorConfig::new(0.25), model.config(), &mut fresh);
+        let w0 = fresh.value(fresh_hook.detector(0, 0).wq_tilde());
+        assert_ne!(w, w0, "detector weights unchanged by training");
+    }
+
+    #[test]
+    fn oracle_selection_shape() {
+        let mut rng = dota_tensor::rng::SeededRng::new(1);
+        let q = rng.normal_matrix(6, 8, 1.0);
+        let k = rng.normal_matrix(6, 8, 1.0);
+        let sel = oracle_selection(&q, &k, 3);
+        assert_eq!(sel.len(), 6);
+        assert!(sel.iter().all(|r| r.len() == 3));
+    }
+}

@@ -1,0 +1,180 @@
+//! Oracle and random selection references.
+//!
+//! Table 1 of the paper motivates detection by applying *post-hoc* row-wise
+//! top-k to the exact attention weights of a trained model — an oracle no
+//! real system can afford (it must compute the full `Q K^T` it is trying to
+//! avoid). [`OracleHook`] reproduces that experiment; [`RandomHook`] is the
+//! sanity floor (random selection at the same retention).
+
+use dota_autograd::ParamSet;
+use dota_tensor::rng::SeededRng;
+use dota_tensor::{topk, Matrix};
+use dota_transformer::{InferenceHook, Model, TransformerParams};
+use std::cell::RefCell;
+
+/// Post-hoc exact top-k selection (Table 1's "retention" rows).
+#[derive(Debug)]
+pub struct OracleHook {
+    wq: Vec<Matrix>,
+    wk: Vec<Matrix>,
+    n_heads: usize,
+    head_dim: usize,
+    retention: f64,
+}
+
+impl OracleHook {
+    /// Builds the oracle from the model's current weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `retention` is not in `(0, 1]`.
+    pub fn from_model(model: &Model, params: &ParamSet, retention: f64) -> Self {
+        assert!(
+            retention > 0.0 && retention <= 1.0,
+            "retention {retention} must be in (0, 1]"
+        );
+        let tp: &TransformerParams = model.params();
+        Self {
+            wq: tp.layers.iter().map(|l| params.value(l.wq).clone()).collect(),
+            wk: tp.layers.iter().map(|l| params.value(l.wk).clone()).collect(),
+            n_heads: model.config().n_heads,
+            head_dim: model.config().head_dim(),
+            retention,
+        }
+    }
+
+    /// Keys kept per row at sequence length `n`.
+    pub fn keys_per_row(&self, n: usize) -> usize {
+        ((self.retention * n as f64).round() as usize).clamp(1, n)
+    }
+}
+
+impl InferenceHook for OracleHook {
+    fn select(&self, layer: usize, head: usize, x: &Matrix) -> Option<Vec<Vec<u32>>> {
+        assert!(head < self.n_heads, "head index out of range");
+        let q = x.matmul(&self.wq[layer]).expect("shape");
+        let k = x.matmul(&self.wk[layer]).expect("shape");
+        let (c0, c1) = (head * self.head_dim, (head + 1) * self.head_dim);
+        let scores = q
+            .slice_cols(c0, c1)
+            .matmul_nt(&k.slice_cols(c0, c1))
+            .expect("shape");
+        let kpr = self.keys_per_row(x.rows());
+        Some(
+            topk::top_k_rows(&scores, kpr)
+                .into_iter()
+                .map(|row| row.into_iter().map(|i| i as u32).collect())
+                .collect(),
+        )
+    }
+}
+
+/// Uniform random selection at a fixed retention — the floor any detector
+/// must beat.
+#[derive(Debug)]
+pub struct RandomHook {
+    retention: f64,
+    rng: RefCell<SeededRng>,
+}
+
+impl RandomHook {
+    /// Creates a random selector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `retention` is not in `(0, 1]`.
+    pub fn new(retention: f64, seed: u64) -> Self {
+        assert!(
+            retention > 0.0 && retention <= 1.0,
+            "retention {retention} must be in (0, 1]"
+        );
+        Self {
+            retention,
+            rng: RefCell::new(SeededRng::new(seed)),
+        }
+    }
+}
+
+impl InferenceHook for RandomHook {
+    fn select(&self, _layer: usize, _head: usize, x: &Matrix) -> Option<Vec<Vec<u32>>> {
+        let n = x.rows();
+        let kpr = ((self.retention * n as f64).round() as usize).clamp(1, n);
+        let mut rng = self.rng.borrow_mut();
+        Some(
+            (0..n)
+                .map(|_| {
+                    rng.sample_indices(n, kpr)
+                        .into_iter()
+                        .map(|i| i as u32)
+                        .collect()
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dota_transformer::TransformerConfig;
+
+    fn model() -> (Model, ParamSet) {
+        let mut params = ParamSet::new();
+        let m = Model::init(TransformerConfig::tiny(16, 8, 2), &mut params, 3);
+        (m, params)
+    }
+
+    #[test]
+    fn oracle_retention_is_exact() {
+        let (m, params) = model();
+        let hook = OracleHook::from_model(&m, &params, 0.5);
+        let trace = m.infer(&params, &[1, 2, 3, 4, 5, 6], &hook);
+        assert!((trace.retention() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn oracle_at_full_retention_matches_dense() {
+        let (m, params) = model();
+        let ids = vec![1, 2, 3, 4, 5];
+        let dense = m.infer(&params, &ids, &dota_transformer::NoHook);
+        let oracle = OracleHook::from_model(&m, &params, 1.0);
+        let sparse = m.infer(&params, &ids, &oracle);
+        assert!(dense.logits.approx_eq(&sparse.logits, 1e-5));
+    }
+
+    #[test]
+    fn random_hook_selects_distinct_indices() {
+        let hook = RandomHook::new(0.5, 1);
+        let x = Matrix::zeros(8, 4);
+        let sel = hook.select(0, 0, &x).unwrap();
+        assert_eq!(sel.len(), 8);
+        for row in &sel {
+            assert_eq!(row.len(), 4);
+            let mut sorted = row.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 4, "duplicate indices in {row:?}");
+        }
+    }
+
+    #[test]
+    fn oracle_output_closer_to_dense_than_random() {
+        // At the same retention, oracle top-k should perturb the logits
+        // less than random selection.
+        let (m, params) = model();
+        let ids = vec![1, 2, 3, 4, 5, 6, 7, 0];
+        let dense = m.infer(&params, &ids, &dota_transformer::NoHook);
+        let oracle = m.infer(
+            &params,
+            &ids,
+            &OracleHook::from_model(&m, &params, 0.25),
+        );
+        let random = m.infer(&params, &ids, &RandomHook::new(0.25, 9));
+        let d_oracle = dense.logits.sub(&oracle.logits).unwrap().frobenius_norm();
+        let d_random = dense.logits.sub(&random.logits).unwrap().frobenius_norm();
+        assert!(
+            d_oracle <= d_random,
+            "oracle dist {d_oracle} vs random {d_random}"
+        );
+    }
+}

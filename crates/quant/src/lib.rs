@@ -1,0 +1,50 @@
+//! Fixed-point arithmetic, quantization and the multi-precision multiplier
+//! model behind DOTA's Reconfigurable Matrix Multiplication Unit (RMMU).
+//!
+//! The paper's accelerator (§4.2) computes important attention values in
+//! FX16 fixed point and runs the attention *detector* in INT8/INT4/INT2.
+//! Rather than implementing separate arithmetic units, the RMMU builds its
+//! FX16 multipliers out of INT2 blocks (bit-fusion style, Fig. 7), so that a
+//! PE row reconfigured to a lower precision gains quadratically more
+//! multiplies per cycle.
+//!
+//! This crate provides:
+//!
+//! * [`Precision`] — the four supported precisions and their throughput
+//!   multipliers;
+//! * [`Fx16`] — a Q-format fixed-point scalar used for attention values;
+//! * [`bitfusion`] — the INT2-block multiplier composition, verified by
+//!   property tests to match wide multiplication exactly;
+//! * [`Quantizer`] / [`QuantizedMatrix`] — symmetric per-matrix quantization
+//!   and integer GEMM, the numeric path of the detector;
+//! * [`rmmu`] — the functional/throughput model of the 32×16 PE array.
+//!
+//! # Example
+//!
+//! ```
+//! use dota_quant::{Precision, Quantizer};
+//! use dota_tensor::Matrix;
+//!
+//! # fn main() -> Result<(), dota_tensor::ShapeError> {
+//! let m = Matrix::from_rows(&[&[0.5, -1.0], &[0.25, 1.0]])?;
+//! let q = Quantizer::symmetric(Precision::Int8).quantize(&m);
+//! let back = q.dequantize();
+//! assert!(back.approx_eq(&m, 0.02));
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+// Indexed loops are the clearest formulation of the matrix kernels here.
+#![allow(clippy::needless_range_loop)]
+
+pub mod attention;
+pub mod bitfusion;
+mod fixed;
+mod precision;
+mod quantizer;
+pub mod rmmu;
+
+pub use fixed::Fx16;
+pub use precision::Precision;
+pub use quantizer::{QuantizedMatrix, Quantizer};

@@ -1,0 +1,240 @@
+//! General matrix-matrix and matrix-vector products.
+//!
+//! The GEMM kernels here are cache-blocked but otherwise straightforward:
+//! the goal of this workspace is simulator fidelity, not peak FLOPs. Three
+//! layouts are provided because self-attention needs all of them:
+//! `A*B` (projections and `A*V`), `A*B^T` (`Q*K^T`), and `A^T*B` (gradient
+//! computations in `dota-autograd`).
+
+use crate::{Matrix, ShapeError};
+
+const BLOCK: usize = 32;
+
+impl Matrix {
+    /// Matrix product `self * other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] when `self.cols() != other.rows()`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// # use dota_tensor::Matrix;
+    /// # fn main() -> Result<(), dota_tensor::ShapeError> {
+    /// let a = Matrix::identity(3);
+    /// let b = Matrix::from_fn(3, 2, |r, c| (r + c) as f32);
+    /// assert_eq!(a.matmul(&b)?, b);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn matmul(&self, other: &Matrix) -> Result<Matrix, ShapeError> {
+        if self.cols() != other.rows() {
+            return Err(ShapeError::new("matmul", self.shape(), other.shape()));
+        }
+        let (m, k, n) = (self.rows(), self.cols(), other.cols());
+        let mut out = Matrix::zeros(m, n);
+        // i-k-j loop order with blocking keeps the inner loop streaming over
+        // contiguous rows of `other` and `out`.
+        for ib in (0..m).step_by(BLOCK) {
+            for kb in (0..k).step_by(BLOCK) {
+                for i in ib..(ib + BLOCK).min(m) {
+                    let a_row = self.row(i);
+                    for kk in kb..(kb + BLOCK).min(k) {
+                        let a = a_row[kk];
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let b_row = other.row(kk);
+                        let o_row = out.row_mut(i);
+                        for j in 0..n {
+                            o_row[j] += a * b_row[j];
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix product with transposed right operand: `self * other^T`.
+    ///
+    /// This is the `Q * K^T` kernel: both operands are traversed row-wise,
+    /// so no explicit transpose is materialized.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] when `self.cols() != other.cols()`.
+    pub fn matmul_nt(&self, other: &Matrix) -> Result<Matrix, ShapeError> {
+        if self.cols() != other.cols() {
+            return Err(ShapeError::new("matmul_nt", self.shape(), other.shape()));
+        }
+        let (m, k, n) = (self.rows(), self.cols(), other.rows());
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let a_row = self.row(i);
+            let o_row = out.row_mut(i);
+            for j in 0..n {
+                let b_row = other.row(j);
+                let mut acc = 0.0;
+                for kk in 0..k {
+                    acc += a_row[kk] * b_row[kk];
+                }
+                o_row[j] = acc;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix product with transposed left operand: `self^T * other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] when `self.rows() != other.rows()`.
+    pub fn matmul_tn(&self, other: &Matrix) -> Result<Matrix, ShapeError> {
+        if self.rows() != other.rows() {
+            return Err(ShapeError::new("matmul_tn", self.shape(), other.shape()));
+        }
+        let (m, k, n) = (self.cols(), self.rows(), other.cols());
+        let mut out = Matrix::zeros(m, n);
+        for kk in 0..k {
+            let a_row = self.row(kk);
+            let b_row = other.row(kk);
+            for i in 0..m {
+                let a = a_row[i];
+                if a == 0.0 {
+                    continue;
+                }
+                let o_row = out.row_mut(i);
+                for j in 0..n {
+                    o_row[j] += a * b_row[j];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix-vector product `self * v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] when `self.cols() != v.len()`.
+    pub fn matvec(&self, v: &[f32]) -> Result<Vec<f32>, ShapeError> {
+        if self.cols() != v.len() {
+            return Err(ShapeError::new("matvec", self.shape(), (v.len(), 1)));
+        }
+        Ok(self
+            .rows_iter()
+            .map(|row| row.iter().zip(v).map(|(a, b)| a * b).sum())
+            .collect())
+    }
+
+    /// Dot product of two equal-length slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+        assert_eq!(a.len(), b.len(), "dot product of unequal lengths");
+        a.iter().zip(b).map(|(x, y)| x * y).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SeededRng;
+
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut acc = 0.0;
+                for k in 0..a.cols() {
+                    acc += a[(i, k)] * b[(k, j)];
+                }
+                out[(i, j)] = acc;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matmul_small_known() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.row(0), &[19.0, 22.0]);
+        assert_eq!(c.row(1), &[43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let mut rng = SeededRng::new(1);
+        let a = rng.normal_matrix(7, 7, 1.0);
+        let i = Matrix::identity(7);
+        assert!(a.matmul(&i).unwrap().approx_eq(&a, 1e-6));
+        assert!(i.matmul(&a).unwrap().approx_eq(&a, 1e-6));
+    }
+
+    #[test]
+    fn matmul_matches_naive_on_odd_sizes() {
+        let mut rng = SeededRng::new(2);
+        // Sizes chosen to straddle the blocking factor.
+        for &(m, k, n) in &[(1, 1, 1), (5, 7, 3), (33, 40, 17), (64, 31, 65)] {
+            let a = rng.normal_matrix(m, k, 1.0);
+            let b = rng.normal_matrix(k, n, 1.0);
+            let fast = a.matmul(&b).unwrap();
+            let slow = naive_matmul(&a, &b);
+            assert!(fast.approx_eq(&slow, 1e-3), "mismatch at {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn matmul_nt_equals_explicit_transpose() {
+        let mut rng = SeededRng::new(3);
+        let q = rng.normal_matrix(9, 6, 1.0);
+        let k = rng.normal_matrix(11, 6, 1.0);
+        let fast = q.matmul_nt(&k).unwrap();
+        let slow = q.matmul(&k.transpose()).unwrap();
+        assert!(fast.approx_eq(&slow, 1e-4));
+    }
+
+    #[test]
+    fn matmul_tn_equals_explicit_transpose() {
+        let mut rng = SeededRng::new(4);
+        let a = rng.normal_matrix(8, 5, 1.0);
+        let b = rng.normal_matrix(8, 7, 1.0);
+        let fast = a.matmul_tn(&b).unwrap();
+        let slow = a.transpose().matmul(&b).unwrap();
+        assert!(fast.approx_eq(&slow, 1e-4));
+    }
+
+    #[test]
+    fn shape_errors() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(a.matmul(&b).is_err());
+        assert!(a.matmul_nt(&Matrix::zeros(4, 4)).is_err());
+        assert!(a.matmul_tn(&Matrix::zeros(3, 3)).is_err());
+        assert!(a.matvec(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let mut rng = SeededRng::new(5);
+        let a = rng.normal_matrix(6, 4, 1.0);
+        let v = vec![1.0, -2.0, 0.5, 3.0];
+        let mv = a.matvec(&v).unwrap();
+        let col = Matrix::from_vec(4, 1, v).unwrap();
+        let mm = a.matmul(&col).unwrap();
+        for (i, &x) in mv.iter().enumerate() {
+            assert!((x - mm[(i, 0)]).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn dot_product() {
+        assert_eq!(Matrix::dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+}

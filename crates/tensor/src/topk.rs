@@ -1,0 +1,211 @@
+//! Top-k selection and threshold utilities.
+//!
+//! The paper selects strong attention connections two ways: *row-wise top-k*
+//! over (estimated) attention scores (§2.2, §3.1), and *threshold
+//! comparison* against a preset value in the hardware Detector (§4.3). Both
+//! primitives live here, along with helpers to convert selections into the
+//! binary masks the rest of the stack consumes.
+
+use crate::Matrix;
+
+/// Indices of the `k` largest values in `row`, in descending value order.
+///
+/// Ties are broken toward the lower index so that results are deterministic.
+/// If `k >= row.len()` every index is returned.
+///
+/// # Example
+///
+/// ```
+/// use dota_tensor::topk::top_k_indices;
+///
+/// let idx = top_k_indices(&[0.1, 0.9, 0.5], 2);
+/// assert_eq!(idx, vec![1, 2]);
+/// ```
+pub fn top_k_indices(row: &[f32], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..row.len()).collect();
+    let k = k.min(row.len());
+    idx.sort_by(|&a, &b| {
+        row[b]
+            .partial_cmp(&row[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    idx.truncate(k);
+    idx
+}
+
+/// Row-wise top-k selection over a score matrix, producing one index set per
+/// row. Every row keeps exactly `k` entries (the equal-`k` workload-balance
+/// constraint of §4.3), so downstream token-parallel execution stays
+/// synchronized across rows.
+pub fn top_k_rows(scores: &Matrix, k: usize) -> Vec<Vec<usize>> {
+    scores.rows_iter().map(|row| top_k_indices(row, k)).collect()
+}
+
+/// Converts per-row selected indices into a dense boolean mask with the given
+/// number of columns.
+///
+/// # Panics
+///
+/// Panics if any index is `>= cols`.
+pub fn indices_to_mask(selected: &[Vec<usize>], cols: usize) -> Vec<Vec<bool>> {
+    selected
+        .iter()
+        .map(|row| {
+            let mut mask = vec![false; cols];
+            for &i in row {
+                assert!(i < cols, "selected index {i} out of bounds ({cols})");
+                mask[i] = true;
+            }
+            mask
+        })
+        .collect()
+}
+
+/// Per-row threshold selection: keep entry `(r, c)` when
+/// `scores[(r, c)] >= threshold`. This models the hardware Detector's
+/// comparator (§4.3), which compares estimated scores against a preset
+/// threshold rather than sorting.
+pub fn threshold_mask(scores: &Matrix, threshold: f32) -> Vec<Vec<bool>> {
+    scores
+        .rows_iter()
+        .map(|row| row.iter().map(|&x| x >= threshold).collect())
+        .collect()
+}
+
+/// Finds, per row, the threshold that would keep exactly `k` entries; returns
+/// the k-th largest value of each row. Used to calibrate hardware threshold
+/// registers from a validation set (§3.1).
+pub fn kth_value_rows(scores: &Matrix, k: usize) -> Vec<f32> {
+    scores
+        .rows_iter()
+        .map(|row| {
+            let idx = top_k_indices(row, k);
+            idx.last().map(|&i| row[i]).unwrap_or(f32::NEG_INFINITY)
+        })
+        .collect()
+}
+
+/// Fraction of `true` entries in a mask.
+pub fn mask_density(mask: &[Vec<bool>]) -> f64 {
+    let total: usize = mask.iter().map(|r| r.len()).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let kept: usize = mask.iter().map(|r| r.iter().filter(|&&b| b).count()).sum();
+    kept as f64 / total as f64
+}
+
+/// Overlap between two per-row index selections: the mean fraction of
+/// `reference` indices also present in `candidate`. This is the detection
+/// *recall* metric used to evaluate detector quality against oracle top-k.
+///
+/// # Panics
+///
+/// Panics if the two selections have different row counts.
+pub fn selection_recall(reference: &[Vec<usize>], candidate: &[Vec<usize>]) -> f64 {
+    assert_eq!(reference.len(), candidate.len(), "row count mismatch");
+    if reference.is_empty() {
+        return 1.0;
+    }
+    let mut acc = 0.0;
+    for (r, c) in reference.iter().zip(candidate) {
+        if r.is_empty() {
+            acc += 1.0;
+            continue;
+        }
+        let cset: std::collections::HashSet<usize> = c.iter().copied().collect();
+        let hit = r.iter().filter(|i| cset.contains(i)).count();
+        acc += hit as f64 / r.len() as f64;
+    }
+    acc / reference.len() as f64
+}
+
+/// Number of entries each row keeps under `mask`.
+pub fn row_counts(mask: &[Vec<bool>]) -> Vec<usize> {
+    mask.iter()
+        .map(|r| r.iter().filter(|&&b| b).count())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SeededRng;
+
+    #[test]
+    fn top_k_basic() {
+        let row = [0.2, 0.8, 0.5, 0.9];
+        assert_eq!(top_k_indices(&row, 2), vec![3, 1]);
+        assert_eq!(top_k_indices(&row, 0), Vec::<usize>::new());
+        assert_eq!(top_k_indices(&row, 10).len(), 4);
+    }
+
+    #[test]
+    fn top_k_tie_break_deterministic() {
+        let row = [1.0, 1.0, 1.0];
+        assert_eq!(top_k_indices(&row, 2), vec![0, 1]);
+    }
+
+    #[test]
+    fn top_k_rows_equal_k() {
+        let mut rng = SeededRng::new(1);
+        let m = rng.normal_matrix(8, 16, 1.0);
+        let sel = top_k_rows(&m, 4);
+        assert!(sel.iter().all(|r| r.len() == 4));
+    }
+
+    #[test]
+    fn indices_to_mask_round_trip() {
+        let sel = vec![vec![0, 2], vec![1]];
+        let mask = indices_to_mask(&sel, 3);
+        assert_eq!(mask[0], vec![true, false, true]);
+        assert_eq!(mask[1], vec![false, true, false]);
+        assert_eq!(row_counts(&mask), vec![2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn indices_to_mask_checks_bounds() {
+        let _ = indices_to_mask(&[vec![5]], 3);
+    }
+
+    #[test]
+    fn threshold_mask_matches_kth_value() {
+        let m = Matrix::from_rows(&[&[0.1, 0.5, 0.9, 0.3]]).unwrap();
+        let kth = kth_value_rows(&m, 2);
+        let mask = threshold_mask(&m, kth[0]);
+        assert_eq!(row_counts(&mask), vec![2]);
+        assert!(mask[0][2] && mask[0][1]);
+    }
+
+    #[test]
+    fn mask_density_counts() {
+        let mask = vec![vec![true, false], vec![false, false]];
+        assert!((mask_density(&mask) - 0.25).abs() < 1e-9);
+        assert_eq!(mask_density(&[]), 0.0);
+    }
+
+    #[test]
+    fn recall_perfect_and_disjoint() {
+        let a = vec![vec![0, 1], vec![2, 3]];
+        assert_eq!(selection_recall(&a, &a), 1.0);
+        let b = vec![vec![4, 5], vec![6, 7]];
+        assert_eq!(selection_recall(&a, &b), 0.0);
+        let c = vec![vec![0, 5], vec![2, 7]];
+        assert!((selection_recall(&a, &c) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recall_of_topk_under_noise_degrades_gracefully() {
+        let mut rng = SeededRng::new(2);
+        let scores = rng.normal_matrix(16, 64, 1.0);
+        let noisy = scores
+            .add(&rng.normal_matrix(16, 64, 0.1))
+            .expect("same shape");
+        let exact = top_k_rows(&scores, 8);
+        let approx = top_k_rows(&noisy, 8);
+        let recall = selection_recall(&exact, &approx);
+        assert!(recall > 0.7, "recall {recall}");
+    }
+}

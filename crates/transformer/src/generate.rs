@@ -1,0 +1,349 @@
+//! Autoregressive generation with a key/value cache (paper §4.4).
+//!
+//! Decoding processes tokens strictly sequentially: each new token computes
+//! one query row, attends over all *cached* keys/values, and appends its own
+//! K/V to the cache. This module implements that loop functionally — it is
+//! the software twin of the accelerator's decoder mode, and the unit tests
+//! pin it against the batch [`infer`](crate::Model::infer) path (the same
+//! prompt must produce identical logits).
+
+use crate::{Model, TransformerParams};
+use dota_autograd::ParamSet;
+use dota_tensor::{ops, Matrix};
+
+/// Per-layer cached keys and values for incremental decoding.
+#[derive(Debug, Clone)]
+pub struct KvCache {
+    /// Per layer: the `t x d_model` key matrix accumulated so far.
+    keys: Vec<Matrix>,
+    /// Per layer: the `t x d_model` value matrix accumulated so far.
+    values: Vec<Matrix>,
+}
+
+impl KvCache {
+    /// An empty cache for a model with `n_layers` layers and width `d`.
+    pub fn new(n_layers: usize, d: usize) -> Self {
+        Self {
+            keys: (0..n_layers).map(|_| Matrix::zeros(0, d)).collect(),
+            values: (0..n_layers).map(|_| Matrix::zeros(0, d)).collect(),
+        }
+    }
+
+    /// Number of cached positions.
+    pub fn len(&self) -> usize {
+        self.keys.first().map_or(0, Matrix::rows)
+    }
+
+    /// `true` if nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn append(&mut self, layer: usize, k_row: &Matrix, v_row: &Matrix) {
+        let k = &mut self.keys[layer];
+        *k = if k.rows() == 0 {
+            k_row.clone()
+        } else {
+            Matrix::vcat(&[k, k_row]).expect("cache width fixed")
+        };
+        let v = &mut self.values[layer];
+        *v = if v.rows() == 0 {
+            v_row.clone()
+        } else {
+            Matrix::vcat(&[v, v_row]).expect("cache width fixed")
+        };
+    }
+}
+
+/// Selects which cached positions a decode step may attend to.
+///
+/// The DOTA detector restricts each step's attention to the strongest
+/// `retention · t` cached entries; dense decoding attends to everything.
+pub trait DecodeSelector {
+    /// Keys (cache positions `0..t`) the current step of `(layer, head)`
+    /// may attend to, given the step's input row `x` (`1 x d`). `None`
+    /// means attend to all.
+    fn select(&self, layer: usize, head: usize, x: &Matrix, cache_len: usize) -> Option<Vec<u32>>;
+}
+
+/// Dense decoding: attend to the full cache.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DenseDecode;
+
+impl DecodeSelector for DenseDecode {
+    fn select(&self, _l: usize, _h: usize, _x: &Matrix, _len: usize) -> Option<Vec<u32>> {
+        None
+    }
+}
+
+/// Result of a generation run.
+#[derive(Debug, Clone)]
+pub struct Generation {
+    /// The generated token ids (excluding the prompt).
+    pub tokens: Vec<usize>,
+    /// Cached K/V connections attended per generated token (for the
+    /// memory-traffic analysis).
+    pub attended_per_token: Vec<u64>,
+}
+
+impl Model {
+    /// Runs one token through the decoder incrementally, returning its
+    /// output logits row and appending its K/V to the cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model is not causal, the token is out of vocabulary,
+    /// or the cache already holds `seq_len` positions.
+    pub fn decode_step(
+        &self,
+        params: &ParamSet,
+        cache: &mut KvCache,
+        token: usize,
+        selector: &dyn DecodeSelector,
+    ) -> (Matrix, u64) {
+        let cfg = self.config();
+        assert!(cfg.causal, "decode_step requires a causal model");
+        assert!(token < cfg.vocab_size, "token {token} out of vocabulary");
+        let pos = cache.len();
+        assert!(pos < cfg.seq_len, "cache full ({} positions)", cfg.seq_len);
+        let tp: &TransformerParams = self.params();
+        let d = cfg.d_model;
+        let hd = cfg.head_dim();
+        let scale = 1.0 / (hd as f32).sqrt();
+
+        let tok_table = params.value(tp.token_embedding);
+        let pos_table = params.value(tp.pos_embedding);
+        let mut x = Matrix::from_fn(1, d, |_, c| tok_table[(token, c)] + pos_table[(pos, c)]);
+
+        let mut attended = 0u64;
+        for (l, layer) in tp.layers.iter().enumerate() {
+            let q = x.matmul(params.value(layer.wq)).expect("shape");
+            let k_new = x.matmul(params.value(layer.wk)).expect("shape");
+            let v_new = x.matmul(params.value(layer.wv)).expect("shape");
+            cache.append(l, &k_new, &v_new);
+            let k_all = &cache.keys[l];
+            let v_all = &cache.values[l];
+            let t = k_all.rows();
+
+            let mut head_outs = Vec::with_capacity(cfg.n_heads);
+            for h in 0..cfg.n_heads {
+                let (c0, c1) = (h * hd, (h + 1) * hd);
+                let qh = q.slice_cols(c0, c1);
+                let kh = k_all.slice_cols(c0, c1);
+                let vh = v_all.slice_cols(c0, c1);
+                let scores = qh.matmul_nt(&kh).expect("shape").scale(scale);
+                // The current position (t-1) is always attendable; the
+                // selector filters the older cache.
+                let selected = selector.select(l, h, &x, t);
+                let mask = match selected {
+                    None => vec![vec![true; t]],
+                    Some(keep) => {
+                        let mut m = vec![false; t];
+                        for &j in &keep {
+                            if (j as usize) < t {
+                                m[j as usize] = true;
+                            }
+                        }
+                        m[t - 1] = true;
+                        vec![m]
+                    }
+                };
+                attended += mask[0].iter().filter(|&&b| b).count() as u64;
+                let attn = ops::masked_softmax_rows(&scores, &mask);
+                head_outs.push(attn.matmul(&vh).expect("shape"));
+            }
+            let refs: Vec<&Matrix> = head_outs.iter().collect();
+            let z = Matrix::hcat(&refs)
+                .expect("heads")
+                .matmul(params.value(layer.wo))
+                .expect("shape");
+            let res1 = x.add(&z).expect("shape");
+            let normed1 = ops::layer_norm(
+                &res1,
+                params.value(layer.ln1_gamma).row(0),
+                params.value(layer.ln1_beta).row(0),
+                1e-5,
+            );
+            let h1 = ops::add_bias(
+                &normed1.matmul(params.value(layer.w_ff1)).expect("shape"),
+                params.value(layer.b_ff1).row(0),
+            );
+            let h2 = ops::add_bias(
+                &ops::gelu(&h1).matmul(params.value(layer.w_ff2)).expect("shape"),
+                params.value(layer.b_ff2).row(0),
+            );
+            let res2 = normed1.add(&h2).expect("shape");
+            x = ops::layer_norm(
+                &res2,
+                params.value(layer.ln2_gamma).row(0),
+                params.value(layer.ln2_beta).row(0),
+                1e-5,
+            );
+        }
+        let logits = ops::add_bias(
+            &x.matmul(params.value(tp.w_head)).expect("shape"),
+            params.value(tp.b_head).row(0),
+        );
+        (logits, attended)
+    }
+
+    /// Greedy generation: feeds `prompt`, then samples `n_new` tokens by
+    /// argmax, attending through `selector`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model is not causal, the prompt is empty, or
+    /// `prompt.len() + n_new` exceeds `seq_len`.
+    pub fn generate(
+        &self,
+        params: &ParamSet,
+        prompt: &[usize],
+        n_new: usize,
+        selector: &dyn DecodeSelector,
+    ) -> Generation {
+        assert!(!prompt.is_empty(), "prompt must be non-empty");
+        assert!(
+            prompt.len() + n_new <= self.config().seq_len,
+            "generation exceeds seq_len"
+        );
+        let mut cache = KvCache::new(self.config().n_layers, self.config().d_model);
+        let mut last_logits = Matrix::zeros(1, self.config().n_classes);
+        for &t in prompt {
+            let (logits, _) = self.decode_step(params, &mut cache, t, selector);
+            last_logits = logits;
+        }
+        let mut tokens = Vec::with_capacity(n_new);
+        let mut attended_per_token = Vec::with_capacity(n_new);
+        for _ in 0..n_new {
+            let next = ops::argmax_rows(&last_logits)[0];
+            let (logits, attended) = self.decode_step(params, &mut cache, next, selector);
+            tokens.push(next);
+            attended_per_token.push(attended);
+            last_logits = logits;
+        }
+        Generation {
+            tokens,
+            attended_per_token,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NoHook, TransformerConfig};
+
+    fn causal_model() -> (Model, ParamSet) {
+        let mut params = ParamSet::new();
+        let model = Model::init(TransformerConfig::tiny_causal(16, 8), &mut params, 17);
+        (model, params)
+    }
+
+    #[test]
+    fn incremental_decode_matches_batch_inference() {
+        let (model, params) = causal_model();
+        let ids = vec![1usize, 4, 2, 7, 3];
+        // Batch path.
+        let trace = model.infer(&params, &ids, &NoHook);
+        // Incremental path.
+        let mut cache = KvCache::new(model.config().n_layers, model.config().d_model);
+        let mut last = Matrix::zeros(1, 8);
+        for &t in &ids {
+            let (logits, attended) = model.decode_step(&params, &mut cache, t, &DenseDecode);
+            assert_eq!(attended as usize, cache.len() * model.config().n_layers * model.config().n_heads);
+            last = logits;
+        }
+        // The final step's logits must equal the batch path's final row.
+        let batch_final = trace.logits.slice_rows(ids.len() - 1, ids.len());
+        assert!(
+            last.approx_eq(&batch_final, 1e-4),
+            "incremental {last:?} vs batch {batch_final:?}"
+        );
+    }
+
+    #[test]
+    fn cache_grows_one_row_per_step() {
+        let (model, params) = causal_model();
+        let mut cache = KvCache::new(model.config().n_layers, model.config().d_model);
+        assert!(cache.is_empty());
+        for (i, &t) in [1usize, 2, 3].iter().enumerate() {
+            let _ = model.decode_step(&params, &mut cache, t, &DenseDecode);
+            assert_eq!(cache.len(), i + 1);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_in_vocab() {
+        let (model, params) = causal_model();
+        let g1 = model.generate(&params, &[1, 2, 3], 5, &DenseDecode);
+        let g2 = model.generate(&params, &[1, 2, 3], 5, &DenseDecode);
+        assert_eq!(g1.tokens, g2.tokens);
+        assert_eq!(g1.tokens.len(), 5);
+        assert!(g1.tokens.iter().all(|&t| t < 8));
+    }
+
+    #[test]
+    fn sparse_selector_reduces_attended_connections() {
+        struct KeepLastTwo;
+        impl DecodeSelector for KeepLastTwo {
+            fn select(&self, _l: usize, _h: usize, _x: &Matrix, len: usize) -> Option<Vec<u32>> {
+                Some(((len.saturating_sub(2))..len).map(|i| i as u32).collect())
+            }
+        }
+        let (model, params) = causal_model();
+        let dense = model.generate(&params, &[1, 2, 3, 4, 5], 4, &DenseDecode);
+        let sparse = model.generate(&params, &[1, 2, 3, 4, 5], 4, &KeepLastTwo);
+        let dense_total: u64 = dense.attended_per_token.iter().sum();
+        let sparse_total: u64 = sparse.attended_per_token.iter().sum();
+        assert!(sparse_total < dense_total);
+    }
+
+    #[test]
+    #[should_panic(expected = "cache full")]
+    fn cache_capacity_enforced() {
+        let (model, params) = causal_model();
+        let mut cache = KvCache::new(model.config().n_layers, model.config().d_model);
+        for t in 0..17 {
+            let _ = model.decode_step(&params, &mut cache, t % 8, &DenseDecode);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a causal model")]
+    fn encoder_cannot_decode() {
+        let mut params = ParamSet::new();
+        let model = Model::init(TransformerConfig::tiny(16, 8, 2), &mut params, 1);
+        let mut cache = KvCache::new(2, 32);
+        let _ = model.decode_step(&params, &mut cache, 1, &DenseDecode);
+    }
+}
+
+#[cfg(test)]
+mod properties {
+    use super::*;
+    use crate::{Model, NoHook, TransformerConfig};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        /// Incremental decoding agrees with batch inference on the final
+        /// position for arbitrary prompts.
+        #[test]
+        fn decode_matches_batch_on_random_prompts(
+            ids in proptest::collection::vec(0usize..8, 1..12),
+            seed in 0u64..4,
+        ) {
+            let mut params = dota_autograd::ParamSet::new();
+            let model = Model::init(TransformerConfig::tiny_causal(12, 8), &mut params, seed);
+            let mut cache = KvCache::new(model.config().n_layers, model.config().d_model);
+            let mut last = Matrix::zeros(1, 8);
+            for &t in &ids {
+                let (logits, _) = model.decode_step(&params, &mut cache, t, &DenseDecode);
+                last = logits;
+            }
+            let batch = model.infer(&params, &ids, &NoHook);
+            let batch_final = batch.logits.slice_rows(ids.len() - 1, ids.len());
+            prop_assert!(last.approx_eq(&batch_final, 1e-3));
+        }
+    }
+}

@@ -1,0 +1,68 @@
+use dota_autograd::{Graph, Var};
+
+/// What an [`AttentionHook`] decided for one attention head.
+#[derive(Debug, Default)]
+pub struct HookOutcome {
+    /// Sparse attention mask to apply (row `i` selects the keys query `i`
+    /// may attend to). `None` leaves the head dense.
+    pub mask: Option<Vec<Vec<bool>>>,
+    /// An auxiliary scalar loss node contributed by the hook — DOTA's
+    /// detector returns its `L_MSE` estimation loss here (Eq. 5), which the
+    /// trainer folds into `L = L_model + λ·L_MSE` (Eq. 6).
+    pub aux_loss: Option<Var>,
+}
+
+/// Observer of per-head attention scores during the trainable forward pass.
+///
+/// This is the joint-optimization seam between the Transformer and the
+/// detector (paper §3.2): the hook sees the layer input `x` (post layer
+/// norm, what the detector's low-rank path consumes) and the exact scores
+/// `scores = Q K^T / sqrt(hd)` *as graph nodes*, so any auxiliary loss it
+/// builds back-propagates into both the detector parameters and the model
+/// parameters.
+pub trait AttentionHook {
+    /// Called once per `(layer, head)` before softmax.
+    ///
+    /// `x` is the attention block's input sequence (`n x d`); `scores` is
+    /// the scaled `n x n` score node for this head.
+    fn on_scores(
+        &mut self,
+        g: &mut Graph,
+        layer: usize,
+        head: usize,
+        x: Var,
+        scores: Var,
+    ) -> HookOutcome;
+}
+
+/// A hook that does nothing: dense attention, no auxiliary loss.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoHook;
+
+impl AttentionHook for NoHook {
+    fn on_scores(
+        &mut self,
+        _g: &mut Graph,
+        _layer: usize,
+        _head: usize,
+        _x: Var,
+        _scores: Var,
+    ) -> HookOutcome {
+        HookOutcome::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_hook_is_inert() {
+        let mut g = Graph::new();
+        let x = g.constant(dota_tensor::Matrix::zeros(2, 2));
+        let s = g.constant(dota_tensor::Matrix::zeros(2, 2));
+        let out = NoHook.on_scores(&mut g, 0, 0, x, s);
+        assert!(out.mask.is_none());
+        assert!(out.aux_loss.is_none());
+    }
+}

@@ -1,0 +1,348 @@
+use crate::TransformerParams;
+use dota_autograd::ParamSet;
+use dota_tensor::{ops, Matrix};
+
+/// Supplies sparse attention selections during inference.
+///
+/// The detector crate implements this with its quantized low-rank path; the
+/// returned value is, per query row, the list of key indices to keep.
+/// Returning `None` leaves the head dense.
+pub trait InferenceHook {
+    /// Chooses the keys each query of `(layer, head)` may attend to, given
+    /// the attention block's input sequence `x` (`n x d`).
+    fn select(&self, layer: usize, head: usize, x: &Matrix) -> Option<Vec<Vec<u32>>>;
+}
+
+/// Dense inference: no selection.
+impl InferenceHook for crate::NoHook {
+    fn select(&self, _layer: usize, _head: usize, _x: &Matrix) -> Option<Vec<Vec<u32>>> {
+        None
+    }
+}
+
+/// Everything the accelerator simulator needs to replay one attention head:
+/// its Q/K/V operands and the selected connection indices.
+#[derive(Debug, Clone)]
+pub struct HeadTrace {
+    /// Per-query selected key indices (`None` = dense attention).
+    pub selected: Option<Vec<Vec<u32>>>,
+    /// Query matrix (`n x hd`).
+    pub q: Matrix,
+    /// Key matrix (`n x hd`).
+    pub k: Matrix,
+    /// Value matrix (`n x hd`).
+    pub v: Matrix,
+}
+
+impl HeadTrace {
+    /// Number of attended connections (kept query–key pairs).
+    pub fn kept_connections(&self) -> u64 {
+        match &self.selected {
+            Some(sel) => sel.iter().map(|r| r.len() as u64).sum(),
+            None => (self.q.rows() * self.k.rows()) as u64,
+        }
+    }
+}
+
+/// Trace of one encoder layer.
+#[derive(Debug, Clone)]
+pub struct LayerTrace {
+    /// One trace per attention head.
+    pub heads: Vec<HeadTrace>,
+}
+
+/// Trace of a full inference forward pass.
+#[derive(Debug, Clone)]
+pub struct ForwardTrace {
+    /// Per-layer traces.
+    pub layers: Vec<LayerTrace>,
+    /// Output logits (`1 x n_classes` pooled, or `n x n_classes` causal).
+    pub logits: Matrix,
+}
+
+impl ForwardTrace {
+    /// Predicted class of a pooled classification output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the logits are not a single row.
+    pub fn predicted_class(&self) -> usize {
+        assert_eq!(self.logits.rows(), 1, "not a pooled classification output");
+        ops::argmax_rows(&self.logits)[0]
+    }
+
+    /// Overall attention retention ratio across all layers and heads
+    /// (kept connections / total possible connections).
+    pub fn retention(&self) -> f64 {
+        let mut kept = 0u64;
+        let mut total = 0u64;
+        for layer in &self.layers {
+            for head in &layer.heads {
+                kept += head.kept_connections();
+                total += (head.q.rows() * head.k.rows()) as u64;
+            }
+        }
+        if total == 0 {
+            1.0
+        } else {
+            kept as f64 / total as f64
+        }
+    }
+}
+
+impl crate::Model {
+    /// Pure-`f32` inference forward pass, recording a [`ForwardTrace`].
+    ///
+    /// Mirrors [`forward`](crate::Model::forward) exactly (the unit tests
+    /// assert agreement with the autograd path) but without a tape, so it
+    /// scales to longer sequences and is what the accuracy experiments and
+    /// the accelerator simulator consume.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ids` is empty, longer than `seq_len`, or out of
+    /// vocabulary.
+    pub fn infer(&self, params: &ParamSet, ids: &[usize], hook: &dyn InferenceHook) -> ForwardTrace {
+        let cfg = self.config();
+        let tp: &TransformerParams = self.params();
+        let n = ids.len();
+        assert!(n > 0 && n <= cfg.seq_len, "sequence length {n} out of range");
+        let hd = cfg.head_dim();
+        let scale = 1.0 / (hd as f32).sqrt();
+
+        let tok_table = params.value(tp.token_embedding);
+        let pos_table = params.value(tp.pos_embedding);
+        let mut x = Matrix::zeros(n, cfg.d_model);
+        for (r, &id) in ids.iter().enumerate() {
+            assert!(id < cfg.vocab_size, "token id {id} out of vocabulary");
+            for c in 0..cfg.d_model {
+                x[(r, c)] = tok_table[(id, c)] + pos_table[(r, c)];
+            }
+        }
+
+        let mut layers = Vec::with_capacity(cfg.n_layers);
+        for (l, layer) in tp.layers.iter().enumerate() {
+            let q = x.matmul(params.value(layer.wq)).expect("shape");
+            let k = x.matmul(params.value(layer.wk)).expect("shape");
+            let v = x.matmul(params.value(layer.wv)).expect("shape");
+
+            let mut heads = Vec::with_capacity(cfg.n_heads);
+            let mut outputs = Vec::with_capacity(cfg.n_heads);
+            for h in 0..cfg.n_heads {
+                let (c0, c1) = (h * hd, (h + 1) * hd);
+                let qh = q.slice_cols(c0, c1);
+                let kh = k.slice_cols(c0, c1);
+                let vh = v.slice_cols(c0, c1);
+
+                let selected = hook.select(l, h, &x);
+                let mask = build_mask(n, cfg.causal, selected.as_deref());
+                // Record the effective selection (after causal intersection).
+                let effective: Option<Vec<Vec<u32>>> = mask.map(|m| {
+                    m.iter()
+                        .map(|row| {
+                            row.iter()
+                                .enumerate()
+                                .filter(|(_, &keep)| keep)
+                                .map(|(j, _)| j as u32)
+                                .collect()
+                        })
+                        .collect()
+                });
+                // Sparse path: score only the kept connections (O(kept)
+                // work, like the accelerator); dense path otherwise.
+                let out = match &effective {
+                    Some(sel) => ops::sparse_attention(&qh, &kh, &vh, sel, scale),
+                    None => {
+                        let scores = qh.matmul_nt(&kh).expect("shape").scale(scale);
+                        ops::softmax_rows(&scores).matmul(&vh).expect("shape")
+                    }
+                };
+                outputs.push(out);
+                heads.push(HeadTrace {
+                    selected: effective,
+                    q: qh,
+                    k: kh,
+                    v: vh,
+                });
+            }
+            let refs: Vec<&Matrix> = outputs.iter().collect();
+            let concat = Matrix::hcat(&refs).expect("head widths agree");
+            let z = concat.matmul(params.value(layer.wo)).expect("shape");
+
+            let res1 = x.add(&z).expect("shape");
+            let normed1 = ops::layer_norm(
+                &res1,
+                params.value(layer.ln1_gamma).row(0),
+                params.value(layer.ln1_beta).row(0),
+                1e-5,
+            );
+
+            let h1 = normed1.matmul(params.value(layer.w_ff1)).expect("shape");
+            let h1b = ops::add_bias(&h1, params.value(layer.b_ff1).row(0));
+            let act = ops::gelu(&h1b);
+            let h2 = act.matmul(params.value(layer.w_ff2)).expect("shape");
+            let h2b = ops::add_bias(&h2, params.value(layer.b_ff2).row(0));
+
+            let res2 = normed1.add(&h2b).expect("shape");
+            x = ops::layer_norm(
+                &res2,
+                params.value(layer.ln2_gamma).row(0),
+                params.value(layer.ln2_beta).row(0),
+                1e-5,
+            );
+            layers.push(LayerTrace { heads });
+        }
+
+        let wh = params.value(tp.w_head);
+        let bh = params.value(tp.b_head);
+        let logits = if cfg.causal {
+            ops::add_bias(&x.matmul(wh).expect("shape"), bh.row(0))
+        } else {
+            let pooled = match cfg.pooling {
+                crate::Pooling::Mean => {
+                    let mut p = Matrix::zeros(1, cfg.d_model);
+                    for r in 0..n {
+                        for c in 0..cfg.d_model {
+                            p[(0, c)] += x[(r, c)] / n as f32;
+                        }
+                    }
+                    p
+                }
+                crate::Pooling::First => x.slice_rows(0, 1),
+            };
+            ops::add_bias(&pooled.matmul(wh).expect("shape"), bh.row(0))
+        };
+        ForwardTrace { layers, logits }
+    }
+}
+
+/// Builds the boolean mask from an optional selection, intersecting with the
+/// causal constraint. Matches `model::combine_masks` semantics (a causal row
+/// never empties: the diagonal survives).
+fn build_mask(n: usize, causal: bool, selected: Option<&[Vec<u32>]>) -> Option<Vec<Vec<bool>>> {
+    match (causal, selected) {
+        (false, None) => None,
+        (false, Some(sel)) => Some(
+            sel.iter()
+                .map(|row| {
+                    let mut mask = vec![false; n];
+                    for &j in row {
+                        mask[j as usize] = true;
+                    }
+                    mask
+                })
+                .collect(),
+        ),
+        (true, None) => Some((0..n).map(|i| (0..n).map(|j| j <= i).collect()).collect()),
+        (true, Some(sel)) => Some(
+            sel.iter()
+                .enumerate()
+                .map(|(i, row)| {
+                    let mut mask = vec![false; n];
+                    for &j in row {
+                        if (j as usize) <= i {
+                            mask[j as usize] = true;
+                        }
+                    }
+                    if !mask.iter().any(|&b| b) {
+                        mask[i] = true;
+                    }
+                    mask
+                })
+                .collect(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Model, NoHook, TransformerConfig};
+    use dota_autograd::Graph;
+
+    fn tiny() -> (Model, ParamSet) {
+        let mut params = ParamSet::new();
+        let model = Model::init(TransformerConfig::tiny(16, 8, 3), &mut params, 5);
+        (model, params)
+    }
+
+    #[test]
+    fn infer_matches_train_forward() {
+        let (model, params) = tiny();
+        let ids = vec![1, 4, 2, 7, 3];
+        let trace = model.infer(&params, &ids, &NoHook);
+        let mut g = Graph::new();
+        let out = model.forward(&mut g, &params, &ids, &mut NoHook);
+        assert!(
+            trace.logits.approx_eq(g.value(out.logits), 1e-4),
+            "inference and training paths disagree: {:?} vs {:?}",
+            trace.logits,
+            g.value(out.logits)
+        );
+    }
+
+    #[test]
+    fn causal_infer_matches_train_forward() {
+        let mut params = ParamSet::new();
+        let model = Model::init(TransformerConfig::tiny_causal(16, 8), &mut params, 6);
+        let ids = vec![1, 4, 2, 7];
+        let trace = model.infer(&params, &ids, &NoHook);
+        let mut g = Graph::new();
+        let out = model.forward(&mut g, &params, &ids, &mut NoHook);
+        assert!(trace.logits.approx_eq(g.value(out.logits), 1e-4));
+    }
+
+    #[test]
+    fn trace_shapes_and_retention() {
+        let (model, params) = tiny();
+        let ids = vec![1, 2, 3, 4, 5, 6];
+        let trace = model.infer(&params, &ids, &NoHook);
+        assert_eq!(trace.layers.len(), 2);
+        assert_eq!(trace.layers[0].heads.len(), 2);
+        let head = &trace.layers[0].heads[0];
+        assert_eq!(head.q.shape(), (6, 16));
+        assert!(head.selected.is_none());
+        assert_eq!(trace.retention(), 1.0);
+        let _ = trace.predicted_class();
+    }
+
+    #[test]
+    fn sparse_hook_reduces_retention() {
+        struct KeepTwo;
+        impl InferenceHook for KeepTwo {
+            fn select(&self, _l: usize, _h: usize, x: &Matrix) -> Option<Vec<Vec<u32>>> {
+                Some((0..x.rows()).map(|_| vec![0, 1]).collect())
+            }
+        }
+        let (model, params) = tiny();
+        let ids = vec![0, 1, 2, 3, 4, 5, 6, 7];
+        let trace = model.infer(&params, &ids, &KeepTwo);
+        assert!((trace.retention() - 0.25).abs() < 1e-9);
+        for layer in &trace.layers {
+            for head in &layer.heads {
+                assert_eq!(head.kept_connections(), 16);
+            }
+        }
+    }
+
+    #[test]
+    fn causal_trace_selection_respects_triangle() {
+        let mut params = ParamSet::new();
+        let model = Model::init(TransformerConfig::tiny_causal(16, 8), &mut params, 6);
+        let trace = model.infer(&params, &[1, 2, 3, 4, 5], &NoHook);
+        let sel = trace.layers[0].heads[0].selected.as_ref().unwrap();
+        for (i, row) in sel.iter().enumerate() {
+            assert!(row.iter().all(|&j| (j as usize) <= i));
+            assert_eq!(row.len(), i + 1);
+        }
+    }
+
+    #[test]
+    fn build_mask_causal_selection_keeps_diagonal() {
+        let sel = vec![vec![3u32], vec![2, 3]]; // all future for rows 0 and 1
+        let m = build_mask(4, true, Some(&sel)).unwrap();
+        assert!(m[0][0], "row 0 fell back to diagonal");
+        assert!(!m[0][3]);
+        assert!(m[1][1], "row 1 fell back to diagonal");
+    }
+}

@@ -1,0 +1,521 @@
+use crate::hooks::{AttentionHook, HookOutcome};
+use crate::{TransformerConfig, TransformerParams};
+use dota_autograd::{Graph, ParamSet, Var};
+
+/// Result of a trainable forward pass.
+#[derive(Debug)]
+pub struct TrainOutput {
+    /// Logits node: `1 x n_classes` for classification (pooled), or
+    /// `seq_len x n_classes` for causal language modeling.
+    pub logits: Var,
+    /// Auxiliary losses contributed by the [`AttentionHook`] (one per
+    /// hooked head), to be combined as `L_model + λ·Σ L_aux`.
+    pub aux_losses: Vec<Var>,
+}
+
+/// A Transformer model: configuration plus parameter handles.
+///
+/// The struct is cheap to clone; weights live in the external
+/// [`ParamSet`].
+#[derive(Debug, Clone)]
+pub struct Model {
+    config: TransformerConfig,
+    params: TransformerParams,
+}
+
+impl Model {
+    /// Creates a model over already-initialized parameters.
+    pub fn new(config: TransformerConfig, params: TransformerParams) -> Self {
+        Self { config, params }
+    }
+
+    /// Initializes fresh parameters into `params` and wraps them.
+    pub fn init(config: TransformerConfig, params: &mut ParamSet, seed: u64) -> Self {
+        let tp = TransformerParams::init(&config, params, seed);
+        Self::new(config, tp)
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &TransformerConfig {
+        &self.config
+    }
+
+    /// The parameter handles.
+    pub fn params(&self) -> &TransformerParams {
+        &self.params
+    }
+
+    /// Trainable forward pass over one token sequence.
+    ///
+    /// Builds the full encoder stack on `g`. For every attention head the
+    /// `hook` observes the scaled scores and may impose a sparse mask and
+    /// contribute an auxiliary loss — the joint-optimization mechanism of
+    /// paper §3.2. Causal models additionally apply the autoregressive mask
+    /// (intersected with any hook mask).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ids` is empty, longer than `seq_len`, or contains an id
+    /// outside the vocabulary.
+    pub fn forward(
+        &self,
+        g: &mut Graph,
+        params: &ParamSet,
+        ids: &[usize],
+        hook: &mut dyn AttentionHook,
+    ) -> TrainOutput {
+        let cfg = &self.config;
+        let n = ids.len();
+        assert!(n > 0 && n <= cfg.seq_len, "sequence length {n} out of range");
+        let hd = cfg.head_dim();
+        let scale = 1.0 / (hd as f32).sqrt();
+
+        // Token + positional embedding.
+        let tok_table = g.param(params, self.params.token_embedding);
+        let tok = g.embedding(tok_table, ids.to_vec());
+        let pos_table = g.param(params, self.params.pos_embedding);
+        let pos = g.embedding(pos_table, (0..n).collect());
+        let mut x = g.add(tok, pos);
+
+        let mut aux_losses = Vec::new();
+        for (l, layer) in self.params.layers.iter().enumerate() {
+            // Linear transformation stage: Q, K, V = X Wq, X Wk, X Wv.
+            let wq = g.param(params, layer.wq);
+            let wk = g.param(params, layer.wk);
+            let wv = g.param(params, layer.wv);
+            let q = g.matmul(x, wq);
+            let k = g.matmul(x, wk);
+            let v = g.matmul(x, wv);
+
+            // Multi-head attention stage.
+            let mut heads = Vec::with_capacity(cfg.n_heads);
+            for h in 0..cfg.n_heads {
+                let (c0, c1) = (h * hd, (h + 1) * hd);
+                let qh = g.slice_cols(q, c0, c1);
+                let kh = g.slice_cols(k, c0, c1);
+                let vh = g.slice_cols(v, c0, c1);
+                let raw = g.matmul_nt(qh, kh);
+                let scores = g.scale(raw, scale);
+
+                let HookOutcome { mask, aux_loss } = hook.on_scores(g, l, h, x, scores);
+                if let Some(a) = aux_loss {
+                    aux_losses.push(a);
+                }
+                let mask = combine_masks(n, cfg.causal, mask);
+                let attn = match mask {
+                    Some(m) => g.masked_softmax_rows(scores, m),
+                    None => g.softmax_rows(scores),
+                };
+                heads.push(g.matmul(attn, vh));
+            }
+            let concat = g.hcat(&heads);
+            let wo = g.param(params, layer.wo);
+            let z = g.matmul(concat, wo);
+
+            // Residual + LayerNorm.
+            let res1 = g.add(x, z);
+            let g1 = g.param(params, layer.ln1_gamma);
+            let b1 = g.param(params, layer.ln1_beta);
+            let normed1 = g.layer_norm(res1, g1, b1);
+
+            // Feed-forward network stage.
+            let w1 = g.param(params, layer.w_ff1);
+            let bf1 = g.param(params, layer.b_ff1);
+            let w2 = g.param(params, layer.w_ff2);
+            let bf2 = g.param(params, layer.b_ff2);
+            let h1 = g.matmul(normed1, w1);
+            let h1b = g.add_bias(h1, bf1);
+            let act = g.gelu(h1b);
+            let h2 = g.matmul(act, w2);
+            let h2b = g.add_bias(h2, bf2);
+
+            let res2 = g.add(normed1, h2b);
+            let g2 = g.param(params, layer.ln2_gamma);
+            let b2 = g.param(params, layer.ln2_beta);
+            x = g.layer_norm(res2, g2, b2);
+        }
+
+        // Output head.
+        let wh = g.param(params, self.params.w_head);
+        let bh = g.param(params, self.params.b_head);
+        let logits = if cfg.causal {
+            let proj = g.matmul(x, wh);
+            g.add_bias(proj, bh)
+        } else {
+            let pooled = match cfg.pooling {
+                crate::Pooling::Mean => g.mean_rows(x),
+                crate::Pooling::First => {
+                    // Select row 0 with a constant 1 x n selector so the
+                    // gradient flows only into the first position.
+                    let sel = g.constant(dota_tensor::Matrix::from_fn(1, n, |_, c| {
+                        if c == 0 { 1.0 } else { 0.0 }
+                    }));
+                    g.matmul(sel, x)
+                }
+            };
+            let proj = g.matmul(pooled, wh);
+            g.add_bias(proj, bh)
+        };
+        TrainOutput { logits, aux_losses }
+    }
+
+    /// Builds the classification loss (cross-entropy of the pooled logits
+    /// against a single label).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model is causal.
+    pub fn classification_loss(&self, g: &mut Graph, out: &TrainOutput, label: usize) -> Var {
+        assert!(!self.config.causal, "use lm_loss for causal models");
+        g.cross_entropy(out.logits, vec![label])
+    }
+
+    /// Builds the next-token language-modeling loss: position `t` predicts
+    /// token `t+1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model is not causal or `ids` has fewer than 2 tokens.
+    pub fn lm_loss(&self, g: &mut Graph, out: &TrainOutput, ids: &[usize]) -> Var {
+        assert!(self.config.causal, "lm_loss requires a causal model");
+        assert!(ids.len() >= 2, "need at least two tokens");
+        let targets: Vec<usize> = ids[1..].to_vec();
+        self.lm_loss_shifted(g, out, &targets)
+    }
+
+    /// LM loss against explicit per-position targets for positions
+    /// `0..targets.len()`. Positions beyond `targets.len()` are excluded by
+    /// construction of the graph (their logits receive zero gradient).
+    fn lm_loss_shifted(&self, g: &mut Graph, out: &TrainOutput, targets: &[usize]) -> Var {
+        let total = g.value(out.logits).rows();
+        let used = targets.len();
+        assert!(used <= total, "targets exceed positions");
+        // Select the first `used` rows with a constant 0/1 selector matrix:
+        // sel (used x total) * logits (total x C) keeps gradients flowing
+        // only into the selected rows.
+        let sel = dota_tensor::Matrix::from_fn(used, total, |r, c| if r == c { 1.0 } else { 0.0 });
+        let sel = g.constant(sel);
+        let picked = g.matmul(sel, out.logits);
+        g.cross_entropy(picked, targets.to_vec())
+    }
+
+    /// Combines a model loss with hook auxiliary losses:
+    /// `L = L_model + λ · mean(aux)` (Eq. 6).
+    pub fn total_loss(&self, g: &mut Graph, model_loss: Var, out: &TrainOutput, lambda: f32) -> Var {
+        if out.aux_losses.is_empty() || lambda == 0.0 {
+            return model_loss;
+        }
+        let mut acc = out.aux_losses[0];
+        for &a in &out.aux_losses[1..] {
+            acc = g.add(acc, a);
+        }
+        let weight = lambda / out.aux_losses.len() as f32;
+        g.add_scaled(model_loss, acc, weight)
+    }
+}
+
+/// Intersects the causal lower-triangular mask with an optional hook mask.
+/// Returns `None` when no masking is needed (non-causal, no hook mask).
+fn combine_masks(
+    n: usize,
+    causal: bool,
+    hook_mask: Option<Vec<Vec<bool>>>,
+) -> Option<Vec<Vec<bool>>> {
+    match (causal, hook_mask) {
+        (false, m) => m,
+        (true, None) => Some(
+            (0..n)
+                .map(|i| (0..n).map(|j| j <= i).collect())
+                .collect(),
+        ),
+        (true, Some(mut m)) => {
+            for (i, row) in m.iter_mut().enumerate() {
+                for (j, keep) in row.iter_mut().enumerate() {
+                    *keep = *keep && j <= i;
+                }
+                // A row with everything pruned would produce a zero output;
+                // always keep the diagonal (a token may attend to itself).
+                if !row.iter().any(|&b| b) {
+                    row[i] = true;
+                }
+            }
+            Some(m)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hooks::NoHook;
+    use dota_autograd::{Adam, Optimizer};
+
+    fn tiny_model() -> (Model, ParamSet) {
+        let mut params = ParamSet::new();
+        let model = Model::init(TransformerConfig::tiny(12, 8, 2), &mut params, 42);
+        (model, params)
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let (model, params) = tiny_model();
+        let mut g = Graph::new();
+        let ids = vec![1, 2, 3, 4, 5];
+        let out = model.forward(&mut g, &params, &ids, &mut NoHook);
+        assert_eq!(g.value(out.logits).shape(), (1, 2));
+        assert!(out.aux_losses.is_empty());
+    }
+
+    #[test]
+    fn causal_forward_shapes() {
+        let mut params = ParamSet::new();
+        let model = Model::init(TransformerConfig::tiny_causal(12, 8), &mut params, 7);
+        let mut g = Graph::new();
+        let ids = vec![1, 2, 3, 4];
+        let out = model.forward(&mut g, &params, &ids, &mut NoHook);
+        assert_eq!(g.value(out.logits).shape(), (4, 8));
+    }
+
+    #[test]
+    fn causal_position_ignores_future() {
+        // Changing a future token must not change earlier positions' logits.
+        let mut params = ParamSet::new();
+        let model = Model::init(TransformerConfig::tiny_causal(12, 8), &mut params, 7);
+        let mut g1 = Graph::new();
+        let out1 = model.forward(&mut g1, &params, &[1, 2, 3, 4], &mut NoHook);
+        let mut g2 = Graph::new();
+        let out2 = model.forward(&mut g2, &params, &[1, 2, 3, 7], &mut NoHook);
+        let l1 = g1.value(out1.logits);
+        let l2 = g2.value(out2.logits);
+        for c in 0..8 {
+            assert!((l1[(0, c)] - l2[(0, c)]).abs() < 1e-5);
+            assert!((l1[(1, c)] - l2[(1, c)]).abs() < 1e-5);
+            assert!((l1[(2, c)] - l2[(2, c)]).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let (model, mut params) = tiny_model();
+        let data: Vec<(Vec<usize>, usize)> = vec![
+            (vec![1, 1, 1, 1], 0),
+            (vec![2, 2, 2, 2], 1),
+            (vec![1, 1, 1, 2], 0),
+            (vec![2, 2, 2, 1], 1),
+        ];
+        let mut opt = Adam::new(0.01);
+        let mut first = 0.0;
+        let mut last = 0.0;
+        for epoch in 0..60 {
+            let mut total = 0.0;
+            for (ids, label) in &data {
+                let mut g = Graph::new();
+                let out = model.forward(&mut g, &params, ids, &mut NoHook);
+                let loss = model.classification_loss(&mut g, &out, *label);
+                total += g.value(loss)[(0, 0)];
+                g.backward(loss);
+                opt.step(&mut params, &g);
+            }
+            if epoch == 0 {
+                first = total;
+            }
+            last = total;
+        }
+        assert!(last < first * 0.3, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn lm_training_reduces_loss() {
+        let mut params = ParamSet::new();
+        let model = Model::init(TransformerConfig::tiny_causal(12, 8), &mut params, 3);
+        let seq = vec![1, 2, 3, 1, 2, 3, 1, 2];
+        let mut opt = Adam::new(0.01);
+        let mut first = 0.0;
+        let mut last = 0.0;
+        for step in 0..80 {
+            let mut g = Graph::new();
+            let out = model.forward(&mut g, &params, &seq, &mut NoHook);
+            let loss = model.lm_loss(&mut g, &out, &seq);
+            let v = g.value(loss)[(0, 0)];
+            if step == 0 {
+                first = v;
+            }
+            last = v;
+            g.backward(loss);
+            opt.step(&mut params, &g);
+        }
+        assert!(last < first * 0.5, "lm loss {first} -> {last}");
+    }
+
+    #[test]
+    fn hook_mask_changes_output() {
+        struct PruneAll;
+        impl AttentionHook for PruneAll {
+            fn on_scores(
+                &mut self,
+                g: &mut Graph,
+                _l: usize,
+                _h: usize,
+                _x: Var,
+                scores: Var,
+            ) -> HookOutcome {
+                let n = g.value(scores).rows();
+                // Keep only the diagonal.
+                let mask = (0..n)
+                    .map(|i| (0..n).map(|j| i == j).collect())
+                    .collect();
+                HookOutcome {
+                    mask: Some(mask),
+                    aux_loss: None,
+                }
+            }
+        }
+        let (model, params) = tiny_model();
+        let ids = vec![1, 2, 3, 4, 5];
+        let mut g1 = Graph::new();
+        let dense = model.forward(&mut g1, &params, &ids, &mut NoHook);
+        let mut g2 = Graph::new();
+        let sparse = model.forward(&mut g2, &params, &ids, &mut PruneAll);
+        assert_ne!(g1.value(dense.logits), g2.value(sparse.logits));
+    }
+
+    #[test]
+    fn hook_aux_loss_collected_and_combined() {
+        struct AuxHook;
+        impl AttentionHook for AuxHook {
+            fn on_scores(
+                &mut self,
+                g: &mut Graph,
+                _l: usize,
+                _h: usize,
+                _x: Var,
+                scores: Var,
+            ) -> HookOutcome {
+                let zero = g.constant(dota_tensor::Matrix::zeros(
+                    g.value(scores).rows(),
+                    g.value(scores).cols(),
+                ));
+                let aux = g.mse(scores, zero);
+                HookOutcome {
+                    mask: None,
+                    aux_loss: Some(aux),
+                }
+            }
+        }
+        let (model, params) = tiny_model();
+        let mut g = Graph::new();
+        let out = model.forward(&mut g, &params, &[1, 2, 3], &mut AuxHook);
+        // 2 layers * 2 heads = 4 aux losses.
+        assert_eq!(out.aux_losses.len(), 4);
+        let ml = model.classification_loss(&mut g, &out, 0);
+        let total = model.total_loss(&mut g, ml, &out, 0.5);
+        assert!(g.value(total)[(0, 0)] >= g.value(ml)[(0, 0)]);
+        // lambda = 0 short-circuits.
+        let same = model.total_loss(&mut g, ml, &out, 0.0);
+        assert_eq!(same, ml);
+    }
+
+    #[test]
+    fn combine_masks_causal_keeps_diagonal() {
+        // A hook mask that prunes everything in row 2 must still keep (2,2).
+        let hook_mask = vec![
+            vec![true, true, true],
+            vec![true, true, true],
+            vec![false, false, false],
+        ];
+        let m = combine_masks(3, true, Some(hook_mask)).unwrap();
+        assert!(m[2][2]);
+        assert!(!m[0][1], "causal must prune upper triangle");
+        assert!(!m[0][2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn forward_rejects_long_sequence() {
+        let (model, params) = tiny_model();
+        let mut g = Graph::new();
+        let ids = vec![0; 13];
+        let _ = model.forward(&mut g, &params, &ids, &mut NoHook);
+    }
+}
+
+#[cfg(test)]
+mod gradient_tests {
+    use super::*;
+    use crate::hooks::NoHook;
+    use crate::TransformerConfig;
+
+    /// Whole-model gradient check on a micro configuration: the composed
+    /// backward pass through embedding → attention → layer norm → FFN →
+    /// pooling → cross-entropy must match central finite differences on
+    /// representative parameters. This catches composition bugs the per-op
+    /// checks cannot.
+    #[test]
+    fn whole_model_gradients_match_finite_differences() {
+        let cfg = TransformerConfig {
+            vocab_size: 5,
+            seq_len: 4,
+            d_model: 4,
+            n_heads: 2,
+            n_layers: 1,
+            d_ff: 6,
+            n_classes: 2,
+            causal: false,
+            pooling: crate::Pooling::Mean,
+        };
+        let mut params = ParamSet::new();
+        let model = Model::init(cfg, &mut params, 3);
+        let ids = vec![1usize, 4, 2, 0];
+        let label = 1usize;
+
+        let loss_of = |params: &ParamSet| -> f32 {
+            let mut g = Graph::new();
+            let out = model.forward(&mut g, params, &ids, &mut NoHook);
+            let loss = model.classification_loss(&mut g, &out, label);
+            g.value(loss)[(0, 0)]
+        };
+
+        // Analytic gradients from one backward pass.
+        let mut g = Graph::new();
+        let out = model.forward(&mut g, &params, &ids, &mut NoHook);
+        let loss = model.classification_loss(&mut g, &out, label);
+        g.backward(loss);
+
+        let reps = [
+            ("wq", model.params().layers[0].wq),
+            ("w_ff1", model.params().layers[0].w_ff1),
+            ("token_embedding", model.params().token_embedding),
+            ("ln1_gamma", model.params().layers[0].ln1_gamma),
+            ("w_head", model.params().w_head),
+        ];
+        let h = 1e-3f32;
+        for (name, pid) in reps {
+            let analytic = g.param_grad(pid).unwrap_or_else(|| {
+                dota_tensor::Matrix::zeros(
+                    params.value(pid).rows(),
+                    params.value(pid).cols(),
+                )
+            });
+            let (rows, cols) = params.value(pid).shape();
+            // Spot-check a handful of coordinates per parameter.
+            let coords: Vec<(usize, usize)> = (0..rows.min(3))
+                .flat_map(|r| (0..cols.min(3)).map(move |c| (r, c)))
+                .collect();
+            for (r, c) in coords {
+                let orig = params.value(pid)[(r, c)];
+                params.value_mut(pid)[(r, c)] = orig + h;
+                let plus = loss_of(&params);
+                params.value_mut(pid)[(r, c)] = orig - h;
+                let minus = loss_of(&params);
+                params.value_mut(pid)[(r, c)] = orig;
+                let numeric = (plus - minus) / (2.0 * h);
+                let got = analytic[(r, c)];
+                let denom = numeric.abs().max(got.abs()).max(0.1);
+                assert!(
+                    (numeric - got).abs() / denom < 5e-2,
+                    "{name}[{r},{c}]: numeric {numeric} vs analytic {got}"
+                );
+            }
+        }
+    }
+}

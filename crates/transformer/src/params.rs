@@ -1,0 +1,153 @@
+use crate::TransformerConfig;
+use dota_autograd::{ParamId, ParamSet};
+use dota_tensor::rng::SeededRng;
+use dota_tensor::Matrix;
+
+/// Parameter ids of one encoder/decoder block.
+#[derive(Debug, Clone)]
+pub struct LayerParams {
+    /// Query projection `W_Q` (`d x d`).
+    pub wq: ParamId,
+    /// Key projection `W_K` (`d x d`).
+    pub wk: ParamId,
+    /// Value projection `W_V` (`d x d`).
+    pub wv: ParamId,
+    /// Output projection after head concat (`d x d`).
+    pub wo: ParamId,
+    /// First layer-norm gain (`1 x d`).
+    pub ln1_gamma: ParamId,
+    /// First layer-norm shift (`1 x d`).
+    pub ln1_beta: ParamId,
+    /// Second layer-norm gain (`1 x d`).
+    pub ln2_gamma: ParamId,
+    /// Second layer-norm shift (`1 x d`).
+    pub ln2_beta: ParamId,
+    /// FFN first layer weight (`d x d_ff`).
+    pub w_ff1: ParamId,
+    /// FFN first layer bias (`1 x d_ff`).
+    pub b_ff1: ParamId,
+    /// FFN second layer weight (`d_ff x d`).
+    pub w_ff2: ParamId,
+    /// FFN second layer bias (`1 x d`).
+    pub b_ff2: ParamId,
+}
+
+/// All parameter ids of a Transformer model registered in a [`ParamSet`].
+///
+/// Construction seeds every weight deterministically so experiments are
+/// reproducible.
+#[derive(Debug, Clone)]
+pub struct TransformerParams {
+    /// Token embedding table (`vocab x d`).
+    pub token_embedding: ParamId,
+    /// Learned positional embedding (`seq_len x d`).
+    pub pos_embedding: ParamId,
+    /// Per-layer parameters.
+    pub layers: Vec<LayerParams>,
+    /// Classifier / LM head weight (`d x n_classes`).
+    pub w_head: ParamId,
+    /// Classifier / LM head bias (`1 x n_classes`).
+    pub b_head: ParamId,
+}
+
+impl TransformerParams {
+    /// Registers freshly-initialized parameters for `config` into `params`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn init(config: &TransformerConfig, params: &mut ParamSet, seed: u64) -> Self {
+        config.validate().expect("invalid TransformerConfig");
+        let mut rng = SeededRng::new(seed);
+        let d = config.d_model;
+        let token_embedding = params.add(
+            "token_embedding",
+            rng.normal_matrix(config.vocab_size, d, 0.02),
+        );
+        let pos_embedding = params.add(
+            "pos_embedding",
+            rng.normal_matrix(config.seq_len, d, 0.02),
+        );
+        let mut layers = Vec::with_capacity(config.n_layers);
+        for l in 0..config.n_layers {
+            let mk = |params: &mut ParamSet, name: &str, m: Matrix| {
+                params.add(&format!("layer{l}.{name}"), m)
+            };
+            layers.push(LayerParams {
+                wq: mk(params, "wq", rng.xavier(d, d)),
+                wk: mk(params, "wk", rng.xavier(d, d)),
+                wv: mk(params, "wv", rng.xavier(d, d)),
+                wo: mk(params, "wo", rng.xavier(d, d)),
+                ln1_gamma: mk(params, "ln1_gamma", Matrix::filled(1, d, 1.0)),
+                ln1_beta: mk(params, "ln1_beta", Matrix::zeros(1, d)),
+                ln2_gamma: mk(params, "ln2_gamma", Matrix::filled(1, d, 1.0)),
+                ln2_beta: mk(params, "ln2_beta", Matrix::zeros(1, d)),
+                w_ff1: mk(params, "w_ff1", rng.xavier(d, config.d_ff)),
+                b_ff1: mk(params, "b_ff1", Matrix::zeros(1, config.d_ff)),
+                w_ff2: mk(params, "w_ff2", rng.xavier(config.d_ff, d)),
+                b_ff2: mk(params, "b_ff2", Matrix::zeros(1, d)),
+            });
+        }
+        let w_head = params.add("w_head", rng.xavier(d, config.n_classes));
+        let b_head = params.add("b_head", Matrix::zeros(1, config.n_classes));
+        Self {
+            token_embedding,
+            pos_embedding,
+            layers,
+            w_head,
+            b_head,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_registers_expected_param_count() {
+        let cfg = TransformerConfig::tiny(16, 8, 2);
+        let mut params = ParamSet::new();
+        let tp = TransformerParams::init(&cfg, &mut params, 1);
+        // 2 embeddings + 12 per layer * 2 layers + 2 head params.
+        assert_eq!(params.len(), 2 + 12 * 2 + 2);
+        assert_eq!(tp.layers.len(), 2);
+        assert_eq!(params.value(tp.token_embedding).shape(), (8, 32));
+        assert_eq!(params.value(tp.pos_embedding).shape(), (16, 32));
+        assert_eq!(params.value(tp.w_head).shape(), (32, 2));
+    }
+
+    #[test]
+    fn init_is_deterministic() {
+        let cfg = TransformerConfig::tiny(8, 8, 2);
+        let mut p1 = ParamSet::new();
+        let t1 = TransformerParams::init(&cfg, &mut p1, 7);
+        let mut p2 = ParamSet::new();
+        let t2 = TransformerParams::init(&cfg, &mut p2, 7);
+        assert_eq!(p1.value(t1.layers[0].wq), p2.value(t2.layers[0].wq));
+        let mut p3 = ParamSet::new();
+        let t3 = TransformerParams::init(&cfg, &mut p3, 8);
+        assert_ne!(p1.value(t1.layers[0].wq), p3.value(t3.layers[0].wq));
+    }
+
+    #[test]
+    fn layer_norm_initialized_to_identity() {
+        let cfg = TransformerConfig::tiny(8, 8, 2);
+        let mut params = ParamSet::new();
+        let tp = TransformerParams::init(&cfg, &mut params, 1);
+        assert!(params
+            .value(tp.layers[0].ln1_gamma)
+            .iter()
+            .all(|&x| x == 1.0));
+        assert!(params.value(tp.layers[0].ln1_beta).iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid TransformerConfig")]
+    fn init_rejects_invalid_config() {
+        let mut cfg = TransformerConfig::tiny(8, 8, 2);
+        cfg.n_heads = 3;
+        let mut params = ParamSet::new();
+        let _ = TransformerParams::init(&cfg, &mut params, 1);
+    }
+}

@@ -1,0 +1,131 @@
+//! Evaluation metrics: accuracy, macro-F1 and perplexity.
+//!
+//! The paper reports SQuAD F1 (Table 1), classification accuracy (Fig. 11,
+//! Image/Text/Retrieval) and perplexity (Fig. 11, LM — lower is better).
+
+/// Classification accuracy over `(predicted, actual)` pairs.
+///
+/// Returns 0 for an empty input.
+///
+/// # Example
+///
+/// ```
+/// use dota_workloads::metrics::accuracy;
+///
+/// assert_eq!(accuracy(&[(0, 0), (1, 1), (1, 0)]), 2.0 / 3.0);
+/// ```
+pub fn accuracy(pairs: &[(usize, usize)]) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    let hits = pairs.iter().filter(|(p, a)| p == a).count();
+    hits as f64 / pairs.len() as f64
+}
+
+/// Macro-averaged F1 over `n_classes` classes — the QA benchmark's metric.
+///
+/// Classes that never appear as prediction or truth are skipped.
+pub fn macro_f1(pairs: &[(usize, usize)], n_classes: usize) -> f64 {
+    let mut f1_sum = 0.0;
+    let mut counted = 0usize;
+    for c in 0..n_classes {
+        let tp = pairs.iter().filter(|(p, a)| *p == c && *a == c).count() as f64;
+        let fp = pairs.iter().filter(|(p, a)| *p == c && *a != c).count() as f64;
+        let fnn = pairs.iter().filter(|(p, a)| *p != c && *a == c).count() as f64;
+        if tp + fp + fnn == 0.0 {
+            continue;
+        }
+        let precision = if tp + fp > 0.0 { tp / (tp + fp) } else { 0.0 };
+        let recall = if tp + fnn > 0.0 { tp / (tp + fnn) } else { 0.0 };
+        let f1 = if precision + recall > 0.0 {
+            2.0 * precision * recall / (precision + recall)
+        } else {
+            0.0
+        };
+        f1_sum += f1;
+        counted += 1;
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        f1_sum / counted as f64
+    }
+}
+
+/// Perplexity from a mean cross-entropy (nats): `exp(ce)`.
+pub fn perplexity(mean_cross_entropy: f64) -> f64 {
+    mean_cross_entropy.exp()
+}
+
+/// Mean negative log-likelihood of target tokens under row-wise logits,
+/// the quantity [`perplexity`] exponentiates.
+///
+/// `logits` rows correspond to positions `0..targets.len()`.
+///
+/// # Panics
+///
+/// Panics if `targets.len()` exceeds `logits.rows()` or a target id is out
+/// of range.
+pub fn mean_nll(logits: &dota_tensor::Matrix, targets: &[usize]) -> f64 {
+    assert!(targets.len() <= logits.rows(), "more targets than positions");
+    let probs = dota_tensor::ops::softmax_rows(logits);
+    let mut acc = 0.0f64;
+    for (r, &t) in targets.iter().enumerate() {
+        assert!(t < logits.cols(), "target {t} out of range");
+        acc -= (probs[(r, t)].max(1e-12) as f64).ln();
+    }
+    acc / targets.len().max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dota_tensor::Matrix;
+
+    #[test]
+    fn accuracy_basics() {
+        assert_eq!(accuracy(&[]), 0.0);
+        assert_eq!(accuracy(&[(1, 1)]), 1.0);
+        assert_eq!(accuracy(&[(0, 1), (1, 0)]), 0.0);
+    }
+
+    #[test]
+    fn macro_f1_perfect_and_zero() {
+        let perfect = [(0, 0), (1, 1), (0, 0)];
+        assert!((macro_f1(&perfect, 2) - 1.0).abs() < 1e-12);
+        let wrong = [(0, 1), (1, 0)];
+        assert_eq!(macro_f1(&wrong, 2), 0.0);
+    }
+
+    #[test]
+    fn macro_f1_penalizes_majority_guessing() {
+        // 3 of class 0, 1 of class 1, always predicting 0.
+        let pairs = [(0, 0), (0, 0), (0, 0), (0, 1)];
+        let acc = accuracy(&pairs);
+        let f1 = macro_f1(&pairs, 2);
+        assert!(f1 < acc, "macro-F1 {f1} vs accuracy {acc}");
+    }
+
+    #[test]
+    fn perplexity_of_uniform_model() {
+        // Uniform over V classes → CE = ln V → PPL = V.
+        let v = 16.0f64;
+        assert!((perplexity(v.ln()) - v).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_nll_matches_hand_computation() {
+        let logits = Matrix::from_rows(&[&[0.0, 0.0], &[10.0, 0.0]]).unwrap();
+        let nll = mean_nll(&logits, &[0, 0]);
+        // Row 0: -ln(0.5); row 1: ~0.
+        let expect = (0.5f64.ln().abs() + 0.0) / 2.0;
+        assert!((nll - expect).abs() < 1e-3, "{nll} vs {expect}");
+    }
+
+    #[test]
+    #[should_panic(expected = "more targets")]
+    fn mean_nll_rejects_excess_targets() {
+        let logits = Matrix::zeros(1, 2);
+        let _ = mean_nll(&logits, &[0, 1]);
+    }
+}

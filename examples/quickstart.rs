@@ -1,0 +1,50 @@
+//! Quickstart: train a tiny Transformer with the DOTA detector, compare
+//! dense vs detect-and-omit accuracy, and simulate the hardware speedup.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use dota_core::experiments::{BenchmarkRun, Method, TrainOptions};
+use dota_core::presets::OperatingPoint;
+use dota_core::DotaSystem;
+use dota_detector::DetectorConfig;
+use dota_workloads::Benchmark;
+
+fn main() {
+    // --- Algorithm side: joint training on a synthetic Text task. ---
+    let retention = 0.25;
+    println!(
+        "Training Text benchmark (seq 32) with DOTA detector at {:.0}% retention...",
+        retention * 100.0
+    );
+    let run = BenchmarkRun::train(
+        Benchmark::Text,
+        32,
+        80,
+        40,
+        DetectorConfig::new(retention),
+        &TrainOptions::default(),
+        42,
+    );
+
+    let dense = run.evaluate(Method::Dense, 1.0, 0);
+    let dota = run.evaluate(Method::Dota, retention, 0);
+    let random = run.evaluate(Method::Random, retention, 0);
+    println!("  dense attention accuracy:       {:.3}", dense.accuracy);
+    println!("  DOTA @ {:>4.0}% retention:        {:.3}", retention * 100.0, dota.accuracy);
+    println!("  random @ same retention:        {:.3}", random.accuracy);
+
+    // --- Hardware side: simulated paper-scale speedup. ---
+    let system = DotaSystem::paper_default();
+    println!("\nSimulated paper-scale performance (Text, 2K tokens):");
+    for point in OperatingPoint::ALL {
+        let row = system.speedup_row(Benchmark::Text, point);
+        println!(
+            "  {:7}  retention {:>5.1}%  attention {:>7.1}x vs GPU, {:>5.1}x vs ELSA; end-to-end {:>5.1}x",
+            row.variant,
+            row.retention * 100.0,
+            row.attention_vs_gpu,
+            row.attention_vs_elsa,
+            row.end_to_end_vs_gpu,
+        );
+    }
+}

@@ -1,0 +1,132 @@
+//! Hardware/software consistency: the functional models of the hardware
+//! datapaths must agree with the software reference implementations they
+//! accelerate, and the calibrated-threshold hardware selection path must
+//! track the software top-k path.
+
+use dota_autograd::ParamSet;
+use dota_detector::calibrate::{calibrate_thresholds, ThresholdHook};
+use dota_detector::{DetectorConfig, DotaHook};
+use dota_quant::attention::fx16_sparse_attention;
+use dota_quant::rmmu::{RmmuArray, RmmuConfig};
+use dota_quant::{Precision, Quantizer};
+use dota_tensor::rng::SeededRng;
+use dota_tensor::{ops, topk};
+use dota_transformer::{Model, TransformerConfig};
+
+/// The RMMU functional executor, the integer-GEMM reference and the f32
+/// reference must form a consistent tower: functional == integer GEMM
+/// exactly; integer GEMM ≈ f32 within quantization error.
+#[test]
+fn rmmu_functional_tower() {
+    let mut rng = SeededRng::new(1);
+    let a = rng.normal_matrix(12, 24, 1.0);
+    let b = rng.normal_matrix(10, 24, 1.0);
+    let f32_ref = a.matmul_nt(&b).unwrap();
+    for p in [Precision::Int8, Precision::Int4] {
+        let qa = Quantizer::symmetric(p).quantize(&a);
+        let qb = Quantizer::symmetric(p).quantize(&b);
+        let int_ref = qa.matmul_nt_dequant(&qb).unwrap();
+        let mut array = RmmuArray::new(RmmuConfig::uniform(p));
+        let functional = array.matmul_nt(p, &qa, &qb).unwrap();
+        assert!(
+            functional.approx_eq(&int_ref, 1e-6),
+            "{p}: functional != integer GEMM"
+        );
+        // Quantization error bound: scales with step sizes and inner dim.
+        let bound = (qa.scale() + qb.scale()) * 24.0;
+        assert!(
+            int_ref.sub(&f32_ref).unwrap().abs_max() < bound,
+            "{p}: integer GEMM drifted past the quantization bound"
+        );
+    }
+}
+
+/// The FX16 attention datapath must track the f32 sparse-attention kernel,
+/// which itself must match masked-dense attention (transitively checked in
+/// unit tests; here the full chain runs on trace-like operands).
+#[test]
+fn fx16_attention_chain() {
+    let mut rng = SeededRng::new(2);
+    let n = 24;
+    let hd = 16;
+    let q = rng.normal_matrix(n, hd, 1.0);
+    let k = rng.normal_matrix(n, hd, 1.0);
+    let v = rng.normal_matrix(n, hd, 1.0);
+    let scale = 1.0 / (hd as f32).sqrt();
+    let scores = q.matmul_nt(&k).unwrap().scale(scale);
+    let sel: Vec<Vec<u32>> = topk::top_k_rows(&scores, 6)
+        .into_iter()
+        .map(|r| r.into_iter().map(|i| i as u32).collect())
+        .collect();
+    let f32_out = ops::sparse_attention(&q, &k, &v, &sel, scale);
+    let fx_out = fx16_sparse_attention(&q, &k, &v, &sel, scale);
+    let drift = f32_out.sub(&fx_out).unwrap().abs_max();
+    assert!(drift < 0.05, "fx16 drift {drift}");
+}
+
+/// The comparator-style threshold selection (hardware Detector) must agree
+/// with the software balanced top-k selection on most connections when the
+/// threshold is calibrated to the same retention.
+#[test]
+fn threshold_hardware_path_tracks_topk() {
+    let mut params = ParamSet::new();
+    let model = Model::init(TransformerConfig::tiny(24, 12, 2), &mut params, 7);
+    let retention = 0.25;
+    let hook = DotaHook::init(
+        DetectorConfig::new(retention).with_sigma(0.5),
+        model.config(),
+        &mut params,
+    );
+    let validation: Vec<Vec<usize>> = (0..4)
+        .map(|s| (0..24).map(|i| (i * 5 + s) % 12).collect())
+        .collect();
+    let table = calibrate_thresholds(&model, &params, &hook, &validation, retention);
+    let th_hook = ThresholdHook::new(&hook, &params, table);
+
+    let test_ids: Vec<usize> = (0..24).map(|i| (i * 7 + 3) % 12).collect();
+    let xs = dota_detector::metrics::layer_inputs(&model, &params, &test_ids);
+    let mut overlap_sum = 0.0;
+    let mut count = 0;
+    for (l, x) in xs.iter().enumerate() {
+        for h in 0..model.config().n_heads {
+            use dota_transformer::InferenceHook;
+            let topk_sel = hook.inference(&params).select(l, h, x).unwrap();
+            let th_sel = th_hook.select(l, h, x).unwrap();
+            let topk_ref: Vec<Vec<usize>> = topk_sel
+                .iter()
+                .map(|r| r.iter().map(|&i| i as usize).collect())
+                .collect();
+            let th_cand: Vec<Vec<usize>> = th_sel
+                .iter()
+                .map(|r| r.iter().map(|&i| i as usize).collect())
+                .collect();
+            overlap_sum += topk::selection_recall(&topk_ref, &th_cand);
+            count += 1;
+        }
+    }
+    let mean_overlap = overlap_sum / count as f64;
+    assert!(
+        mean_overlap > 0.6,
+        "threshold selection diverged from top-k: overlap {mean_overlap:.3}"
+    );
+}
+
+/// Incremental KV-cache decoding must agree with batch inference on every
+/// prefix (not just the final position).
+#[test]
+fn incremental_decode_agrees_on_all_prefixes() {
+    use dota_transformer::{DenseDecode, KvCache, NoHook};
+    let mut params = ParamSet::new();
+    let model = Model::init(TransformerConfig::tiny_causal(16, 8), &mut params, 3);
+    let ids = [1usize, 5, 2, 7, 4, 0, 3];
+    let mut cache = KvCache::new(model.config().n_layers, model.config().d_model);
+    for t in 0..ids.len() {
+        let (logits, _) = model.decode_step(&params, &mut cache, ids[t], &DenseDecode);
+        let batch = model.infer(&params, &ids[..=t], &NoHook);
+        let batch_row = batch.logits.slice_rows(t, t + 1);
+        assert!(
+            logits.approx_eq(&batch_row, 1e-3),
+            "prefix {t}: incremental and batch logits diverge"
+        );
+    }
+}

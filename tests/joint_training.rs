@@ -1,0 +1,188 @@
+//! Integration tests of the joint optimization mechanism (paper §3.2):
+//! gradients flow through both the model and the detector, the estimation
+//! loss actually improves detection quality, and model adaptation recovers
+//! accuracy lost to omission.
+
+use dota_autograd::ParamSet;
+use dota_core::experiments::{self, TrainOptions};
+use dota_detector::metrics::detection_quality;
+use dota_detector::{DetectorConfig, DotaHook};
+use dota_transformer::Model;
+use dota_workloads::{Benchmark, TaskSpec};
+
+/// Measures DOTA's detection recall (vs. oracle top-k) before and after
+/// joint training: the learned detector must improve.
+#[test]
+fn joint_training_improves_detection_recall() {
+    let spec = TaskSpec::tiny(Benchmark::Text, 24, 3);
+    let (train, test) = spec.generate_split(60, 10);
+    let (model, mut params) = experiments::build_model(&spec, 3);
+    experiments::train_dense(
+        &model,
+        &mut params,
+        &train,
+        &TrainOptions {
+            epochs: 6,
+            ..Default::default()
+        },
+    );
+
+    // Proportionate rank for the tiny head_dim (see DESIGN.md).
+    let cfg = DetectorConfig::new(0.25).with_sigma(0.5);
+    let mut adapted = params.clone();
+    let mut hook = DotaHook::init(cfg.clone(), model.config(), &mut adapted);
+
+    let keys_per_row = cfg.keys_per_row(24);
+    let sample_ids: Vec<Vec<usize>> = test.iter().take(5).map(|s| s.ids.clone()).collect();
+    let recall_of = |m: &Model, p: &ParamSet, h: &DotaHook| -> f64 {
+        sample_ids
+            .iter()
+            .map(|ids| detection_quality(m, p, ids, &h.inference_f32(p), keys_per_row).recall)
+            .sum::<f64>()
+            / sample_ids.len() as f64
+    };
+
+    let before = recall_of(&model, &adapted, &hook);
+    experiments::train_joint(
+        &model,
+        &mut adapted,
+        &mut hook,
+        &train,
+        &TrainOptions {
+            epochs: 10,
+            warmup_epochs: 10, // estimation-only: isolates the L_MSE effect
+            lr: 0.01,
+            lambda: 1.0,
+            ..Default::default()
+        },
+    );
+    let after = recall_of(&model, &adapted, &hook);
+    assert!(
+        after > before + 0.05,
+        "detection recall did not improve: {before:.3} -> {after:.3}"
+    );
+    // The detector should end up meaningfully better than chance
+    // (chance recall ≈ retention = 0.25).
+    assert!(after > 0.30, "post-training recall {after:.3}");
+}
+
+/// The λ knob (phase-2 joint adaptation): with λ = 0 the detector
+/// parameters receive no MSE supervision at all (the mask is a value-level
+/// decision, not a gradient path), while λ > 0 moves them toward lower
+/// estimation error.
+#[test]
+fn lambda_controls_estimation_supervision() {
+    let spec = TaskSpec::tiny(Benchmark::Text, 20, 5);
+    let (train, _) = spec.generate_split(30, 5);
+    let (model, params) = experiments::build_model(&spec, 5);
+
+    let run = |lambda: f32| -> f32 {
+        let mut p = params.clone();
+        let mut hook = DotaHook::init(DetectorConfig::new(0.5), model.config(), &mut p);
+        experiments::train_joint(
+            &model,
+            &mut p,
+            &mut hook,
+            &train,
+            &TrainOptions {
+                epochs: 4,
+                warmup_epochs: 0, // phase 2 only: lambda is the sole MSE path
+                lambda,
+                ..Default::default()
+            },
+        );
+        // Mean squared estimation error on one training sample.
+        let ids = &train.samples()[0].ids;
+        let xs = dota_detector::metrics::layer_inputs(&model, &p, ids);
+        let det = hook.detector(0, 0);
+        let layer = &model.params().layers[0];
+        let hd = model.config().head_dim();
+        let q = xs[0]
+            .matmul(p.value(layer.wq))
+            .unwrap()
+            .slice_cols(0, hd);
+        let k = xs[0]
+            .matmul(p.value(layer.wk))
+            .unwrap()
+            .slice_cols(0, hd);
+        let scale = 1.0 / (hd as f32).sqrt();
+        let exact = q.matmul_nt(&k).unwrap().scale(scale);
+        let est = det.estimated_scores_f32(&p, &xs[0]);
+        dota_tensor::ops::mse(&exact, &est)
+    };
+
+    let with_mse = run(1.0);
+    let without_mse = run(0.0);
+    assert!(
+        with_mse < without_mse,
+        "lambda=1 estimation error {with_mse} should beat lambda=0 {without_mse}"
+    );
+}
+
+/// Model adaptation (§3.2), the paper's central accuracy claim: aggressive
+/// omission on an unadapted model collapses accuracy; joint fine-tuning
+/// with masking on recovers it to near the dense baseline.
+#[test]
+fn adaptation_recovers_omission_loss() {
+    let retention = 0.125;
+    let spec = TaskSpec::tiny(Benchmark::Qa, 24, 9);
+    let (train, test) = spec.generate_split(400, 100);
+    let (model, mut dense_params) = experiments::build_model(&spec, 9);
+    experiments::train_dense(
+        &model,
+        &mut dense_params,
+        &train,
+        &TrainOptions {
+            epochs: 20,
+            lr_warmup_steps: 600,
+            ..Default::default()
+        },
+    );
+    let acc_dense =
+        experiments::eval_accuracy(&model, &dense_params, &test, &dota_transformer::NoHook);
+
+    // Unadapted: dense weights + fresh detector, no joint training.
+    let mut unadapted = dense_params.clone();
+    let raw_hook = DotaHook::init(
+        DetectorConfig::new(retention).with_sigma(0.5),
+        model.config(),
+        &mut unadapted,
+    );
+    let acc_unadapted =
+        experiments::eval_accuracy(&model, &unadapted, &test, &raw_hook.inference(&unadapted));
+
+    // Adapted: detector warm-up then joint fine-tuning with masking.
+    let mut adapted = dense_params.clone();
+    let mut hook = DotaHook::init(
+        DetectorConfig::new(retention).with_sigma(0.5),
+        model.config(),
+        &mut adapted,
+    );
+    experiments::train_joint(
+        &model,
+        &mut adapted,
+        &mut hook,
+        &train,
+        &TrainOptions {
+            epochs: 12,
+            warmup_epochs: 3,
+            ..Default::default()
+        },
+    );
+    let acc_adapted =
+        experiments::eval_accuracy(&model, &adapted, &test, &hook.inference(&adapted));
+
+    assert!(acc_dense > 0.7, "dense baseline too weak: {acc_dense:.3}");
+    assert!(
+        acc_unadapted < acc_dense - 0.2,
+        "omission should hurt the unadapted model: {acc_unadapted:.3} vs dense {acc_dense:.3}"
+    );
+    assert!(
+        acc_adapted > acc_unadapted + 0.2,
+        "adaptation did not recover: adapted {acc_adapted:.3} vs unadapted {acc_unadapted:.3}"
+    );
+    assert!(
+        acc_adapted > acc_dense - 0.15,
+        "adapted model too far below dense: {acc_adapted:.3} vs {acc_dense:.3}"
+    );
+}

@@ -1,0 +1,132 @@
+//! Cross-crate consistency checks on the accelerator simulator: its cycle
+//! counts must track the analytic FLOPs model, its scheduler must respect
+//! the replayed masks, and scaling knobs must behave monotonically.
+
+use dota_accel::synth::SelectionProfile;
+use dota_accel::{AccelConfig, Accelerator};
+use dota_quant::Precision;
+use dota_transformer::flops;
+use dota_transformer::TransformerConfig;
+
+#[test]
+fn cycles_track_flops_across_sequence_lengths() {
+    // Compute-bound stages: cycle ratios between sequence lengths should
+    // roughly match FLOP ratios from the analytic model.
+    let cfg = TransformerConfig::lra(4096, 2);
+    let acc = Accelerator::new(AccelConfig::default());
+    let prof = SelectionProfile::default();
+
+    let flops_ratio = flops::dense_layer_flops(&cfg, 2048).total() as f64
+        / flops::dense_layer_flops(&cfg, 512).total() as f64;
+    let rep_small = acc.simulate_shape(&cfg, 512, 1.0, 0.0, &prof);
+    let rep_large = acc.simulate_shape(&cfg, 2048, 1.0, 0.0, &prof);
+    let cycle_ratio = rep_large.cycles.total() as f64 / rep_small.cycles.total() as f64;
+    assert!(
+        (cycle_ratio / flops_ratio - 1.0).abs() < 0.5,
+        "cycle ratio {cycle_ratio} vs flops ratio {flops_ratio}"
+    );
+}
+
+#[test]
+fn detection_precision_affects_detection_cycles_only() {
+    let cfg = TransformerConfig::lra(2048, 2);
+    let prof = SelectionProfile::default();
+    let a = AccelConfig {
+        detect_precision: Precision::Int8,
+        ..Default::default()
+    };
+    let b = AccelConfig {
+        detect_precision: Precision::Int2,
+        ..Default::default()
+    };
+    let rep8 = Accelerator::new(a).simulate_shape(&cfg, 1024, 0.1, 0.2, &prof);
+    let rep2 = Accelerator::new(b).simulate_shape(&cfg, 1024, 0.1, 0.2, &prof);
+    assert!(rep2.cycles.detection < rep8.cycles.detection);
+    assert_eq!(rep2.cycles.linear, rep8.cycles.linear);
+    assert_eq!(rep2.cycles.ffn, rep8.cycles.ffn);
+    assert_eq!(rep2.cycles.attention, rep8.cycles.attention);
+    // Energy also drops quadratically with precision width.
+    assert!(rep2.energy.rmmu_pj < rep8.energy.rmmu_pj);
+}
+
+#[test]
+fn token_parallelism_sweep_reduces_loads_with_diminishing_returns() {
+    // Fig. 15's left axis: higher parallelism reduces K/V memory access,
+    // but with diminishing returns.
+    let cfg = TransformerConfig::lra(1024, 2);
+    let prof = SelectionProfile::default();
+    let loads_at = |t: usize| {
+        let c = AccelConfig {
+            token_parallelism: t,
+            ..Default::default()
+        };
+        Accelerator::new(c)
+            .simulate_shape(&cfg, 1024, 0.1, 0.2, &prof)
+            .key_loads
+    };
+    let l1 = loads_at(1);
+    let l2 = loads_at(2);
+    let l4 = loads_at(4);
+    let l6 = loads_at(6);
+    assert!(l2 < l1, "{l2} !< {l1}");
+    assert!(l4 < l2, "{l4} !< {l2}");
+    assert!(l6 <= l4, "{l6} > {l4}");
+    let gain_12 = l1 as f64 / l2 as f64;
+    let gain_46 = l4 as f64 / l6 as f64;
+    assert!(gain_12 > gain_46, "no diminishing returns: {gain_12} vs {gain_46}");
+}
+
+#[test]
+fn trace_replay_consistent_with_shape_simulation() {
+    // A dense trace of the tiny model should land near the analytic shape
+    // simulation of the same configuration.
+    use dota_autograd::ParamSet;
+    use dota_transformer::Model;
+
+    let tiny = TransformerConfig::tiny(32, 8, 2);
+    let mut params = ParamSet::new();
+    let model = Model::init(tiny.clone(), &mut params, 5);
+    let ids: Vec<usize> = (0..32).map(|i| i % 8).collect();
+    let trace = model.infer(&params, &ids, &dota_transformer::NoHook);
+
+    let acc = Accelerator::new(AccelConfig::default());
+    let replay = acc.simulate_trace(&tiny, &trace);
+    let shape = acc.simulate_shape(&tiny, 32, 1.0, 0.0, &SelectionProfile::uniform());
+
+    let ratio = replay.cycles.total() as f64 / shape.cycles.total() as f64;
+    assert!(
+        (0.5..2.0).contains(&ratio),
+        "replay {} vs shape {} (ratio {ratio})",
+        replay.cycles.total(),
+        shape.cycles.total()
+    );
+}
+
+#[test]
+fn energy_breakdown_components_all_accounted() {
+    let cfg = TransformerConfig::lra(2048, 2);
+    let acc = Accelerator::new(AccelConfig::default());
+    let rep = acc.simulate_shape(&cfg, 1024, 0.1, 0.2, &SelectionProfile::default());
+    let e = &rep.energy;
+    for (name, v) in [
+        ("rmmu", e.rmmu_pj),
+        ("mfu", e.mfu_pj),
+        ("scheduler", e.scheduler_pj),
+        ("accumulator", e.accumulator_pj),
+        ("sram", e.sram_pj),
+        ("dram", e.dram_pj),
+        ("leakage", e.leakage_pj),
+    ] {
+        assert!(v > 0.0, "{name} energy missing");
+        assert!(v < e.total_pj(), "{name} exceeds total");
+    }
+}
+
+#[test]
+fn dense_run_skips_detection_entirely() {
+    let cfg = TransformerConfig::lra(2048, 2);
+    let acc = Accelerator::new(AccelConfig::default());
+    let rep = acc.simulate_shape(&cfg, 512, 1.0, 0.0, &SelectionProfile::default());
+    assert_eq!(rep.cycles.detection, 0);
+    assert_eq!(rep.energy.scheduler_pj, 0.0);
+}
