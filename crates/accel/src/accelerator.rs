@@ -1,7 +1,7 @@
+use crate::energy;
 use crate::memory::{DramModel, SramModel};
 use crate::sched;
 use crate::synth::{sample_selection, SelectionProfile};
-use crate::energy;
 use dota_quant::rmmu::RmmuConfig;
 use dota_quant::Precision;
 use dota_tensor::rng::SeededRng;
@@ -233,7 +233,10 @@ impl Accelerator {
     /// Panics if lanes, token parallelism or scale are non-positive.
     pub fn new(config: AccelConfig) -> Self {
         assert!(config.lanes > 0, "need at least one lane");
-        assert!(config.token_parallelism > 0, "token parallelism must be positive");
+        assert!(
+            config.token_parallelism > 0,
+            "token parallelism must be positive"
+        );
         assert!(config.scale > 0.0, "scale must be positive");
         assert!(
             config.utilization > 0.0 && config.utilization <= 1.0,
@@ -279,7 +282,11 @@ impl Accelerator {
         let mut rng = SeededRng::new(0xacce1);
         let (key_loads_head, rbr_head) = if retention < 1.0 {
             let sel = sample_selection(n, k_per_row, profile, &mut rng);
-            let s = sched::schedule_matrix(&sel, self.config.token_parallelism, self.config.out_of_order);
+            let s = sched::schedule_matrix(
+                &sel,
+                self.config.token_parallelism,
+                self.config.out_of_order,
+            );
             (s.total_loads(), sched::row_by_row_loads(&sel))
         } else {
             // Dense attention streams each K/V once per token-parallel group.
@@ -289,7 +296,15 @@ impl Accelerator {
         let key_loads = key_loads_head * heads * layers;
         let key_loads_rbr = rbr_head * heads * layers;
 
-        let layer = self.layer_report(model, n, k_per_row, retention, sigma, key_loads_head, rbr_head);
+        let layer = self.layer_report(
+            model,
+            n,
+            k_per_row,
+            retention,
+            sigma,
+            key_loads_head,
+            rbr_head,
+        );
         let mut report = PerfReport::default();
         for _ in 0..layers {
             report = report.add(&layer);
@@ -480,12 +495,15 @@ mod tests {
         let profile = SelectionProfile::default();
         let dense = acc.simulate_shape(&lra(), 512, 1.0, 0.0, &profile);
         let sparse = acc.simulate_shape(&lra(), 512, 0.1, 0.2, &profile);
-        let speedup = dense.cycles.attention_block() as f64
-            / sparse.cycles.attention_block() as f64;
+        let speedup =
+            dense.cycles.attention_block() as f64 / sparse.cycles.attention_block() as f64;
         assert!(speedup > 4.0, "attention speedup {speedup}");
         // End-to-end also improves, but less (Amdahl).
         let e2e = dense.cycles.total() as f64 / sparse.cycles.total() as f64;
-        assert!(e2e > 1.0 && e2e < speedup, "e2e {e2e} vs attention {speedup}");
+        assert!(
+            e2e > 1.0 && e2e < speedup,
+            "e2e {e2e} vs attention {speedup}"
+        );
     }
 
     #[test]
@@ -517,7 +535,12 @@ mod tests {
         let prof = SelectionProfile::default();
         let a = in_order.simulate_shape(&lra(), 512, 0.1, 0.2, &prof);
         let b = ooo.simulate_shape(&lra(), 512, 0.1, 0.2, &prof);
-        assert!(b.key_loads <= a.key_loads, "{} vs {}", b.key_loads, a.key_loads);
+        assert!(
+            b.key_loads <= a.key_loads,
+            "{} vs {}",
+            b.key_loads,
+            a.key_loads
+        );
         assert!(b.key_loads < b.key_loads_row_by_row);
     }
 
@@ -560,7 +583,12 @@ mod tests {
     #[test]
     fn report_add_accumulates() {
         let a = PerfReport {
-            cycles: StageLatency { linear: 1, detection: 2, attention: 3, ffn: 4 },
+            cycles: StageLatency {
+                linear: 1,
+                detection: 2,
+                attention: 3,
+                ffn: 4,
+            },
             key_loads: 10,
             ..Default::default()
         };
@@ -606,8 +634,7 @@ impl Accelerator {
         let weight_cycles = (weight_bytes as f64 / self.config.dram_gbps).ceil() as u64;
         // Attention-stage MFU work rides with the attention tile; K/V
         // streaming gets its own SRAM tile sized from the key loads.
-        let kv_bytes =
-            sequential.key_loads / layers.max(1) * 2 * model.head_dim() as u64 * 2;
+        let kv_bytes = sequential.key_loads / layers.max(1) * 2 * model.head_dim() as u64 * 2;
         let kv_cycles = (kv_bytes as f64
             / (64.0 * 10.0 * self.config.lanes as f64 * self.config.scale))
             .ceil() as u64;

@@ -94,7 +94,9 @@ pub fn analyze_conflicts(
         let round_loads = round.loads.len() as u64;
         loads += round_loads;
         // Conflict-free: loads stripe across banks, ceil(loads/banks).
-        ideal += round_loads.div_ceil(banks as u64).max(u64::from(round_loads > 0));
+        ideal += round_loads
+            .div_ceil(banks as u64)
+            .max(u64::from(round_loads > 0));
         actual += max_bank;
     }
     ConflictReport {

@@ -73,8 +73,7 @@ impl ElsaModel {
         let hash_ops = heads * 2 * nn * self.hash_bits as u64;
         // Candidate filter: n^2 hamming comparisons per head.
         let filter_ops = heads * nn * nn;
-        let approx_cycles =
-            ((hash_ops + filter_ops) as f64 / self.hashes_per_cycle).ceil() as u64;
+        let approx_cycles = ((hash_ops + filter_ops) as f64 / self.hashes_per_cycle).ceil() as u64;
         // Exact computation of survivors: score + aggregate, derated by the
         // row-by-row dataflow's fetch stalls.
         let kept = ((self.retention * (nn * nn) as f64).round() as u64) * heads;
@@ -129,8 +128,9 @@ mod tests {
         let n = 2048;
         let elsa_s = elsa.attention_seconds(&lra(), n);
         let rep = dota.simulate_shape(&lra(), n, 0.05, 0.2, &SelectionProfile::default());
-        let dota_s =
-            rep.cycles.attention_block() as f64 * lra().n_layers as f64 / 1e9 / lra().n_layers as f64;
+        let dota_s = rep.cycles.attention_block() as f64 * lra().n_layers as f64
+            / 1e9
+            / lra().n_layers as f64;
         let dota_total_s = rep.attention_seconds();
         let _ = dota_s;
         let speedup = elsa_s / dota_total_s;

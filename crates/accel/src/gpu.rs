@@ -112,8 +112,10 @@ mod tests {
     fn roofline_is_monotone_in_size() {
         let gpu = GpuModel::default();
         assert!(gpu.gemm_seconds(512, 512, 512) < gpu.gemm_seconds(1024, 1024, 1024));
-        assert!(gpu.model_seconds(&TransformerConfig::lra(4096, 2), 2048)
-            < gpu.model_seconds(&TransformerConfig::lra(4096, 2), 4096));
+        assert!(
+            gpu.model_seconds(&TransformerConfig::lra(4096, 2), 2048)
+                < gpu.model_seconds(&TransformerConfig::lra(4096, 2), 4096)
+        );
     }
 
     #[test]

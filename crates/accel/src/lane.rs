@@ -148,7 +148,12 @@ pub fn encoder_tiles(
             lin_deps.push(p);
         }
         let lin = tiles.len();
-        tiles.push(t(format!("L{l}.linear"), Resource::RmmuFx, linear_cycles, lin_deps));
+        tiles.push(t(
+            format!("L{l}.linear"),
+            Resource::RmmuFx,
+            linear_cycles,
+            lin_deps,
+        ));
         // Detection runs on the low-precision rows right after QKV.
         let det = tiles.len();
         tiles.push(t(
@@ -206,8 +211,18 @@ mod tests {
     #[test]
     fn independent_tiles_run_in_parallel() {
         let tiles = vec![
-            Tile { name: "a".into(), resource: Resource::RmmuFx, cycles: 100, deps: vec![] },
-            Tile { name: "b".into(), resource: Resource::DramPort, cycles: 80, deps: vec![] },
+            Tile {
+                name: "a".into(),
+                resource: Resource::RmmuFx,
+                cycles: 100,
+                deps: vec![],
+            },
+            Tile {
+                name: "b".into(),
+                resource: Resource::DramPort,
+                cycles: 80,
+                deps: vec![],
+            },
         ];
         let rep = schedule(&tiles);
         assert_eq!(rep.makespan, 100);
@@ -217,9 +232,24 @@ mod tests {
     #[test]
     fn dependent_chain_is_serial() {
         let tiles = vec![
-            Tile { name: "a".into(), resource: Resource::RmmuFx, cycles: 10, deps: vec![] },
-            Tile { name: "b".into(), resource: Resource::Mfu, cycles: 20, deps: vec![0] },
-            Tile { name: "c".into(), resource: Resource::RmmuFx, cycles: 30, deps: vec![1] },
+            Tile {
+                name: "a".into(),
+                resource: Resource::RmmuFx,
+                cycles: 10,
+                deps: vec![],
+            },
+            Tile {
+                name: "b".into(),
+                resource: Resource::Mfu,
+                cycles: 20,
+                deps: vec![0],
+            },
+            Tile {
+                name: "c".into(),
+                resource: Resource::RmmuFx,
+                cycles: 30,
+                deps: vec![1],
+            },
         ];
         let rep = schedule(&tiles);
         assert_eq!(rep.makespan, 60);
@@ -229,8 +259,18 @@ mod tests {
     #[test]
     fn same_resource_serializes() {
         let tiles = vec![
-            Tile { name: "a".into(), resource: Resource::RmmuFx, cycles: 10, deps: vec![] },
-            Tile { name: "b".into(), resource: Resource::RmmuFx, cycles: 10, deps: vec![] },
+            Tile {
+                name: "a".into(),
+                resource: Resource::RmmuFx,
+                cycles: 10,
+                deps: vec![],
+            },
+            Tile {
+                name: "b".into(),
+                resource: Resource::RmmuFx,
+                cycles: 10,
+                deps: vec![],
+            },
         ];
         let rep = schedule(&tiles);
         assert_eq!(rep.makespan, 20);

@@ -39,5 +39,5 @@ pub mod scaleout;
 pub mod sched;
 pub mod synth;
 
-pub use accelerator::{Accelerator, AccelConfig, EnergyBreakdown, PerfReport, StageLatency};
+pub use accelerator::{AccelConfig, Accelerator, EnergyBreakdown, PerfReport, StageLatency};
 pub use memory::{DramModel, SramModel};

@@ -57,9 +57,13 @@ pub fn render_gantt(tiles: &[Tile], report: &PipelineReport, width: usize) -> St
     for (tile, &finish) in tiles.iter().zip(&report.finish_times) {
         let start = finish - tile.cycles;
         let c0 = (start as f64 / makespan as f64 * width as f64) as usize;
-        let c1 = ((finish as f64 / makespan as f64 * width as f64).ceil() as usize)
-            .clamp(c0 + 1, width);
-        let glyph = tile.name.chars().find(|c| c.is_alphanumeric()).unwrap_or('#');
+        let c1 =
+            ((finish as f64 / makespan as f64 * width as f64).ceil() as usize).clamp(c0 + 1, width);
+        let glyph = tile
+            .name
+            .chars()
+            .find(|c| c.is_alphanumeric())
+            .unwrap_or('#');
         if let Some(row) = rows.get_mut(&tile.resource) {
             for cell in row.iter_mut().take(c1).skip(c0) {
                 *cell = glyph;
@@ -86,7 +90,12 @@ mod tests {
 
     #[test]
     fn schedule_render_mentions_every_round() {
-        let sel = vec![vec![0u32, 1, 2], vec![1, 2, 3], vec![1, 4, 5], vec![2, 3, 4]];
+        let sel = vec![
+            vec![0u32, 1, 2],
+            vec![1, 2, 3],
+            vec![1, 4, 5],
+            vec![2, 3, 4],
+        ];
         let s = locality_aware_schedule(&sel);
         let text = render_schedule(&s);
         assert_eq!(text.lines().count(), s.rounds.len());

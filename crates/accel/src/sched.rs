@@ -93,7 +93,10 @@ pub fn in_order_schedule(selections: &[Vec<u32>]) -> Schedule {
 /// explodes past any practical Scheduler, Fig. 15).
 pub fn locality_aware_schedule(selections: &[Vec<u32>]) -> Schedule {
     let t = selections.len();
-    assert!(t <= 16, "token parallelism {t} exceeds the modeled scheduler");
+    assert!(
+        t <= 16,
+        "token parallelism {t} exceeds the modeled scheduler"
+    );
     if t == 0 {
         return Schedule::default();
     }
@@ -139,9 +142,7 @@ pub fn locality_aware_schedule(selections: &[Vec<u32>]) -> Schedule {
                 let overlap = (mask & assigned).count_ones();
                 let better = match best {
                     None => true,
-                    Some((_, bs, bo)) => {
-                        served > bs || (served == bs && overlap < bo)
-                    }
+                    Some((_, bs, bo)) => served > bs || (served == bs && overlap < bo),
                 };
                 if better {
                     best = Some((mask, served, overlap));
@@ -301,7 +302,10 @@ mod tests {
             ino_total += in_order_schedule(&sel).total_loads();
             let ooo = locality_aware_schedule(&sel).total_loads();
             ooo_total += ooo;
-            assert!(ooo >= row_by_row_loads(&sel) / 4, "can't beat perfect sharing");
+            assert!(
+                ooo >= row_by_row_loads(&sel) / 4,
+                "can't beat perfect sharing"
+            );
         }
         assert!(
             ooo_total < ino_total,

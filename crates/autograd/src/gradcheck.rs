@@ -22,10 +22,7 @@ pub const DEFAULT_TOLERANCE: f32 = 2e-2;
 ///
 /// Panics (test-style assert) if any gradient deviates beyond a combined
 /// absolute/relative tolerance.
-pub fn check_gradients(
-    inputs: &[Matrix],
-    build: impl Fn(&mut Graph, &[crate::Var]) -> crate::Var,
-) {
+pub fn check_gradients(inputs: &[Matrix], build: impl Fn(&mut Graph, &[crate::Var]) -> crate::Var) {
     check_gradients_with(inputs, DEFAULT_TOLERANCE, build);
 }
 

@@ -10,7 +10,9 @@ pub struct Var(usize);
 
 #[derive(Debug)]
 enum Op {
-    Leaf { param: Option<ParamId> },
+    Leaf {
+        param: Option<ParamId>,
+    },
     MatMul(Var, Var),
     MatMulNT(Var, Var),
     Add(Var, Var),
@@ -21,17 +23,34 @@ enum Op {
     Transpose(Var),
     SoftmaxRows(Var),
     MaskedSoftmaxRows(Var, Vec<Vec<bool>>),
-    LayerNorm { x: Var, gamma: Var, beta: Var, normalized: Matrix, inv_std: Vec<f32> },
+    LayerNorm {
+        x: Var,
+        gamma: Var,
+        beta: Var,
+        normalized: Matrix,
+        inv_std: Vec<f32>,
+    },
     Gelu(Var),
     Relu(Var),
     Sigmoid(Var),
     Tanh(Var),
     SumAll(Var),
-    Embedding { table: Var, ids: Vec<usize> },
-    CrossEntropy { logits: Var, targets: Vec<usize>, probs: Matrix },
+    Embedding {
+        table: Var,
+        ids: Vec<usize>,
+    },
+    CrossEntropy {
+        logits: Var,
+        targets: Vec<usize>,
+        probs: Matrix,
+    },
     Mse(Var, Var),
     MeanRows(Var),
-    SliceCols { x: Var, c0: usize, c1: usize },
+    SliceCols {
+        x: Var,
+        c0: usize,
+        c1: usize,
+    },
     HCat(Vec<Var>),
 }
 
@@ -60,7 +79,11 @@ impl Graph {
     }
 
     fn push(&mut self, value: Matrix, op: Op) -> Var {
-        self.nodes.push(Node { value, grad: None, op });
+        self.nodes.push(Node {
+            value,
+            grad: None,
+            op,
+        });
         Var(self.nodes.len() - 1)
     }
 
@@ -135,7 +158,10 @@ impl Graph {
     ///
     /// Panics if the operands' column counts disagree.
     pub fn matmul_nt(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).matmul_nt(self.value(b)).expect("matmul_nt shapes");
+        let v = self
+            .value(a)
+            .matmul_nt(self.value(b))
+            .expect("matmul_nt shapes");
         self.push(v, Op::MatMulNT(a, b))
     }
 
@@ -165,7 +191,10 @@ impl Graph {
     ///
     /// Panics if shapes differ.
     pub fn hadamard(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).hadamard(self.value(b)).expect("hadamard shapes");
+        let v = self
+            .value(a)
+            .hadamard(self.value(b))
+            .expect("hadamard shapes");
         self.push(v, Op::Hadamard(a, b))
     }
 
@@ -242,7 +271,13 @@ impl Graph {
         }
         self.push(
             out,
-            Op::LayerNorm { x, gamma, beta, normalized, inv_std },
+            Op::LayerNorm {
+                x,
+                gamma,
+                beta,
+                normalized,
+                inv_std,
+            },
         )
     }
 
@@ -310,7 +345,14 @@ impl Graph {
         }
         loss /= targets.len().max(1) as f32;
         let v = Matrix::from_vec(1, 1, vec![loss]).expect("scalar");
-        self.push(v, Op::CrossEntropy { logits, targets, probs })
+        self.push(
+            v,
+            Op::CrossEntropy {
+                logits,
+                targets,
+                probs,
+            },
+        )
     }
 
     /// Mean squared error between `a` and `b` (Eq. 5). Returns a scalar
@@ -454,7 +496,13 @@ impl Graph {
                     }
                     vec![(*a, dx)]
                 }
-                Op::LayerNorm { x, gamma, beta, normalized, inv_std } => {
+                Op::LayerNorm {
+                    x,
+                    gamma,
+                    beta,
+                    normalized,
+                    inv_std,
+                } => {
                     let g = self.nodes[gamma.0].value.clone();
                     let rows = grad.rows();
                     let cols = grad.cols();
@@ -470,15 +518,13 @@ impl Graph {
                             dgamma[(0, c)] += grow[c] * xhat[c];
                         }
                         // dxhat = grad * gamma
-                        let dxhat: Vec<f32> =
-                            (0..cols).map(|c| grow[c] * g[(0, c)]).collect();
+                        let dxhat: Vec<f32> = (0..cols).map(|c| grow[c] * g[(0, c)]).collect();
                         let mean_dxhat: f32 = dxhat.iter().sum::<f32>() / n;
                         let mean_dxhat_xhat: f32 =
                             dxhat.iter().zip(xhat).map(|(a, b)| a * b).sum::<f32>() / n;
                         let is = inv_std[r];
                         for c in 0..cols {
-                            dx[(r, c)] =
-                                is * (dxhat[c] - mean_dxhat - xhat[c] * mean_dxhat_xhat);
+                            dx[(r, c)] = is * (dxhat[c] - mean_dxhat - xhat[c] * mean_dxhat_xhat);
                         }
                     }
                     vec![(*x, dx), (*gamma, dgamma), (*beta, dbeta)]
@@ -539,7 +585,11 @@ impl Graph {
                     }
                     vec![(*table, dt)]
                 }
-                Op::CrossEntropy { logits, targets, probs } => {
+                Op::CrossEntropy {
+                    logits,
+                    targets,
+                    probs,
+                } => {
                     let scale = grad[(0, 0)] / targets.len().max(1) as f32;
                     let mut dl = probs.clone();
                     for (r, &t) in targets.iter().enumerate() {
@@ -688,7 +738,9 @@ mod tests {
             scalar_sum(g, pooled)
         });
         // ReLU is non-differentiable at 0; keep inputs away from it.
-        let x2 = rng.normal_matrix(4, 4, 1.0).map(|v| if v.abs() < 0.05 { 0.2 } else { v });
+        let x2 = rng
+            .normal_matrix(4, 4, 1.0)
+            .map(|v| if v.abs() < 0.05 { 0.2 } else { v });
         check_gradients(&[x2], |g, vars| {
             let y = g.relu(vars[0]);
             let pooled = g.mean_rows(y);

@@ -39,8 +39,8 @@
 
 #![deny(missing_docs)]
 
-mod graph;
 pub mod gradcheck;
+mod graph;
 mod optim;
 pub mod schedule;
 

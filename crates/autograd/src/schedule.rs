@@ -52,14 +52,17 @@ impl Schedule {
                     (step as f32 / warmup as f32).min(1.0)
                 }
             }
-            Schedule::WarmupCosine { warmup, total, floor } => {
+            Schedule::WarmupCosine {
+                warmup,
+                total,
+                floor,
+            } => {
                 assert!(total >= warmup.max(1), "total must cover the warmup");
                 assert!((0.0..=1.0).contains(&floor), "floor out of range");
                 if warmup > 0 && step < warmup {
                     return step as f32 / warmup as f32;
                 }
-                let progress =
-                    ((step - warmup) as f32 / (total - warmup).max(1) as f32).min(1.0);
+                let progress = ((step - warmup) as f32 / (total - warmup).max(1) as f32).min(1.0);
                 let cos = 0.5 * (1.0 + (std::f32::consts::PI * progress).cos());
                 floor + (1.0 - floor) * cos
             }
@@ -129,7 +132,10 @@ mod tests {
 
     #[test]
     fn step_decay_halves() {
-        let s = Schedule::StepDecay { every: 10, gamma: 0.5 };
+        let s = Schedule::StepDecay {
+            every: 10,
+            gamma: 0.5,
+        };
         assert_eq!(s.multiplier(9), 1.0);
         assert_eq!(s.multiplier(10), 0.5);
         assert_eq!(s.multiplier(25), 0.25);

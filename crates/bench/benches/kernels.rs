@@ -88,9 +88,10 @@ fn quantized_gemm(c: &mut Criterion) {
     for precision in [Precision::Int8, Precision::Int4] {
         let qa = Quantizer::symmetric(precision).quantize(&a);
         let qb = Quantizer::symmetric(precision).quantize(&b_mat);
-        group.bench_function(BenchmarkId::new("matmul_nt", precision.to_string()), |bch| {
-            bch.iter(|| qa.matmul_nt_dequant(&qb).unwrap())
-        });
+        group.bench_function(
+            BenchmarkId::new("matmul_nt", precision.to_string()),
+            |bch| bch.iter(|| qa.matmul_nt_dequant(&qb).unwrap()),
+        );
     }
     group.bench_function("f32_reference", |bch| {
         bch.iter(|| a.matmul_nt(&b_mat).unwrap())

@@ -11,8 +11,12 @@ fn fused_multiplier(c: &mut Criterion) {
     let len = 4096;
     for precision in Precision::ALL {
         let qmax = precision.qmax();
-        let a: Vec<i32> = (0..len).map(|i| (i % (2 * qmax as usize + 1)) as i32 - qmax).collect();
-        let b: Vec<i32> = (0..len).map(|i| ((i * 7) % (2 * qmax as usize + 1)) as i32 - qmax).collect();
+        let a: Vec<i32> = (0..len)
+            .map(|i| (i % (2 * qmax as usize + 1)) as i32 - qmax)
+            .collect();
+        let b: Vec<i32> = (0..len)
+            .map(|i| ((i * 7) % (2 * qmax as usize + 1)) as i32 - qmax)
+            .collect();
         group.bench_function(BenchmarkId::from_parameter(precision.to_string()), |bch| {
             bch.iter(|| {
                 let mut m = FusedMultiplier::new(precision);

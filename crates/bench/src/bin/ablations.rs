@@ -47,7 +47,10 @@ fn main() {
             ..Default::default()
         },
     );
-    for strategy in [SelectionStrategy::BalancedTopK, SelectionStrategy::GlobalThreshold] {
+    for strategy in [
+        SelectionStrategy::BalancedTopK,
+        SelectionStrategy::GlobalThreshold,
+    ] {
         let cfg = DetectorConfig::new(0.25)
             .with_sigma(0.5)
             .with_strategy(strategy);
@@ -105,7 +108,10 @@ fn main() {
     let sel = dota_accel::synth::sample_selection(n, k, &SelectionProfile::default(), &mut rng);
     let on = sched::schedule_matrix(&sel, 4, true).total_loads();
     let off = sched::schedule_matrix(&sel, 4, false).total_loads();
-    println!("  K/V loads with OoO: {on}; without: {off}; reduction {:.2}x", off as f64 / on as f64);
+    println!(
+        "  K/V loads with OoO: {on}; without: {off}; reduction {:.2}x",
+        off as f64 / on as f64
+    );
     println!("  row-by-row baseline: {}\n", sched::row_by_row_loads(&sel));
     results.ooo_loads_on = on;
     results.ooo_loads_off = off;

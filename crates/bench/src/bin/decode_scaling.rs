@@ -28,17 +28,19 @@ fn main() {
         "{:>8} {:>14} {:>14} {:>9} {:>12}",
         "context", "dense us/tok", "DOTA us/tok", "speedup", "KV share"
     );
-    let mut rows = Vec::new();
-    for context in [512usize, 1024, 2048, 4096, 8192, 16_000] {
+    let contexts = [512usize, 1024, 2048, 4096, 8192, 16_000];
+    let rows = dota_bench::run_sweep(&contexts, |&context| {
         let dense = simulate_decode(&cfg, &model, context, gen, 1.0, 0.0);
         let sparse = simulate_decode(&cfg, &model, context, gen, 0.1, 0.2);
-        let row = Row {
+        Row {
             context,
             dense_us_per_token: dense.us_per_token(gen),
             sparse_us_per_token: sparse.us_per_token(gen),
             speedup: dense.seconds() / sparse.seconds(),
             kv_fraction_dense: dense.kv_stream_cycles as f64 / dense.cycles as f64,
-        };
+        }
+    });
+    for row in &rows {
         println!(
             "{:>8} {:>14.0} {:>14.0} {:>8.2}x {:>11.1}%",
             row.context,
@@ -47,7 +49,6 @@ fn main() {
             row.speedup,
             row.kv_fraction_dense * 100.0
         );
-        rows.push(row);
     }
     println!("\nShape: at short contexts weight streaming dominates (speedup ~1x);");
     println!("as the K/V cache grows past the weight footprint, detection's savings");

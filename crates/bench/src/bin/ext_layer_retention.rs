@@ -33,7 +33,10 @@ fn main() {
         "Per-layer retention schedules on QA (seq 24), mean retention {:.0}%\n",
         mean_retention * 100.0
     );
-    println!("{:<14} {:>16} {:>10} {:>10}", "schedule", "per-layer", "accuracy", "achieved");
+    println!(
+        "{:<14} {:>16} {:>10} {:>10}",
+        "schedule", "per-layer", "accuracy", "achieved"
+    );
 
     let opts = TrainOptions {
         epochs: 20,
@@ -55,7 +58,10 @@ fn main() {
             &sample.ids,
             &run.hook.inference(&run.dota_params),
         );
-        let per: Vec<String> = layers.iter().map(|r| format!("{:.0}%", r * 100.0)).collect();
+        let per: Vec<String> = layers
+            .iter()
+            .map(|r| format!("{:.0}%", r * 100.0))
+            .collect();
         println!(
             "{name:<14} {:>16} {:>10.3} {:>9.1}%",
             per.join("/"),

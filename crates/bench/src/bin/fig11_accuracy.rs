@@ -72,7 +72,9 @@ fn main() {
             "{:>10} {:>8} {:>8} {:>8} {:>8}",
             "retention", "dense", "DOTA", "ELSA", "random"
         );
-        for &r in &retentions {
+        // Each retention trains and evaluates its own model — fully
+        // independent, so the sweep fans them out across the pool.
+        let per_retention = dota_bench::run_sweep(&retentions, |&r| {
             let run = BenchmarkRun::train(
                 benchmark,
                 seq_len,
@@ -86,6 +88,9 @@ fn main() {
             let dota = run.evaluate(Method::Dota, r, 1);
             let elsa = run.evaluate(Method::Elsa, r, 1);
             let random = run.evaluate(Method::Random, r, 1);
+            (r, dense, dota, elsa, random)
+        });
+        for (r, dense, dota, elsa, random) in &per_retention {
             println!(
                 "{:>9.1}% {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
                 r * 100.0,
@@ -95,10 +100,10 @@ fn main() {
                 random.accuracy
             );
             for (name, p) in [
-                ("dense", &dense),
-                ("dota", &dota),
-                ("elsa", &elsa),
-                ("random", &random),
+                ("dense", dense),
+                ("dota", dota),
+                ("elsa", elsa),
+                ("random", random),
             ] {
                 points.push(Point {
                     benchmark: benchmark.name().to_owned(),

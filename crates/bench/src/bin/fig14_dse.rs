@@ -53,7 +53,10 @@ fn main() {
     // head_dim is 16 here, so sigma maps to ranks 2..16.
     let sigmas = [0.125, 0.25, 0.375, 0.5, 0.75, 1.0];
     let mut sigma_sweep = Vec::new();
-    println!("Figure 14a: accuracy vs dimension-reduction factor sigma (retention {:.0}%)", retention * 100.0);
+    println!(
+        "Figure 14a: accuracy vs dimension-reduction factor sigma (retention {:.0}%)",
+        retention * 100.0
+    );
     println!("{:>8} {:>6} {:>10}", "sigma", "rank", "accuracy");
     for &sigma in &sigmas {
         let cfg = DetectorConfig::new(retention).with_sigma(sigma);
@@ -73,7 +76,10 @@ fn main() {
         );
         let acc = experiments::eval_accuracy(&model, &params, &test, &hook.inference(&params));
         println!("{sigma:>8.3} {rank:>6} {acc:>10.3}");
-        sigma_sweep.push(SigmaPoint { sigma, accuracy: acc });
+        sigma_sweep.push(SigmaPoint {
+            sigma,
+            accuracy: acc,
+        });
     }
 
     // (b) precision sweep at a fixed sigma.
@@ -112,8 +118,7 @@ fn main() {
             .with_sigma(0.5)
             .with_precision(precision);
         cfg_hook = reconfigure(cfg_hook, cfg);
-        let acc =
-            experiments::eval_accuracy(&model, &params, &test, &cfg_hook.inference(&params));
+        let acc = experiments::eval_accuracy(&model, &params, &test, &cfg_hook.inference(&params));
         println!("{:>8} {acc:>10.3}", precision.to_string());
         precision_sweep.push(PrecisionPoint {
             precision: precision.to_string(),

@@ -6,9 +6,9 @@
 //!
 //! Run with: `cargo run --release -p dota-bench --bin fig15_parallelism`
 
+use dota_accel::energy;
 use dota_accel::sched;
 use dota_accel::synth::{sample_selection, SelectionProfile};
-use dota_accel::energy;
 use dota_tensor::rng::SeededRng;
 use serde::Serialize;
 
@@ -25,7 +25,12 @@ struct Row {
 fn main() {
     // Header: the paper's worked examples.
     let fig8 = vec![vec![1u32, 2], vec![0, 1, 4], vec![1, 2], vec![0, 2, 4]];
-    let fig9 = vec![vec![0u32, 1, 2], vec![1, 2, 3], vec![1, 4, 5], vec![2, 3, 4]];
+    let fig9 = vec![
+        vec![0u32, 1, 2],
+        vec![1, 2, 3],
+        vec![1, 4, 5],
+        vec![2, 3, 4],
+    ];
     println!(
         "Fig. 8 example: row-by-row {} loads, token-parallel {} loads",
         sched::row_by_row_loads(&fig8),
@@ -63,9 +68,7 @@ fn main() {
             / (sched::buffer_requirement(4) as f64 * energy::SCHED_ID_PJ)
             * 0.08;
         let total = mem + sched_cost;
-        println!(
-            "{t:>12} {loads:>10} {mem:>10.3} {buffers:>8} {sched_cost:>11.3} {total:>10.3}",
-        );
+        println!("{t:>12} {loads:>10} {mem:>10.3} {buffers:>8} {sched_cost:>11.3} {total:>10.3}",);
         rows.push(Row {
             parallelism: t,
             key_loads: loads,

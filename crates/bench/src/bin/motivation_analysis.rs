@@ -60,9 +60,8 @@ fn main() {
             let scale = 1.0 / (hd as f32).sqrt();
             for (l, layer) in trace.layers.iter().enumerate() {
                 for (h, head) in layer.heads.iter().enumerate() {
-                    let attn: Matrix = ops::softmax_rows(
-                        &head.q.matmul_nt(&head.k).expect("shape").scale(scale),
-                    );
+                    let attn: Matrix =
+                        ops::softmax_rows(&head.q.matmul_nt(&head.k).expect("shape").scale(scale));
                     let s = attention_stats(&attn);
                     rows.push(Row {
                         model: name.to_owned(),

@@ -49,14 +49,15 @@ fn main() {
         accuracy: dense_acc,
         f1: dense_f1,
     });
-    for retention in [0.20, 0.15, 0.10, 0.05] {
+    let retentions = [0.20, 0.15, 0.10, 0.05];
+    rows.extend(dota_bench::run_sweep(&retentions, |&retention| {
         let hook = OracleHook::from_model(&model, &params, retention);
-        rows.push(Row {
+        Row {
             retention,
             accuracy: experiments::eval_accuracy(&model, &params, &test, &hook),
             f1: experiments::eval_f1(&model, &params, &test, &hook),
-        });
-    }
+        }
+    }));
 
     println!("\nTable 1: QA quality vs oracle top-k retention\n");
     println!("{:>10} {:>10} {:>10}", "retention", "accuracy", "macro-F1");

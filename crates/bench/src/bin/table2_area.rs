@@ -39,8 +39,12 @@ fn main() {
         energy::total_power_w(),
         energy::total_area_mm2()
     );
-    println!("derived per-op energies: FX16 MAC {:.2} pJ, SRAM {:.1} pJ/B, DRAM {:.0} pJ/B",
-        energy::MAC_FX16_PJ, energy::SRAM_PJ_PER_BYTE, energy::DRAM_PJ_PER_BYTE);
+    println!(
+        "derived per-op energies: FX16 MAC {:.2} pJ, SRAM {:.1} pJ/B, DRAM {:.0} pJ/B",
+        energy::MAC_FX16_PJ,
+        energy::SRAM_PJ_PER_BYTE,
+        energy::DRAM_PJ_PER_BYTE
+    );
 
     dota_bench::write_json("table2_area", &rows);
 }

@@ -36,6 +36,24 @@ fn results_dir() -> PathBuf {
     p
 }
 
+/// Runs `f` over every sweep point, fanning independent points out across
+/// the thread pool, and collects the results **in input order** — the
+/// output is byte-for-byte the same as a serial `points.iter().map(f)`
+/// loop, regardless of thread count (cap the pool with `DOTA_THREADS`).
+///
+/// The figure binaries sweep grids of independent (configuration,
+/// sequence-length) points; each point is pure compute, so they
+/// parallelize trivially. Per-point results must not depend on shared
+/// mutable state or on the order points complete in.
+pub fn run_sweep<T, R, F>(points: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    dota_parallel::par_map(points, |_, p| f(p))
+}
+
 /// Formats a ratio as `x.x×`.
 pub fn times(x: f64) -> String {
     if x >= 100.0 {
@@ -58,5 +76,13 @@ mod tests {
     #[test]
     fn results_dir_ends_with_results() {
         assert!(results_dir().ends_with("results"));
+    }
+
+    #[test]
+    fn run_sweep_preserves_input_order() {
+        let points: Vec<usize> = (0..64).collect();
+        let got = run_sweep(&points, |&p| p * p);
+        let want: Vec<usize> = points.iter().map(|&p| p * p).collect();
+        assert_eq!(got, want);
     }
 }

@@ -91,15 +91,15 @@ fn parse_variant(s: &str) -> Result<OperatingPoint, String> {
 
 /// Extracts `--flag value` from an argument list; returns remaining
 /// positional arguments.
-fn parse_flags(args: &[String]) -> Result<(Vec<String>, std::collections::BTreeMap<String, String>), String> {
+fn parse_flags(
+    args: &[String],
+) -> Result<(Vec<String>, std::collections::BTreeMap<String, String>), String> {
     let mut positional = Vec::new();
     let mut flags = std::collections::BTreeMap::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if let Some(name) = a.strip_prefix("--") {
-            let value = it
-                .next()
-                .ok_or_else(|| format!("--{name} needs a value"))?;
+            let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
             flags.insert(name.to_owned(), value.clone());
         } else {
             positional.push(a.clone());
@@ -108,22 +108,37 @@ fn parse_flags(args: &[String]) -> Result<(Vec<String>, std::collections::BTreeM
     Ok((positional, flags))
 }
 
-fn flag_f64(flags: &std::collections::BTreeMap<String, String>, name: &str) -> Result<Option<f64>, String> {
+fn flag_f64(
+    flags: &std::collections::BTreeMap<String, String>,
+    name: &str,
+) -> Result<Option<f64>, String> {
     flags
         .get(name)
-        .map(|v| v.parse::<f64>().map_err(|_| format!("--{name} must be a number")))
+        .map(|v| {
+            v.parse::<f64>()
+                .map_err(|_| format!("--{name} must be a number"))
+        })
         .transpose()
 }
 
-fn flag_usize(flags: &std::collections::BTreeMap<String, String>, name: &str) -> Result<Option<usize>, String> {
+fn flag_usize(
+    flags: &std::collections::BTreeMap<String, String>,
+    name: &str,
+) -> Result<Option<usize>, String> {
     flags
         .get(name)
-        .map(|v| v.parse::<usize>().map_err(|_| format!("--{name} must be an integer")))
+        .map(|v| {
+            v.parse::<usize>()
+                .map_err(|_| format!("--{name} must be an integer"))
+        })
         .transpose()
 }
 
 fn cmd_table2() -> Result<(), String> {
-    println!("{:<18} {:<34} {:>10} {:>10}", "module", "configuration", "power mW", "area mm2");
+    println!(
+        "{:<18} {:<34} {:>10} {:>10}",
+        "module", "configuration", "power mW", "area mm2"
+    );
     for m in energy::table2() {
         println!(
             "{:<18} {:<34} {:>10.2} {:>10.3}",
@@ -155,7 +170,13 @@ fn cmd_speedup(args: &[String]) -> Result<(), String> {
     let system = DotaSystem::paper_default();
     println!(
         "{:>10} {:>8} {:>9} {:>12} {:>13} {:>9} {:>11}",
-        "benchmark", "variant", "retention", "attn vs GPU", "attn vs ELSA", "e2e GPU", "upper bound"
+        "benchmark",
+        "variant",
+        "retention",
+        "attn vs GPU",
+        "attn vs ELSA",
+        "e2e GPU",
+        "upper bound"
     );
     for b in selected_benchmarks(&positional)? {
         for &v in &variants {
@@ -211,12 +232,28 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     let n = bench.paper_seq_len();
     let acc = Accelerator::new(AccelConfig::gpu_comparable());
     let rep = acc.simulate_shape(&model, n, retention, sigma, &SelectionProfile::default());
-    println!("benchmark {} (seq {n}), retention {:.1}%, sigma {sigma}", bench.name(), retention * 100.0);
-    println!("cycles: linear {} | detection {} | attention {} | ffn {} | total {}",
-        rep.cycles.linear, rep.cycles.detection, rep.cycles.attention, rep.cycles.ffn, rep.cycles.total());
-    println!("latency: {:.3} ms; attention block {:.3} ms",
-        rep.seconds() * 1e3, rep.attention_seconds() * 1e3);
-    println!("K/V loads: {} (row-by-row would be {})", rep.key_loads, rep.key_loads_row_by_row);
+    println!(
+        "benchmark {} (seq {n}), retention {:.1}%, sigma {sigma}",
+        bench.name(),
+        retention * 100.0
+    );
+    println!(
+        "cycles: linear {} | detection {} | attention {} | ffn {} | total {}",
+        rep.cycles.linear,
+        rep.cycles.detection,
+        rep.cycles.attention,
+        rep.cycles.ffn,
+        rep.cycles.total()
+    );
+    println!(
+        "latency: {:.3} ms; attention block {:.3} ms",
+        rep.seconds() * 1e3,
+        rep.attention_seconds() * 1e3
+    );
+    println!(
+        "K/V loads: {} (row-by-row would be {})",
+        rep.key_loads, rep.key_loads_row_by_row
+    );
     let e = &rep.energy;
     println!(
         "energy (mJ): rmmu {:.2} | mfu {:.2} | sched {:.3} | accum {:.2} | sram {:.2} | dram {:.2} | total {:.2}",

@@ -86,8 +86,7 @@ pub fn save_params(params: &ParamSet, path: &Path) -> Result<(), CheckpointError
             })
             .collect(),
     };
-    let json = serde_json::to_string(&doc)
-        .map_err(|e| CheckpointError::Parse(e.to_string()))?;
+    let json = serde_json::to_string(&doc).map_err(|e| CheckpointError::Parse(e.to_string()))?;
     std::fs::write(path, json)?;
     Ok(())
 }

@@ -27,7 +27,14 @@ use dota_transformer::Model;
 pub fn linear_weight_ids(model: &Model) -> Vec<ParamId> {
     let mut ids = Vec::new();
     for layer in &model.params().layers {
-        ids.extend([layer.wq, layer.wk, layer.wv, layer.wo, layer.w_ff1, layer.w_ff2]);
+        ids.extend([
+            layer.wq,
+            layer.wk,
+            layer.wv,
+            layer.wo,
+            layer.w_ff1,
+            layer.w_ff2,
+        ]);
     }
     ids
 }
@@ -55,7 +62,10 @@ pub fn fake_quantize_weights(model: &Model, params: &mut ParamSet, precision: Pr
 ///
 /// Panics if `sparsity` is not in `[0, 1)`.
 pub fn prune_weights(model: &Model, params: &mut ParamSet, sparsity: f64) -> f64 {
-    assert!((0.0..1.0).contains(&sparsity), "sparsity {sparsity} out of range");
+    assert!(
+        (0.0..1.0).contains(&sparsity),
+        "sparsity {sparsity} out of range"
+    );
     let ids = linear_weight_ids(model);
     let mut magnitudes: Vec<f32> = Vec::new();
     for &id in &ids {
@@ -126,7 +136,10 @@ mod tests {
         let mut quantized = params.clone();
         fake_quantize_weights(&model, &mut quantized, Precision::Int2);
         let acc = experiments::eval_accuracy(&model, &quantized, &test, &NoHook);
-        assert!(acc < baseline, "INT2 weights should degrade: {acc} vs {baseline}");
+        assert!(
+            acc < baseline,
+            "INT2 weights should degrade: {acc} vs {baseline}"
+        );
     }
 
     #[test]
@@ -150,7 +163,10 @@ mod tests {
         let _ = prune_weights(&model, &mut pruned, 0.5);
         // Embeddings and the head are untouched.
         let tp = model.params();
-        assert_eq!(params.value(tp.token_embedding), pruned.value(tp.token_embedding));
+        assert_eq!(
+            params.value(tp.token_embedding),
+            pruned.value(tp.token_embedding)
+        );
         assert_eq!(params.value(tp.w_head), pruned.value(tp.w_head));
         // Linear weights did change.
         assert_ne!(

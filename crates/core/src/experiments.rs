@@ -7,7 +7,11 @@
 //! baselines (dense, post-hoc oracle top-k, ELSA, A3, random).
 
 use dota_autograd::{Adam, Graph, Optimizer, ParamSet};
-use dota_detector::{a3::A3Hook, elsa::ElsaHook, oracle::{OracleHook, RandomHook}};
+use dota_detector::{
+    a3::A3Hook,
+    elsa::ElsaHook,
+    oracle::{OracleHook, RandomHook},
+};
 use dota_detector::{DetectorConfig, DotaHook};
 use dota_transformer::{InferenceHook, Model, NoHook, TransformerConfig};
 use dota_workloads::{generators, metrics, Benchmark, Dataset, TaskSpec};
@@ -158,8 +162,7 @@ pub fn train_joint(
                             .expect("shape")
                             .scale(scale);
                         let target = g.constant(scores);
-                        let s_tilde =
-                            hook.detector(l, h).estimated_scores(&mut g, params, xv);
+                        let s_tilde = hook.detector(l, h).estimated_scores(&mut g, params, xv);
                         let mse = g.mse(s_tilde, target);
                         acc = Some(match acc {
                             None => mse,
@@ -207,6 +210,35 @@ pub fn train_joint(
     losses
 }
 
+/// Runs `per_sample` over every sample of `data`, in input order — fanned
+/// out across worker threads with the `parallel` feature (sequences are
+/// independent at inference time), serially otherwise. Both paths produce
+/// the same vector, so every evaluation metric built on this is identical
+/// with and without the feature.
+fn map_samples<R: Send>(
+    data: &Dataset,
+    per_sample: impl Fn(&dota_workloads::Sample) -> R + Sync,
+) -> Vec<R> {
+    let samples = data.samples();
+    #[cfg(feature = "parallel")]
+    return dota_parallel::par_map(samples, |_, s| per_sample(s));
+    #[cfg(not(feature = "parallel"))]
+    samples.iter().map(per_sample).collect()
+}
+
+/// Per-sample `(prediction, label)` pairs under an inference hook.
+fn eval_pairs(
+    model: &Model,
+    params: &ParamSet,
+    data: &Dataset,
+    hook: &dyn InferenceHook,
+) -> Vec<(usize, usize)> {
+    map_samples(data, |s| {
+        let trace = model.infer(params, &s.ids, hook);
+        (trace.predicted_class(), s.label)
+    })
+}
+
 /// Classification accuracy of `model` on `data` under an inference hook.
 pub fn eval_accuracy(
     model: &Model,
@@ -214,26 +246,15 @@ pub fn eval_accuracy(
     data: &Dataset,
     hook: &dyn InferenceHook,
 ) -> f64 {
-    let pairs: Vec<(usize, usize)> = data
-        .iter()
-        .map(|s| {
-            let trace = model.infer(params, &s.ids, hook);
-            (trace.predicted_class(), s.label)
-        })
-        .collect();
-    metrics::accuracy(&pairs)
+    metrics::accuracy(&eval_pairs(model, params, data, hook))
 }
 
 /// Macro-F1 of `model` on `data` (the QA metric).
 pub fn eval_f1(model: &Model, params: &ParamSet, data: &Dataset, hook: &dyn InferenceHook) -> f64 {
-    let pairs: Vec<(usize, usize)> = data
-        .iter()
-        .map(|s| {
-            let trace = model.infer(params, &s.ids, hook);
-            (trace.predicted_class(), s.label)
-        })
-        .collect();
-    metrics::macro_f1(&pairs, data.spec().n_classes)
+    metrics::macro_f1(
+        &eval_pairs(model, params, data, hook),
+        data.spec().n_classes,
+    )
 }
 
 /// Language-model evaluation result.
@@ -247,18 +268,24 @@ pub struct LmEval {
 }
 
 /// Evaluates a causal model: overall perplexity plus copy-recall accuracy.
-pub fn eval_lm(model: &Model, params: &ParamSet, data: &Dataset, hook: &dyn InferenceHook) -> LmEval {
-    let mut nll_sum = 0.0;
-    let mut nll_count = 0usize;
-    let mut recall_hits = 0usize;
-    let mut recall_total = 0usize;
-    for s in data {
+///
+/// Per-sequence statistics are computed independently (in parallel with the
+/// `parallel` feature) and reduced in input order, so the result does not
+/// depend on the execution schedule.
+pub fn eval_lm(
+    model: &Model,
+    params: &ParamSet,
+    data: &Dataset,
+    hook: &dyn InferenceHook,
+) -> LmEval {
+    // (nll contribution, predicted positions, recall hit at the planted
+    // copy position — None when the sequence has no recall position).
+    let stats: Vec<(f64, usize, Option<bool>)> = map_samples(data, |s| {
         let trace = model.infer(params, &s.ids, hook);
         let targets: Vec<usize> = s.ids[1..].to_vec();
         let logits = trace.logits.slice_rows(0, targets.len());
-        nll_sum += metrics::mean_nll(&logits, &targets) * targets.len() as f64;
-        nll_count += targets.len();
-        if let Some(pos) = generators::lm_recall_position(&s.ids) {
+        let nll = metrics::mean_nll(&logits, &targets) * targets.len() as f64;
+        let recall = generators::lm_recall_position(&s.ids).map(|pos| {
             // Position pos-1 predicts the token at pos.
             let row = logits.row(pos - 1);
             let pred = row
@@ -267,8 +294,20 @@ pub fn eval_lm(model: &Model, params: &ParamSet, data: &Dataset, hook: &dyn Infe
                 .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
                 .map(|(i, _)| i)
                 .unwrap_or(0);
+            pred == s.ids[pos]
+        });
+        (nll, targets.len(), recall)
+    });
+    let mut nll_sum = 0.0;
+    let mut nll_count = 0usize;
+    let mut recall_hits = 0usize;
+    let mut recall_total = 0usize;
+    for (nll, count, recall) in stats {
+        nll_sum += nll;
+        nll_count += count;
+        if let Some(hit) = recall {
             recall_total += 1;
-            if pred == s.ids[pos] {
+            if hit {
                 recall_hits += 1;
             }
         }
@@ -363,23 +402,44 @@ impl BenchmarkRun {
     pub fn evaluate(&self, method: Method, retention: f64, seed: u64) -> AccuracyPoint {
         let (params, hook): (&ParamSet, Box<dyn InferenceHook + '_>) = match method {
             Method::Dense => (&self.dense_params, Box::new(NoHook)),
-            Method::Dota => (&self.dota_params, Box::new(self.hook.inference(&self.dota_params))),
+            Method::Dota => (
+                &self.dota_params,
+                Box::new(self.hook.inference(&self.dota_params)),
+            ),
             Method::Oracle => (
                 &self.dense_params,
-                Box::new(OracleHook::from_model(&self.model, &self.dense_params, retention)),
+                Box::new(OracleHook::from_model(
+                    &self.model,
+                    &self.dense_params,
+                    retention,
+                )),
             ),
             Method::Elsa => (
                 &self.dense_params,
-                Box::new(ElsaHook::from_model(&self.model, &self.dense_params, 64, retention, seed)),
+                Box::new(ElsaHook::from_model(
+                    &self.model,
+                    &self.dense_params,
+                    64,
+                    retention,
+                    seed,
+                )),
             ),
             Method::A3 => {
                 let dims = (self.model.config().head_dim() / 4).max(1);
                 (
                     &self.dense_params,
-                    Box::new(A3Hook::from_model(&self.model, &self.dense_params, dims, retention)),
+                    Box::new(A3Hook::from_model(
+                        &self.model,
+                        &self.dense_params,
+                        dims,
+                        retention,
+                    )),
                 )
             }
-            Method::Random => (&self.dense_params, Box::new(RandomHook::new(retention, seed))),
+            Method::Random => (
+                &self.dense_params,
+                Box::new(RandomHook::new(retention, seed)),
+            ),
         };
         if self.benchmark.is_lm() {
             let lm = eval_lm(&self.model, params, &self.test, hook.as_ref());
@@ -473,7 +533,10 @@ mod tests {
             &mut params,
             &train,
             &TrainOptions {
-                epochs: 10,
+                // Enough epochs that the learned attention structure is real
+                // signal (an undertrained model's scores are noise, and the
+                // oracle has no advantage to exploit).
+                epochs: 16,
                 ..Default::default()
             },
         );

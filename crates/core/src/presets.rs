@@ -90,7 +90,10 @@ mod tests {
             let c = retention(b, OperatingPoint::Conservative);
             let a = retention(b, OperatingPoint::Aggressive);
             assert!(a <= c, "{b:?}: aggressive {a} > conservative {c}");
-            assert!(c < ELSA_RETENTION + 1e-12, "{b:?}: DOTA-C must beat ELSA's 20%");
+            assert!(
+                c < ELSA_RETENTION + 1e-12,
+                "{b:?}: DOTA-C must beat ELSA's 20%"
+            );
             assert_eq!(retention(b, OperatingPoint::Full), 1.0);
         }
     }

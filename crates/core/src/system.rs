@@ -196,7 +196,11 @@ mod tests {
         let mut count = 0;
         for b in Benchmark::ALL {
             let row = sys.speedup_row(b, OperatingPoint::Conservative);
-            assert!(row.attention_vs_elsa > 1.0, "{b:?}: {}", row.attention_vs_elsa);
+            assert!(
+                row.attention_vs_elsa > 1.0,
+                "{b:?}: {}",
+                row.attention_vs_elsa
+            );
             product *= row.attention_vs_elsa;
             count += 1;
         }
@@ -232,7 +236,11 @@ mod tests {
                 row.end_to_end_vs_gpu,
                 row.upper_bound_vs_gpu
             );
-            assert!(row.end_to_end_vs_gpu > 1.0, "{b:?}: e2e {}", row.end_to_end_vs_gpu);
+            assert!(
+                row.end_to_end_vs_gpu > 1.0,
+                "{b:?}: e2e {}",
+                row.end_to_end_vs_gpu
+            );
         }
     }
 
@@ -276,7 +284,11 @@ mod tests {
         for b in Benchmark::ALL {
             let row = sys.energy_row(b, OperatingPoint::Conservative);
             assert!(row.vs_gpu > 50.0, "{b:?}: vs GPU {}", row.vs_gpu);
-            assert!(row.vs_elsa_attention > 1.0, "{b:?}: vs ELSA {}", row.vs_elsa_attention);
+            assert!(
+                row.vs_elsa_attention > 1.0,
+                "{b:?}: vs ELSA {}",
+                row.vs_elsa_attention
+            );
             assert!(row.dota_mj > 0.0);
         }
     }

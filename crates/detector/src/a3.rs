@@ -68,8 +68,16 @@ impl A3Hook {
         assert!(dims_used > 0 && dims_used <= hd, "dims_used out of range");
         let tp: &TransformerParams = model.params();
         Self {
-            wq: tp.layers.iter().map(|l| params.value(l.wq).clone()).collect(),
-            wk: tp.layers.iter().map(|l| params.value(l.wk).clone()).collect(),
+            wq: tp
+                .layers
+                .iter()
+                .map(|l| params.value(l.wq).clone())
+                .collect(),
+            wk: tp
+                .layers
+                .iter()
+                .map(|l| params.value(l.wk).clone())
+                .collect(),
             n_heads: model.config().n_heads,
             head_dim: hd,
             dims_used,

@@ -64,7 +64,10 @@ pub fn calibrate_thresholds(
     validation: &[Vec<usize>],
     retention: f64,
 ) -> ThresholdTable {
-    assert!(!validation.is_empty(), "need at least one validation sequence");
+    assert!(
+        !validation.is_empty(),
+        "need at least one validation sequence"
+    );
     assert!(
         retention > 0.0 && retention <= 1.0,
         "retention {retention} out of range"
@@ -82,8 +85,7 @@ pub fn calibrate_thresholds(
                 pooled.extend(scores.iter().copied());
             }
             pooled.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
-            let keep = ((retention * pooled.len() as f64).round() as usize)
-                .clamp(1, pooled.len());
+            let keep = ((retention * pooled.len() as f64).round() as usize).clamp(1, pooled.len());
             thresholds[l][h] = pooled[keep - 1];
         }
     }
@@ -134,7 +136,10 @@ impl<'a> ThresholdHook<'a> {
 
 impl InferenceHook for ThresholdHook<'_> {
     fn select(&self, layer: usize, head: usize, x: &Matrix) -> Option<Vec<Vec<u32>>> {
-        let scores = self.hook.inference(self.params).estimated_scores(layer, head, x);
+        let scores = self
+            .hook
+            .inference(self.params)
+            .estimated_scores(layer, head, x);
         let _ = self.cfg();
         let thresh = self.table.threshold(layer, head);
         let n = scores.cols();
@@ -155,7 +160,9 @@ impl InferenceHook for ThresholdHook<'_> {
                         keep.push((row[best as usize], best));
                     }
                     if let Some(cap) = self.max_per_row {
-                        keep.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+                        keep.sort_by(|a, b| {
+                            b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal)
+                        });
                         keep.truncate(cap.min(n));
                     }
                     keep.into_iter().map(|(_, j)| j).collect()

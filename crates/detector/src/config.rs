@@ -78,7 +78,10 @@ impl DetectorConfig {
     ///
     /// Panics if `sigma` is not in `(0, 1]`.
     pub fn with_sigma(mut self, sigma: f64) -> Self {
-        assert!(sigma > 0.0 && sigma <= 1.0, "sigma {sigma} must be in (0, 1]");
+        assert!(
+            sigma > 0.0 && sigma <= 1.0,
+            "sigma {sigma} must be in (0, 1]"
+        );
         self.sigma = sigma;
         self
     }

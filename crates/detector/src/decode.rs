@@ -41,12 +41,7 @@ pub struct DotaDecodeSelector<'a> {
 impl<'a> DotaDecodeSelector<'a> {
     /// Creates a selector over a trained detector bank for a model with
     /// `n_layers` × `n_heads` heads.
-    pub fn new(
-        hook: &'a DotaHook,
-        params: &'a ParamSet,
-        n_layers: usize,
-        n_heads: usize,
-    ) -> Self {
+    pub fn new(hook: &'a DotaHook, params: &'a ParamSet, n_layers: usize, n_heads: usize) -> Self {
         Self {
             hook,
             params,
@@ -56,7 +51,7 @@ impl<'a> DotaDecodeSelector<'a> {
                 keys: (0..n_layers)
                     .map(|_| (0..n_heads).map(|_| Matrix::zeros(0, 1)).collect())
                     .collect(),
-            len: 0,
+                len: 0,
             }),
         }
     }
@@ -73,12 +68,8 @@ impl DecodeSelector for DotaDecodeSelector<'_> {
         let det = self.hook.detector(layer, head);
         // Project the current row once: xp is 1 x rank.
         let xp = x.matmul(det.projection()).expect("projection shape");
-        let k_row = xp
-            .matmul(self.params.value(det.wk_tilde()))
-            .expect("shape");
-        let q_row = xp
-            .matmul(self.params.value(det.wq_tilde()))
-            .expect("shape");
+        let k_row = xp.matmul(self.params.value(det.wk_tilde())).expect("shape");
+        let q_row = xp.matmul(self.params.value(det.wq_tilde())).expect("shape");
 
         // Append this step's key sketch (the model appends its K/V before
         // calling attention, so cache_len already includes the new row).
@@ -162,14 +153,11 @@ mod tests {
             model.config().n_layers,
             model.config().n_heads,
         );
-        let mut cache = dota_transformer::KvCache::new(
-            model.config().n_layers,
-            model.config().d_model,
-        );
+        let mut cache =
+            dota_transformer::KvCache::new(model.config().n_layers, model.config().d_model);
         for (i, &t) in [1usize, 2, 3].iter().enumerate() {
             let _ = model.decode_step(&params, &mut cache, t, &selector);
             assert_eq!(selector.cached(), i + 1);
         }
     }
-
 }

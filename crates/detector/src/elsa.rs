@@ -102,8 +102,16 @@ impl ElsaHook {
             "retention {retention} must be in (0, 1]"
         );
         let tp: &TransformerParams = model.params();
-        let wq = tp.layers.iter().map(|l| params.value(l.wq).clone()).collect();
-        let wk = tp.layers.iter().map(|l| params.value(l.wk).clone()).collect();
+        let wq = tp
+            .layers
+            .iter()
+            .map(|l| params.value(l.wq).clone())
+            .collect();
+        let wk = tp
+            .layers
+            .iter()
+            .map(|l| params.value(l.wk).clone())
+            .collect();
         Self {
             wq,
             wk,

@@ -29,11 +29,7 @@ pub struct DotaHook {
 impl DotaHook {
     /// Initializes one detector per `(layer, head)` of `model_cfg`,
     /// registering all trainable low-rank parameters in `params`.
-    pub fn init(
-        cfg: DetectorConfig,
-        model_cfg: &TransformerConfig,
-        params: &mut ParamSet,
-    ) -> Self {
+    pub fn init(cfg: DetectorConfig, model_cfg: &TransformerConfig, params: &mut ParamSet) -> Self {
         let hd = model_cfg.head_dim();
         let detectors = (0..model_cfg.n_layers)
             .map(|l| {
@@ -284,10 +280,7 @@ mod tests {
     fn joint_training_keeps_model_trainable() {
         use dota_autograd::{Adam, Optimizer};
         let (model, hook, mut params) = setup();
-        let data = [
-            (vec![1usize, 1, 2, 2], 0usize),
-            (vec![2, 2, 1, 1], 1),
-        ];
+        let data = [(vec![1usize, 1, 2, 2], 0usize), (vec![2, 2, 1, 1], 1)];
         let mut opt = Adam::new(0.01);
         let mut first = 0.0;
         let mut last = 0.0;

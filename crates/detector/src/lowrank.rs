@@ -1,6 +1,6 @@
 use crate::{DetectorConfig, SelectionStrategy};
 use dota_autograd::{Graph, ParamId, ParamSet, Var};
-use dota_quant::{Quantizer};
+use dota_quant::Quantizer;
 use dota_tensor::rng::SeededRng;
 use dota_tensor::{topk, Matrix};
 
@@ -256,7 +256,10 @@ mod tests {
         };
         let r8 = recall_at(Precision::Int8);
         let r2 = recall_at(Precision::Int2);
-        assert!(r8 >= r2, "INT8 {r8} should match f32 at least as well as INT2 {r2}");
+        assert!(
+            r8 >= r2,
+            "INT8 {r8} should match f32 at least as well as INT2 {r2}"
+        );
         assert!(r8 > 0.8, "INT8 recall {r8}");
     }
 
@@ -272,8 +275,7 @@ mod tests {
 
     #[test]
     fn global_threshold_keeps_retention_overall() {
-        let cfg = DetectorConfig::new(0.25)
-            .with_strategy(SelectionStrategy::GlobalThreshold);
+        let cfg = DetectorConfig::new(0.25).with_strategy(SelectionStrategy::GlobalThreshold);
         let mut rng = SeededRng::new(5);
         let scores = rng.normal_matrix(20, 20, 1.0);
         let sel = LowRankDetector::select(&cfg, &scores);

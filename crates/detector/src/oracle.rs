@@ -10,7 +10,6 @@ use dota_autograd::ParamSet;
 use dota_tensor::rng::SeededRng;
 use dota_tensor::{topk, Matrix};
 use dota_transformer::{InferenceHook, Model, TransformerParams};
-use std::cell::RefCell;
 
 /// Post-hoc exact top-k selection (Table 1's "retention" rows).
 #[derive(Debug)]
@@ -35,8 +34,16 @@ impl OracleHook {
         );
         let tp: &TransformerParams = model.params();
         Self {
-            wq: tp.layers.iter().map(|l| params.value(l.wq).clone()).collect(),
-            wk: tp.layers.iter().map(|l| params.value(l.wk).clone()).collect(),
+            wq: tp
+                .layers
+                .iter()
+                .map(|l| params.value(l.wq).clone())
+                .collect(),
+            wk: tp
+                .layers
+                .iter()
+                .map(|l| params.value(l.wk).clone())
+                .collect(),
             n_heads: model.config().n_heads,
             head_dim: model.config().head_dim(),
             retention,
@@ -71,10 +78,15 @@ impl InferenceHook for OracleHook {
 
 /// Uniform random selection at a fixed retention — the floor any detector
 /// must beat.
+///
+/// The random stream is derived per `(layer, head)` from the base seed, so
+/// the selection for a head depends only on its identity and the input —
+/// never on how many heads were queried before it. That keeps results
+/// identical whether heads run serially or on the `parallel` fan-out.
 #[derive(Debug)]
 pub struct RandomHook {
     retention: f64,
-    rng: RefCell<SeededRng>,
+    seed: u64,
 }
 
 impl RandomHook {
@@ -88,18 +100,19 @@ impl RandomHook {
             retention > 0.0 && retention <= 1.0,
             "retention {retention} must be in (0, 1]"
         );
-        Self {
-            retention,
-            rng: RefCell::new(SeededRng::new(seed)),
-        }
+        Self { retention, seed }
     }
 }
 
 impl InferenceHook for RandomHook {
-    fn select(&self, _layer: usize, _head: usize, x: &Matrix) -> Option<Vec<Vec<u32>>> {
+    fn select(&self, layer: usize, head: usize, x: &Matrix) -> Option<Vec<Vec<u32>>> {
         let n = x.rows();
         let kpr = ((self.retention * n as f64).round() as usize).clamp(1, n);
-        let mut rng = self.rng.borrow_mut();
+        let mut rng = SeededRng::new(
+            self.seed
+                .wrapping_add(layer as u64 * 0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(head as u64 * 0xD1B5_4A32_D192_ED03),
+        );
         Some(
             (0..n)
                 .map(|_| {
@@ -160,21 +173,25 @@ mod tests {
     #[test]
     fn oracle_output_closer_to_dense_than_random() {
         // At the same retention, oracle top-k should perturb the logits
-        // less than random selection.
+        // less than random selection. A single random draw can get lucky,
+        // so compare against the mean perturbation over several seeds.
         let (m, params) = model();
         let ids = vec![1, 2, 3, 4, 5, 6, 7, 0];
         let dense = m.infer(&params, &ids, &dota_transformer::NoHook);
-        let oracle = m.infer(
-            &params,
-            &ids,
-            &OracleHook::from_model(&m, &params, 0.25),
-        );
-        let random = m.infer(&params, &ids, &RandomHook::new(0.25, 9));
+        let oracle = m.infer(&params, &ids, &OracleHook::from_model(&m, &params, 0.25));
         let d_oracle = dense.logits.sub(&oracle.logits).unwrap().frobenius_norm();
-        let d_random = dense.logits.sub(&random.logits).unwrap().frobenius_norm();
+        let seeds = [9u64, 10, 11, 12, 13];
+        let d_random = seeds
+            .iter()
+            .map(|&s| {
+                let random = m.infer(&params, &ids, &RandomHook::new(0.25, s));
+                dense.logits.sub(&random.logits).unwrap().frobenius_norm()
+            })
+            .sum::<f32>()
+            / seeds.len() as f32;
         assert!(
             d_oracle <= d_random,
-            "oracle dist {d_oracle} vs random {d_random}"
+            "oracle dist {d_oracle} vs mean random dist {d_random}"
         );
     }
 }

@@ -16,7 +16,7 @@
 use dota_autograd::ParamSet;
 use dota_tensor::{ops, topk, Matrix};
 use dota_transformer::{InferenceHook, Model, TransformerParams};
-use std::cell::RefCell;
+use std::sync::Mutex;
 
 /// Cascade token pruning configured like SpAtten.
 #[derive(Debug)]
@@ -29,8 +29,10 @@ pub struct SpattenHook {
     /// Fraction of tokens surviving after the final layer.
     final_keep: f64,
     /// Cache of the survivor set per sequence (keyed by the layer-0 input's
-    /// fingerprint), since `select` is called per (layer, head).
-    state: RefCell<CascadeState>,
+    /// fingerprint), since `select` is called per (layer, head). A mutex —
+    /// not a `RefCell` — because the parallel per-head fan-out calls
+    /// `select` from worker threads.
+    state: Mutex<CascadeState>,
 }
 
 #[derive(Debug, Default)]
@@ -54,13 +56,21 @@ impl SpattenHook {
         );
         let tp: &TransformerParams = model.params();
         Self {
-            wq: tp.layers.iter().map(|l| params.value(l.wq).clone()).collect(),
-            wk: tp.layers.iter().map(|l| params.value(l.wk).clone()).collect(),
+            wq: tp
+                .layers
+                .iter()
+                .map(|l| params.value(l.wq).clone())
+                .collect(),
+            wk: tp
+                .layers
+                .iter()
+                .map(|l| params.value(l.wk).clone())
+                .collect(),
             n_heads: model.config().n_heads,
             n_layers: model.config().n_layers,
             head_dim: model.config().head_dim(),
             final_keep,
-            state: RefCell::new(CascadeState::default()),
+            state: Mutex::new(CascadeState::default()),
         }
     }
 
@@ -71,8 +81,7 @@ impl SpattenHook {
         if self.n_layers <= 1 {
             return ((self.final_keep * n as f64).round() as usize).clamp(1, n);
         }
-        let frac = 1.0
-            - (1.0 - self.final_keep) * (layer as f64 / (self.n_layers - 1) as f64);
+        let frac = 1.0 - (1.0 - self.final_keep) * (layer as f64 / (self.n_layers - 1) as f64);
         ((frac * n as f64).round() as usize).clamp(1, n)
     }
 
@@ -134,13 +143,17 @@ impl SpattenHook {
 impl InferenceHook for SpattenHook {
     fn select(&self, layer: usize, _head: usize, x: &Matrix) -> Option<Vec<Vec<u32>>> {
         // The hook receives each layer's own input; the cascade must be
-        // computed once per sequence from the first layer's input.
+        // computed once per sequence from the first layer's input. The
+        // fingerprint check makes the computation idempotent, so the heads
+        // of layer 0 may call in (and race to populate) any order.
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         if layer == 0 {
-            let mut state = self.state.borrow_mut();
-            state.fingerprint = Self::fingerprint(x);
-            state.survivors_per_layer = self.cascade(x);
+            let fp = Self::fingerprint(x);
+            if state.fingerprint != fp || state.survivors_per_layer.is_empty() {
+                state.fingerprint = fp;
+                state.survivors_per_layer = self.cascade(x);
+            }
         }
-        let state = self.state.borrow();
         let survivors = state
             .survivors_per_layer
             .get(layer)
@@ -188,11 +201,7 @@ mod tests {
         assert_eq!(per_layer[1].len(), 2); // 25% of 8
     }
 
-    fn dota_detector_layer_inputs(
-        m: &Model,
-        params: &ParamSet,
-        ids: &[usize],
-    ) -> Vec<Matrix> {
+    fn dota_detector_layer_inputs(m: &Model, params: &ParamSet, ids: &[usize]) -> Vec<Matrix> {
         crate::metrics::layer_inputs(m, params, ids)
     }
 

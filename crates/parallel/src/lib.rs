@@ -1,0 +1,230 @@
+//! Host-side parallel execution layer for the DOTA reproduction.
+//!
+//! The paper's premise is throughput: detect-and-omit exists so attention
+//! runs as fast as the hardware allows. This crate supplies the *host*
+//! counterpart of that idea — a small, dependency-free fork/join layer over
+//! `std::thread::scope` with a rayon-like API, used by the GEMM kernels
+//! (`dota-tensor`, behind its `parallel` feature), the per-head attention
+//! fan-out (`dota-transformer`), batched workload evaluation (`dota-core`)
+//! and the benchmark sweep harness (`dota-bench`).
+//!
+//! Two primitives cover all of those:
+//!
+//! * [`par_map`] — order-preserving parallel map over a slice with dynamic
+//!   (work-stealing-style) scheduling; used for heads, sequences and sweep
+//!   points, whose costs vary.
+//! * [`par_partition_mut`] — static contiguous partitioning of a mutable
+//!   buffer on unit boundaries; used for row-block GEMM, where partitioning
+//!   by output rows keeps parallel results bitwise identical to serial.
+//!
+//! The pool size is `min(DOTA_THREADS, available cores)`; setting
+//! `DOTA_THREADS=1` forces fully serial execution, which CI uses to pin
+//! down reproducibility. The environment variable is re-read on every
+//! dispatch (the cost is trivial next to any work worth parallelizing), so
+//! tests can toggle it at runtime.
+
+#![deny(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Name of the environment variable capping the pool size.
+pub const THREADS_ENV: &str = "DOTA_THREADS";
+
+/// The number of worker threads a dispatch may use: `DOTA_THREADS` if set
+/// to a positive integer, otherwise the machine's available parallelism.
+pub fn num_threads() -> usize {
+    if let Ok(v) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Order-preserving parallel map: returns `f(i, &items[i])` for every `i`,
+/// in input order.
+///
+/// Work is claimed dynamically (one atomic increment per item), so uneven
+/// per-item costs — long vs short sequences, dense vs sparse heads — stay
+/// balanced. Falls back to a plain serial map when the pool has one thread
+/// or there is at most one item.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = num_threads().min(items.len());
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut per_worker: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut got = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        got.push((i, f(i, &items[i])));
+                    }
+                    got
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    });
+    let mut indexed: Vec<(usize, R)> = Vec::with_capacity(items.len());
+    for w in &mut per_worker {
+        indexed.append(w);
+    }
+    indexed.sort_by_key(|(i, _)| *i);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Splits `data` into one contiguous span per worker, aligned to `unit`
+/// boundaries, and runs `f(first_unit_index, span)` on each span in
+/// parallel.
+///
+/// `data.len()` must be a multiple of `unit` (a row-major matrix with
+/// `unit = row length` is the intended use). Because the partition is by
+/// whole units and `f` computes each unit independently, the result is
+/// bitwise identical to calling `f(0, data)` serially — which is exactly
+/// what happens when the pool has one thread.
+///
+/// # Panics
+///
+/// Panics if `unit == 0` or `data.len()` is not a multiple of `unit`.
+pub fn par_partition_mut<T, F>(data: &mut [T], unit: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(unit > 0, "unit must be positive");
+    assert_eq!(data.len() % unit, 0, "data must divide into whole units");
+    let n_units = data.len() / unit;
+    if n_units == 0 {
+        return;
+    }
+    let workers = num_threads().min(n_units);
+    if workers <= 1 {
+        f(0, data);
+        return;
+    }
+    // Ceil-divide so every worker gets a near-equal contiguous block.
+    let units_per_worker = n_units.div_ceil(workers);
+    std::thread::scope(|scope| {
+        let mut rest = data;
+        let mut first_unit = 0;
+        while !rest.is_empty() {
+            let take = units_per_worker.min(rest.len() / unit) * unit;
+            let (span, tail) = rest.split_at_mut(take);
+            let start = first_unit;
+            let f = &f;
+            scope.spawn(move || f(start, span));
+            first_unit += take / unit;
+            rest = tail;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Runs `body` with `DOTA_THREADS` set to `n`, restoring the previous
+    /// value afterwards. Serialized by a mutex since the variable is
+    /// process-global.
+    fn with_threads<R>(n: Option<&str>, body: impl FnOnce() -> R) -> R {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        let _guard = LOCK.lock().unwrap();
+        let prev = std::env::var(THREADS_ENV).ok();
+        match n {
+            Some(v) => std::env::set_var(THREADS_ENV, v),
+            None => std::env::remove_var(THREADS_ENV),
+        }
+        let out = body();
+        match prev {
+            Some(v) => std::env::set_var(THREADS_ENV, v),
+            None => std::env::remove_var(THREADS_ENV),
+        }
+        out
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        for threads in ["1", "2", "7"] {
+            let got = with_threads(Some(threads), || {
+                let items: Vec<usize> = (0..100).collect();
+                par_map(&items, |i, &x| {
+                    assert_eq!(i, x);
+                    x * 3
+                })
+            });
+            assert_eq!(got, (0..100).map(|x| x * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn par_map_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, |_, &x| x).is_empty());
+        assert_eq!(par_map(&[5u32], |_, &x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn partition_covers_every_unit_exactly_once() {
+        for threads in ["1", "3", "16"] {
+            with_threads(Some(threads), || {
+                let rows = 37;
+                let cols = 5;
+                let mut data = vec![0u32; rows * cols];
+                par_partition_mut(&mut data, cols, |first_row, span| {
+                    for (r, row) in span.chunks_mut(cols).enumerate() {
+                        for v in row.iter_mut() {
+                            *v += (first_row + r) as u32 + 1;
+                        }
+                    }
+                });
+                for (i, &v) in data.iter().enumerate() {
+                    assert_eq!(v, (i / cols) as u32 + 1, "unit {i} written once");
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn partition_handles_empty_and_tiny() {
+        let mut empty: Vec<f32> = Vec::new();
+        par_partition_mut(&mut empty, 4, |_, _| panic!("no units, no calls"));
+        let mut one = vec![1.0f32; 3];
+        par_partition_mut(&mut one, 3, |first, span| {
+            assert_eq!(first, 0);
+            span[0] = 2.0;
+        });
+        assert_eq!(one[0], 2.0);
+    }
+
+    #[test]
+    fn env_var_caps_pool() {
+        with_threads(Some("1"), || assert_eq!(num_threads(), 1));
+        with_threads(Some("4"), || assert_eq!(num_threads(), 4));
+        with_threads(Some("garbage"), || assert!(num_threads() >= 1));
+        with_threads(None, || assert!(num_threads() >= 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "whole units")]
+    fn partition_rejects_ragged_data() {
+        let mut data = vec![0.0f32; 7];
+        par_partition_mut(&mut data, 4, |_, _| {});
+    }
+}

@@ -75,7 +75,10 @@ impl Fx16Matrix {
         Matrix::from_vec(
             self.rows,
             self.cols,
-            self.data.iter().map(|fx| fx.to_f32() * self.scale).collect(),
+            self.data
+                .iter()
+                .map(|fx| fx.to_f32() * self.scale)
+                .collect(),
         )
         .expect("consistent dims")
     }
@@ -145,8 +148,7 @@ pub fn fx16_sparse_attention(
         // acc = Σ code_w · raw_v, where code_w carries 1/32767 probability
         // per unit and raw_v carries vf.scale()/2^FRAC real value per unit.
         let orow = out.row_mut(i);
-        let out_scale =
-            vf.scale() / (32767.0 * (1u32 << crate::fixed::FX16_FRAC_BITS) as f32);
+        let out_scale = vf.scale() / (32767.0 * (1u32 << crate::fixed::FX16_FRAC_BITS) as f32);
         for c in 0..v.cols() {
             let mut acc: i64 = 0;
             for (slot, &j) in sel.iter().enumerate() {

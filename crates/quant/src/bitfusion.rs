@@ -37,7 +37,10 @@ pub struct Fragment {
 /// Panics if `value` does not fit in `bits`, or `bits` is not a positive
 /// multiple of 2.
 pub fn decompose(value: i32, bits: u32) -> Vec<Fragment> {
-    assert!(bits >= 2 && bits.is_multiple_of(2), "bits must be a positive multiple of 2");
+    assert!(
+        bits >= 2 && bits.is_multiple_of(2),
+        "bits must be a positive multiple of 2"
+    );
     let min = -(1i32 << (bits - 1));
     let max = (1i32 << (bits - 1)) - 1;
     assert!(

@@ -139,7 +139,10 @@ mod tests {
     fn round_trip_within_epsilon() {
         for &x in &[0.0, 1.0, -1.0, 0.123, -3.719, 15.5, -20.0] {
             let fx = Fx16::from_f32(x);
-            assert!((fx.to_f32() - x).abs() <= Fx16::epsilon() / 2.0 + 1e-6, "{x}");
+            assert!(
+                (fx.to_f32() - x).abs() <= Fx16::epsilon() / 2.0 + 1e-6,
+                "{x}"
+            );
         }
     }
 

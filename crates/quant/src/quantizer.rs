@@ -206,10 +206,7 @@ mod tests {
         for p in Precision::ALL {
             let q = Quantizer::symmetric(p).quantize(&m);
             let back = q.dequantize();
-            let max_err = m
-                .sub(&back)
-                .unwrap()
-                .abs_max();
+            let max_err = m.sub(&back).unwrap().abs_max();
             assert!(max_err <= q.scale() / 2.0 + 1e-6, "{p}: err {max_err}");
         }
     }

@@ -121,10 +121,7 @@ impl RmmuConfig {
     /// Peak FX16-equivalent MACs per cycle of the whole array (each row
     /// counted at its configured precision's throughput).
     pub fn total_macs_per_cycle(&self) -> u64 {
-        Precision::ALL
-            .iter()
-            .map(|&p| self.macs_per_cycle(p))
-            .sum()
+        Precision::ALL.iter().map(|&p| self.macs_per_cycle(p)).sum()
     }
 
     /// Cycles to execute an `m x k x n` GEMM at `precision`, assuming ideal
@@ -231,10 +228,7 @@ mod tests {
     #[test]
     fn total_macs_sums_rows() {
         let cfg = RmmuConfig::split(16, Precision::Fx16, 16, Precision::Int8);
-        assert_eq!(
-            cfg.total_macs_per_cycle(),
-            16 * 16 + 16 * 16 * 4
-        );
+        assert_eq!(cfg.total_macs_per_cycle(), 16 * 16 + 16 * 16 * 4);
     }
 
     #[test]
@@ -333,7 +327,7 @@ impl RmmuArray {
 #[cfg(test)]
 mod array_tests {
     use super::*;
-    use crate::{Quantizer};
+    use crate::Quantizer;
     use dota_tensor::rng::SeededRng;
 
     #[test]

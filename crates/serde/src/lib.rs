@@ -1,0 +1,338 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so this crate provides the
+//! trait surface the workspace uses — `Serialize`, `Deserialize`, and their
+//! derive macros — over a simple JSON-shaped [`Value`] tree instead of
+//! serde's visitor machinery. `serde_json` (also shimmed in this workspace)
+//! renders and parses that tree.
+
+#![deny(missing_docs)]
+
+// Lets the derive macros' `::serde::...` paths resolve inside this crate's
+// own tests.
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped dynamic value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer outside the `i64` range.
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object. Insertion order is preserved so serialized documents
+    /// keep their field order stable run-to-run.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object entries, if this value is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Looks up a field of an object value.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.as_object()?
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+    }
+}
+
+/// Error produced when a [`Value`] does not match the requested type.
+#[derive(Debug, Clone)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Creates an error with the given message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        Self(msg.into())
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Conversion to a [`Value`] tree. The stand-in for `serde::Serialize`.
+pub trait Serialize {
+    /// Converts `self` to a dynamic value.
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion from a [`Value`] tree. The stand-in for `serde::Deserialize`.
+pub trait Deserialize: Sized {
+    /// Reads `Self` out of a dynamic value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeError`] when the value's shape does not match.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Deserializes a named field of an object value. Used by the derive macro.
+///
+/// # Errors
+///
+/// Returns a [`DeError`] when the field is missing or mistyped.
+pub fn get_field<T: Deserialize>(v: &Value, name: &str) -> Result<T, DeError> {
+    let field = v
+        .get(name)
+        .ok_or_else(|| DeError::new(format!("missing field `{name}`")))?;
+    T::from_value(field).map_err(|e| DeError::new(format!("field `{name}`: {e}")))
+}
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let wide: i128 = match v {
+                    Value::Int(i) => *i as i128,
+                    Value::UInt(u) => *u as i128,
+                    Value::Float(f) if f.fract() == 0.0 => *f as i128,
+                    _ => return Err(DeError::new("expected integer")),
+                };
+                <$t>::try_from(wide).map_err(|_| DeError::new("integer out of range"))
+            }
+        }
+    )*};
+}
+int_impls!(i8, i16, i32, i64, isize, u8, u16, u32, usize);
+
+impl Serialize for u64 {
+    fn to_value(&self) -> Value {
+        match i64::try_from(*self) {
+            Ok(i) => Value::Int(i),
+            Err(_) => Value::UInt(*self),
+        }
+    }
+}
+
+impl Deserialize for u64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Int(i) => u64::try_from(*i).map_err(|_| DeError::new("negative integer")),
+            Value::UInt(u) => Ok(*u),
+            _ => Err(DeError::new("expected integer")),
+        }
+    }
+}
+
+macro_rules! float_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Float(f) => Ok(*f as $t),
+                    Value::Int(i) => Ok(*i as $t),
+                    Value::UInt(u) => Ok(*u as $t),
+                    _ => Err(DeError::new("expected number")),
+                }
+            }
+        }
+    )*};
+}
+float_impls!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::new("expected bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::new("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(xs) => xs.iter().map(T::from_value).collect(),
+            _ => Err(DeError::new("expected array")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($name:ident : $idx:tt),+)),*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Array(xs) => {
+                        let mut it = xs.iter();
+                        let out = ($(
+                            {
+                                let _ = $idx;
+                                $name::from_value(
+                                    it.next().ok_or_else(|| DeError::new("tuple too short"))?,
+                                )?
+                            },
+                        )+);
+                        if it.next().is_some() {
+                            return Err(DeError::new("tuple too long"));
+                        }
+                        Ok(out)
+                    }
+                    _ => Err(DeError::new("expected array for tuple")),
+                }
+            }
+        }
+    )*};
+}
+tuple_impls!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3)
+);
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(usize::from_value(&7usize.to_value()).unwrap(), 7);
+        assert_eq!(f32::from_value(&1.5f32.to_value()).unwrap(), 1.5);
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+        assert_eq!(
+            Vec::<u32>::from_value(&vec![1u32, 2, 3].to_value()).unwrap(),
+            vec![1, 2, 3]
+        );
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn derive_round_trip() {
+        #[derive(Serialize, Deserialize, Debug, PartialEq)]
+        struct Inner {
+            x: f32,
+        }
+        #[derive(Serialize, Deserialize, Debug, PartialEq)]
+        struct Outer {
+            pub name: String,
+            pub count: usize,
+            pub vals: Vec<f32>,
+            pub inner: Inner,
+        }
+        let o = Outer {
+            name: "a".into(),
+            count: 3,
+            vals: vec![1.0, 2.0],
+            inner: Inner { x: 0.5 },
+        };
+        let v = o.to_value();
+        assert_eq!(v.get("count"), Some(&Value::Int(3)));
+        assert_eq!(Outer::from_value(&v).unwrap(), o);
+    }
+
+    #[test]
+    fn missing_field_errors() {
+        #[derive(Deserialize, Debug)]
+        struct Needs {
+            #[allow(dead_code)]
+            x: u32,
+        }
+        let err = Needs::from_value(&Value::Object(vec![])).unwrap_err();
+        assert!(err.to_string().contains("missing field `x`"));
+    }
+}

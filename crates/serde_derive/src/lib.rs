@@ -1,0 +1,145 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! Supports `#[derive(Serialize)]` and `#[derive(Deserialize)]` on
+//! non-generic structs with named fields — the only shapes this workspace
+//! serializes. Anything else produces a compile error rather than silently
+//! misbehaving. No external parser crates are used: the input token stream
+//! is walked directly with `proc_macro`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (the offline stand-in's Value-tree flavor).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derives `serde::Deserialize` (the offline stand-in's Value-tree flavor).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let (name, fields) = match parse_struct(input) {
+        Ok(p) => p,
+        Err(msg) => {
+            return format!("compile_error!({msg:?});").parse().unwrap();
+        }
+    };
+    let code = match mode {
+        Mode::Serialize => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "fields.push((String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Object(fields)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Mode::Deserialize => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::get_field(v, {f:?})?,\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                         Ok(Self {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
+
+/// Extracts the struct name and its named-field identifiers.
+fn parse_struct(input: TokenStream) -> Result<(String, Vec<String>), String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip attributes and visibility ahead of the `struct` keyword.
+    while i < tokens.len() {
+        if let TokenTree::Ident(id) = &tokens[i] {
+            let s = id.to_string();
+            if s == "struct" {
+                break;
+            }
+            if s == "enum" || s == "union" {
+                return Err(format!("derive only supports structs, found `{s}`"));
+            }
+        }
+        i += 1;
+    }
+    let name = match tokens.get(i + 1) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("malformed struct declaration".to_string()),
+    };
+    if matches!(&tokens.get(i + 2), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err("derive does not support generic structs".to_string());
+    }
+    let body = tokens[i + 2..].iter().find_map(|t| match t {
+        TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.stream()),
+        _ => None,
+    });
+    let body = body.ok_or_else(|| "derive requires named struct fields".to_string())?;
+    Ok((name, parse_fields(body)?))
+}
+
+/// Splits a brace-group body at top-level commas and pulls out each field's
+/// identifier (the ident immediately before the first top-level `:`).
+fn parse_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut chunk: Vec<TokenTree> = Vec::new();
+    for tt in body {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                if !chunk.is_empty() {
+                    fields.push(field_name(&chunk)?);
+                    chunk.clear();
+                }
+            }
+            _ => chunk.push(tt),
+        }
+    }
+    if !chunk.is_empty() {
+        fields.push(field_name(&chunk)?);
+    }
+    Ok(fields)
+}
+
+fn field_name(chunk: &[TokenTree]) -> Result<String, String> {
+    let mut last_ident: Option<String> = None;
+    for tt in chunk {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == ':' => {
+                return last_ident.ok_or_else(|| "field without a name".to_string());
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                // `pub` / `crate` are visibility, not the field name.
+                if s != "pub" && s != "crate" {
+                    last_ident = Some(s);
+                }
+            }
+            _ => {}
+        }
+    }
+    Err("tuple structs are not supported".to_string())
+}

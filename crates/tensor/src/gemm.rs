@@ -1,14 +1,171 @@
 //! General matrix-matrix and matrix-vector products.
 //!
-//! The GEMM kernels here are cache-blocked but otherwise straightforward:
-//! the goal of this workspace is simulator fidelity, not peak FLOPs. Three
-//! layouts are provided because self-attention needs all of them:
-//! `A*B` (projections and `A*V`), `A*B^T` (`Q*K^T`), and `A^T*B` (gradient
-//! computations in `dota-autograd`).
+//! Three GEMM layouts are provided because self-attention needs all of
+//! them: `A*B` (projections and `A*V`), `A*B^T` (`Q*K^T`), and `A^T*B`
+//! (gradient computations in `dota-autograd`).
+//!
+//! Each product is built from one row-range kernel — a function that fills
+//! a contiguous block of output rows, cache-blocked over `i`/`k` with a
+//! 4-wide unrolled inner microkernel. The serial path runs that kernel over
+//! the whole output; with the `parallel` feature, products large enough to
+//! amortize thread dispatch (see [`PAR_CUTOFF_FLOPS`]) run the *same*
+//! kernel over per-worker row blocks via `dota_parallel::par_partition_mut`.
+//! Because every output row is produced by identical code regardless of
+//! which worker owns it, parallel results are bitwise identical to serial,
+//! and `DOTA_THREADS=1` exactly reproduces the no-feature build.
 
 use crate::{Matrix, ShapeError};
 
 const BLOCK: usize = 32;
+
+/// Products smaller than this many multiply-adds (`m·k·n`) stay serial even
+/// when the `parallel` feature is enabled: below it, thread dispatch costs
+/// more than the arithmetic it distributes.
+#[cfg(feature = "parallel")]
+pub const PAR_CUTOFF_FLOPS: usize = 64 * 64 * 64;
+
+/// Runs `kernel` over the rows of `out` — as one call on the serial path,
+/// or on contiguous per-worker row blocks when the `parallel` feature is
+/// enabled and the product performs at least [`PAR_CUTOFF_FLOPS`]
+/// multiply-adds.
+///
+/// `kernel(first_row, span)` must fill the `span.len() / out.cols()` output
+/// rows starting at `first_row`, each row independently of the others; that
+/// independence is what makes the row partition bitwise-transparent.
+fn row_dispatch(out: &mut Matrix, flops: usize, kernel: impl Fn(usize, &mut [f32]) + Sync) {
+    if out.is_empty() {
+        return;
+    }
+    #[cfg(feature = "parallel")]
+    if flops >= PAR_CUTOFF_FLOPS {
+        let cols = out.cols();
+        dota_parallel::par_partition_mut(out.as_mut_slice(), cols, kernel);
+        return;
+    }
+    #[cfg(not(feature = "parallel"))]
+    let _ = flops;
+    kernel(0, out.as_mut_slice());
+}
+
+/// `out += a * b` over a row, 4-wide unrolled so the optimizer sees
+/// independent straight-line multiply-adds to vectorize.
+#[inline]
+fn axpy(out: &mut [f32], b: &[f32], a: f32) {
+    let split = out.len() - out.len() % 4;
+    let (o_main, o_tail) = out.split_at_mut(split);
+    let (b_main, b_tail) = b.split_at(split);
+    for (o, x) in o_main.chunks_exact_mut(4).zip(b_main.chunks_exact(4)) {
+        o[0] += a * x[0];
+        o[1] += a * x[1];
+        o[2] += a * x[2];
+        o[3] += a * x[3];
+    }
+    for (o, &x) in o_tail.iter_mut().zip(b_tail) {
+        *o += a * x;
+    }
+}
+
+/// Dot product continuing the accumulation chain in `acc`, 4-wide unrolled
+/// **without reassociation**: every term joins one sequential chain in
+/// ascending index order, so the result is bit-identical to the scalar
+/// `for kk { acc += a[kk] * b[kk] }` loop. Keeping the textbook order means
+/// the blocked kernels (which call this once per k-panel, threading `acc`
+/// through) reproduce the unblocked kernels' results exactly.
+#[inline]
+fn dot_chain(mut acc: f32, a: &[f32], b: &[f32]) -> f32 {
+    let mut ca = a.chunks_exact(4);
+    let mut cb = b.chunks_exact(4);
+    for (xa, xb) in (&mut ca).zip(&mut cb) {
+        acc += xa[0] * xb[0];
+        acc += xa[1] * xb[1];
+        acc += xa[2] * xb[2];
+        acc += xa[3] * xb[3];
+    }
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        acc += x * y;
+    }
+    acc
+}
+
+/// Fills output rows `[first, first + span.len()/n)` of `A·B`.
+///
+/// i-k-j order, blocked over `i` and `k`: the inner `axpy` streams
+/// contiguous rows of `b` and the output, and each `(ib, kb)` pass reuses
+/// the same 32-row panel of `b` across the row block.
+fn nn_kernel(a: &Matrix, b: &Matrix, first: usize, span: &mut [f32]) {
+    let k = a.cols();
+    let n = b.cols();
+    let rows = span.len() / n;
+    for ib in (0..rows).step_by(BLOCK) {
+        let ie = (ib + BLOCK).min(rows);
+        for kb in (0..k).step_by(BLOCK) {
+            let ke = (kb + BLOCK).min(k);
+            for i in ib..ie {
+                let a_row = a.row(first + i);
+                let o_row = &mut span[i * n..(i + 1) * n];
+                for kk in kb..ke {
+                    let aval = a_row[kk];
+                    if aval == 0.0 {
+                        continue;
+                    }
+                    axpy(o_row, b.row(kk), aval);
+                }
+            }
+        }
+    }
+}
+
+/// Fills output rows `[first, first + span.len()/n)` of `A·Bᵀ`.
+///
+/// Blocked over `i` and `k`: each `(ib, kb)` pass touches only a 32-column
+/// panel of both operands, so `b`'s panel stays cached across the block's
+/// rows instead of the whole of `b` streaming through cache once per output
+/// row (the behaviour of the unblocked kernel this replaces).
+fn nt_kernel(a: &Matrix, b: &Matrix, first: usize, span: &mut [f32]) {
+    let k = a.cols();
+    let n = b.rows();
+    let rows = span.len() / n;
+    for ib in (0..rows).step_by(BLOCK) {
+        let ie = (ib + BLOCK).min(rows);
+        for kb in (0..k).step_by(BLOCK) {
+            let ke = (kb + BLOCK).min(k);
+            for i in ib..ie {
+                let a_panel = &a.row(first + i)[kb..ke];
+                let o_row = &mut span[i * n..(i + 1) * n];
+                for (j, o) in o_row.iter_mut().enumerate() {
+                    // `*o` carries the accumulation chain across k-panels.
+                    *o = dot_chain(*o, a_panel, &b.row(j)[kb..ke]);
+                }
+            }
+        }
+    }
+}
+
+/// Fills output rows `[first, first + span.len()/n)` of `Aᵀ·B`.
+///
+/// Output row `i` is column `first + i` of `a`; blocking over `k` keeps the
+/// strided column reads of `a` inside one 32×32 tile at a time.
+fn tn_kernel(a: &Matrix, b: &Matrix, first: usize, span: &mut [f32]) {
+    let k = a.rows();
+    let n = b.cols();
+    let rows = span.len() / n;
+    for ib in (0..rows).step_by(BLOCK) {
+        let ie = (ib + BLOCK).min(rows);
+        for kb in (0..k).step_by(BLOCK) {
+            let ke = (kb + BLOCK).min(k);
+            for i in ib..ie {
+                let o_row = &mut span[i * n..(i + 1) * n];
+                for kk in kb..ke {
+                    let aval = a[(kk, first + i)];
+                    if aval == 0.0 {
+                        continue;
+                    }
+                    axpy(o_row, b.row(kk), aval);
+                }
+            }
+        }
+    }
+}
 
 impl Matrix {
     /// Matrix product `self * other`.
@@ -34,26 +191,9 @@ impl Matrix {
         }
         let (m, k, n) = (self.rows(), self.cols(), other.cols());
         let mut out = Matrix::zeros(m, n);
-        // i-k-j loop order with blocking keeps the inner loop streaming over
-        // contiguous rows of `other` and `out`.
-        for ib in (0..m).step_by(BLOCK) {
-            for kb in (0..k).step_by(BLOCK) {
-                for i in ib..(ib + BLOCK).min(m) {
-                    let a_row = self.row(i);
-                    for kk in kb..(kb + BLOCK).min(k) {
-                        let a = a_row[kk];
-                        if a == 0.0 {
-                            continue;
-                        }
-                        let b_row = other.row(kk);
-                        let o_row = out.row_mut(i);
-                        for j in 0..n {
-                            o_row[j] += a * b_row[j];
-                        }
-                    }
-                }
-            }
-        }
+        row_dispatch(&mut out, m * k * n, |first, span| {
+            nn_kernel(self, other, first, span);
+        });
         Ok(out)
     }
 
@@ -71,18 +211,9 @@ impl Matrix {
         }
         let (m, k, n) = (self.rows(), self.cols(), other.rows());
         let mut out = Matrix::zeros(m, n);
-        for i in 0..m {
-            let a_row = self.row(i);
-            let o_row = out.row_mut(i);
-            for j in 0..n {
-                let b_row = other.row(j);
-                let mut acc = 0.0;
-                for kk in 0..k {
-                    acc += a_row[kk] * b_row[kk];
-                }
-                o_row[j] = acc;
-            }
-        }
+        row_dispatch(&mut out, m * k * n, |first, span| {
+            nt_kernel(self, other, first, span);
+        });
         Ok(out)
     }
 
@@ -97,20 +228,9 @@ impl Matrix {
         }
         let (m, k, n) = (self.cols(), self.rows(), other.cols());
         let mut out = Matrix::zeros(m, n);
-        for kk in 0..k {
-            let a_row = self.row(kk);
-            let b_row = other.row(kk);
-            for i in 0..m {
-                let a = a_row[i];
-                if a == 0.0 {
-                    continue;
-                }
-                let o_row = out.row_mut(i);
-                for j in 0..n {
-                    o_row[j] += a * b_row[j];
-                }
-            }
-        }
+        row_dispatch(&mut out, m * k * n, |first, span| {
+            tn_kernel(self, other, first, span);
+        });
         Ok(out)
     }
 
@@ -123,10 +243,7 @@ impl Matrix {
         if self.cols() != v.len() {
             return Err(ShapeError::new("matvec", self.shape(), (v.len(), 1)));
         }
-        Ok(self
-            .rows_iter()
-            .map(|row| row.iter().zip(v).map(|(a, b)| a * b).sum())
-            .collect())
+        Ok(self.rows_iter().map(|row| dot_chain(0.0, row, v)).collect())
     }
 
     /// Dot product of two equal-length slices.
@@ -136,28 +253,15 @@ impl Matrix {
     /// Panics if the slices differ in length.
     pub fn dot(a: &[f32], b: &[f32]) -> f32 {
         assert_eq!(a.len(), b.len(), "dot product of unequal lengths");
-        a.iter().zip(b).map(|(x, y)| x * y).sum()
+        dot_chain(0.0, a, b)
     }
 }
 
 #[cfg(test)]
 mod tests {
-    use super::*;
+    use crate::reference;
     use crate::rng::SeededRng;
-
-    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
-        let mut out = Matrix::zeros(a.rows(), b.cols());
-        for i in 0..a.rows() {
-            for j in 0..b.cols() {
-                let mut acc = 0.0;
-                for k in 0..a.cols() {
-                    acc += a[(i, k)] * b[(k, j)];
-                }
-                out[(i, j)] = acc;
-            }
-        }
-        out
-    }
+    use crate::Matrix;
 
     #[test]
     fn matmul_small_known() {
@@ -178,14 +282,26 @@ mod tests {
     }
 
     #[test]
-    fn matmul_matches_naive_on_odd_sizes() {
+    fn matmul_matches_reference_on_odd_sizes() {
         let mut rng = SeededRng::new(2);
-        // Sizes chosen to straddle the blocking factor.
+        // Sizes chosen to straddle the blocking factor and the unroll width.
         for &(m, k, n) in &[(1, 1, 1), (5, 7, 3), (33, 40, 17), (64, 31, 65)] {
             let a = rng.normal_matrix(m, k, 1.0);
             let b = rng.normal_matrix(k, n, 1.0);
             let fast = a.matmul(&b).unwrap();
-            let slow = naive_matmul(&a, &b);
+            let slow = reference::matmul(&a, &b);
+            assert!(fast.approx_eq(&slow, 1e-3), "mismatch at {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn matmul_nt_matches_reference() {
+        let mut rng = SeededRng::new(3);
+        for &(m, k, n) in &[(1, 6, 1), (9, 6, 11), (40, 33, 37), (65, 70, 64)] {
+            let q = rng.normal_matrix(m, k, 1.0);
+            let kmat = rng.normal_matrix(n, k, 1.0);
+            let fast = q.matmul_nt(&kmat).unwrap();
+            let slow = reference::matmul_nt(&q, &kmat);
             assert!(fast.approx_eq(&slow, 1e-3), "mismatch at {m}x{k}x{n}");
         }
     }
@@ -201,6 +317,18 @@ mod tests {
     }
 
     #[test]
+    fn matmul_tn_matches_reference() {
+        let mut rng = SeededRng::new(4);
+        for &(m, k, n) in &[(1, 5, 1), (5, 8, 7), (34, 40, 33), (65, 64, 66)] {
+            let a = rng.normal_matrix(k, m, 1.0);
+            let b = rng.normal_matrix(k, n, 1.0);
+            let fast = a.matmul_tn(&b).unwrap();
+            let slow = reference::matmul_tn(&a, &b);
+            assert!(fast.approx_eq(&slow, 1e-3), "mismatch at {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
     fn matmul_tn_equals_explicit_transpose() {
         let mut rng = SeededRng::new(4);
         let a = rng.normal_matrix(8, 5, 1.0);
@@ -211,6 +339,38 @@ mod tests {
     }
 
     #[test]
+    fn blocked_kernels_are_bitwise_equal_to_reference() {
+        // The blocked/unrolled kernels keep the textbook ascending-k
+        // accumulation chain per output element, so they must reproduce the
+        // naive reference bit-for-bit — not just approximately. (Training
+        // trajectories on the tiny models are sensitive to accumulation
+        // order, so this pins the numerics the recorded results/ were
+        // generated with.)
+        let mut rng = SeededRng::new(6);
+        for &(m, k, n) in &[(5, 7, 3), (33, 40, 17), (64, 70, 65)] {
+            let a = rng.normal_matrix(m, k, 1.0);
+            let b = rng.normal_matrix(k, n, 1.0);
+            assert_eq!(
+                a.matmul(&b).unwrap().as_slice(),
+                reference::matmul(&a, &b).as_slice(),
+                "nn bits differ at {m}x{k}x{n}"
+            );
+            let bt = rng.normal_matrix(n, k, 1.0);
+            assert_eq!(
+                a.matmul_nt(&bt).unwrap().as_slice(),
+                reference::matmul_nt(&a, &bt).as_slice(),
+                "nt bits differ at {m}x{k}x{n}"
+            );
+            let at = rng.normal_matrix(k, m, 1.0);
+            assert_eq!(
+                at.matmul_tn(&b).unwrap().as_slice(),
+                reference::matmul_tn(&at, &b).as_slice(),
+                "tn bits differ at {m}x{k}x{n}"
+            );
+        }
+    }
+
+    #[test]
     fn shape_errors() {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
@@ -218,6 +378,19 @@ mod tests {
         assert!(a.matmul_nt(&Matrix::zeros(4, 4)).is_err());
         assert!(a.matmul_tn(&Matrix::zeros(3, 3)).is_err());
         assert!(a.matvec(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn empty_products() {
+        // Degenerate dimensions must not panic and must keep their shapes.
+        let a = Matrix::zeros(0, 4);
+        let b = Matrix::zeros(4, 3);
+        assert_eq!(a.matmul(&b).unwrap().shape(), (0, 3));
+        let c = Matrix::zeros(3, 0);
+        let d = Matrix::zeros(0, 2);
+        assert_eq!(c.matmul(&d).unwrap().shape(), (3, 2));
+        assert_eq!(c.matmul_nt(&Matrix::zeros(5, 0)).unwrap().shape(), (3, 5));
+        assert_eq!(d.matmul_tn(&Matrix::zeros(0, 4)).unwrap().shape(), (2, 4));
     }
 
     #[test]
@@ -236,5 +409,10 @@ mod tests {
     #[test]
     fn dot_product() {
         assert_eq!(Matrix::dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        // Length that exercises both the unrolled body and the tail.
+        let a: Vec<f32> = (0..11).map(|i| i as f32).collect();
+        let b: Vec<f32> = (0..11).map(|i| (i + 1) as f32).collect();
+        let expect: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert!((Matrix::dot(&a, &b) - expect).abs() < 1e-4);
     }
 }

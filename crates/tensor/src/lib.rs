@@ -35,6 +35,7 @@ mod matrix;
 
 pub mod flops;
 pub mod ops;
+pub mod reference;
 pub mod rng;
 pub mod topk;
 

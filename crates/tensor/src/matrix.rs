@@ -224,7 +224,11 @@ impl Matrix {
     /// # Errors
     ///
     /// Returns a [`ShapeError`] if the shapes differ.
-    pub fn zip_map(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32) -> Result<Matrix, ShapeError> {
+    pub fn zip_map(
+        &self,
+        other: &Matrix,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Result<Matrix, ShapeError> {
         if self.shape() != other.shape() {
             return Err(ShapeError::new("zip_map", self.shape(), other.shape()));
         }
@@ -312,7 +316,9 @@ impl Matrix {
     /// Returns a [`ShapeError`] if the inputs disagree on row count or the
     /// list is empty.
     pub fn hcat(parts: &[&Matrix]) -> Result<Matrix, ShapeError> {
-        let first = parts.first().ok_or(ShapeError::new("hcat", (0, 0), (0, 0)))?;
+        let first = parts
+            .first()
+            .ok_or(ShapeError::new("hcat", (0, 0), (0, 0)))?;
         let rows = first.rows;
         let cols: usize = parts.iter().map(|p| p.cols).sum();
         for p in parts {
@@ -338,7 +344,9 @@ impl Matrix {
     /// Returns a [`ShapeError`] if the inputs disagree on column count or the
     /// list is empty.
     pub fn vcat(parts: &[&Matrix]) -> Result<Matrix, ShapeError> {
-        let first = parts.first().ok_or(ShapeError::new("vcat", (0, 0), (0, 0)))?;
+        let first = parts
+            .first()
+            .ok_or(ShapeError::new("vcat", (0, 0), (0, 0)))?;
         let cols = first.cols;
         let rows: usize = parts.iter().map(|p| p.rows).sum();
         let mut data = Vec::with_capacity(rows * cols);
@@ -400,14 +408,20 @@ impl Index<(usize, usize)> for Matrix {
     type Output = f32;
 
     fn index(&self, (r, c): (usize, usize)) -> &f32 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &self.data[r * self.cols + c]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &mut self.data[r * self.cols + c]
     }
 }

@@ -132,13 +132,17 @@ impl SeededRng {
     /// `1/sqrt(k)`, as used by the ELSA baseline (paper §6.2).
     pub fn sign_projection(&mut self, d: usize, k: usize) -> Matrix {
         let scale = 1.0 / (k.max(1) as f32).sqrt();
-        Matrix::from_fn(d, k, |_, _| {
-            if self.uniform() < 0.5 {
-                scale
-            } else {
-                -scale
-            }
-        })
+        Matrix::from_fn(
+            d,
+            k,
+            |_, _| {
+                if self.uniform() < 0.5 {
+                    scale
+                } else {
+                    -scale
+                }
+            },
+        )
     }
 }
 
@@ -184,7 +188,10 @@ mod tests {
         let neg = p.iter().filter(|&&x| (x + scale).abs() < 1e-6).count();
         assert_eq!(zeros + pos + neg, p.len());
         let frac_zero = zeros as f32 / p.len() as f32;
-        assert!((frac_zero - 2.0 / 3.0).abs() < 0.05, "zero frac {frac_zero}");
+        assert!(
+            (frac_zero - 2.0 / 3.0).abs() < 0.05,
+            "zero frac {frac_zero}"
+        );
     }
 
     #[test]

@@ -39,7 +39,10 @@ pub fn top_k_indices(row: &[f32], k: usize) -> Vec<usize> {
 /// constraint of §4.3), so downstream token-parallel execution stays
 /// synchronized across rows.
 pub fn top_k_rows(scores: &Matrix, k: usize) -> Vec<Vec<usize>> {
-    scores.rows_iter().map(|row| top_k_indices(row, k)).collect()
+    scores
+        .rows_iter()
+        .map(|row| top_k_indices(row, k))
+        .collect()
 }
 
 /// Converts per-row selected indices into a dense boolean mask with the given

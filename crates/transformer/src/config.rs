@@ -171,8 +171,7 @@ impl TransformerConfig {
     pub fn param_count(&self) -> u64 {
         let d = self.d_model as u64;
         let ff = self.d_ff as u64;
-        let per_layer =
-            4 * d * d          // WQ, WK, WV, WO
+        let per_layer = 4 * d * d          // WQ, WK, WV, WO
             + 4 * d            // attention biases folded (wo bias + ln1 gamma/beta ~ small)
             + d * ff + ff      // FC1
             + ff * d + d       // FC2

@@ -169,7 +169,9 @@ impl Model {
                 params.value(layer.b_ff1).row(0),
             );
             let h2 = ops::add_bias(
-                &ops::gelu(&h1).matmul(params.value(layer.w_ff2)).expect("shape"),
+                &ops::gelu(&h1)
+                    .matmul(params.value(layer.w_ff2))
+                    .expect("shape"),
                 params.value(layer.b_ff2).row(0),
             );
             let res2 = normed1.add(&h2).expect("shape");
@@ -250,7 +252,10 @@ mod tests {
         let mut last = Matrix::zeros(1, 8);
         for &t in &ids {
             let (logits, attended) = model.decode_step(&params, &mut cache, t, &DenseDecode);
-            assert_eq!(attended as usize, cache.len() * model.config().n_layers * model.config().n_heads);
+            assert_eq!(
+                attended as usize,
+                cache.len() * model.config().n_layers * model.config().n_heads
+            );
             last = logits;
         }
         // The final step's logits must equal the batch path's final row.

@@ -7,7 +7,14 @@ use dota_tensor::{ops, Matrix};
 /// The detector crate implements this with its quantized low-rank path; the
 /// returned value is, per query row, the list of key indices to keep.
 /// Returning `None` leaves the head dense.
-pub trait InferenceHook {
+///
+/// Hooks must be [`Sync`]: with the `parallel` feature, [`Model::infer`]
+/// evaluates the heads of a layer concurrently and calls `select` from
+/// worker threads. Implementations must also be *order-independent* — the
+/// selection for `(layer, head)` may only depend on its arguments (and
+/// internal state keyed on them), never on the sequence of prior calls, so
+/// that parallel and serial execution produce identical selections.
+pub trait InferenceHook: Sync {
     /// Chooses the keys each query of `(layer, head)` may attend to, given
     /// the attention block's input sequence `x` (`n x d`).
     fn select(&self, layer: usize, head: usize, x: &Matrix) -> Option<Vec<Vec<u32>>>;
@@ -102,11 +109,19 @@ impl crate::Model {
     ///
     /// Panics if `ids` is empty, longer than `seq_len`, or out of
     /// vocabulary.
-    pub fn infer(&self, params: &ParamSet, ids: &[usize], hook: &dyn InferenceHook) -> ForwardTrace {
+    pub fn infer(
+        &self,
+        params: &ParamSet,
+        ids: &[usize],
+        hook: &dyn InferenceHook,
+    ) -> ForwardTrace {
         let cfg = self.config();
         let tp: &TransformerParams = self.params();
         let n = ids.len();
-        assert!(n > 0 && n <= cfg.seq_len, "sequence length {n} out of range");
+        assert!(
+            n > 0 && n <= cfg.seq_len,
+            "sequence length {n} out of range"
+        );
         let hd = cfg.head_dim();
         let scale = 1.0 / (hd as f32).sqrt();
 
@@ -126,9 +141,12 @@ impl crate::Model {
             let k = x.matmul(params.value(layer.wk)).expect("shape");
             let v = x.matmul(params.value(layer.wv)).expect("shape");
 
-            let mut heads = Vec::with_capacity(cfg.n_heads);
-            let mut outputs = Vec::with_capacity(cfg.n_heads);
-            for h in 0..cfg.n_heads {
+            // Each head is independent given the shared Q/K/V projections:
+            // the closure below computes one head's output and trace, and
+            // with the `parallel` feature the heads of a layer fan out over
+            // `dota_parallel::par_map` (order-preserving, so the trace and
+            // the concatenation order match serial execution exactly).
+            let compute_head = |h: usize| -> (Matrix, HeadTrace) {
                 let (c0, c1) = (h * hd, (h + 1) * hd);
                 let qh = q.slice_cols(c0, c1);
                 let kh = k.slice_cols(c0, c1);
@@ -157,13 +175,29 @@ impl crate::Model {
                         ops::softmax_rows(&scores).matmul(&vh).expect("shape")
                     }
                 };
+                (
+                    out,
+                    HeadTrace {
+                        selected: effective,
+                        q: qh,
+                        k: kh,
+                        v: vh,
+                    },
+                )
+            };
+            let head_indices: Vec<usize> = (0..cfg.n_heads).collect();
+            #[cfg(feature = "parallel")]
+            let results: Vec<(Matrix, HeadTrace)> =
+                dota_parallel::par_map(&head_indices, |_, &h| compute_head(h));
+            #[cfg(not(feature = "parallel"))]
+            let results: Vec<(Matrix, HeadTrace)> =
+                head_indices.iter().map(|&h| compute_head(h)).collect();
+
+            let mut heads = Vec::with_capacity(cfg.n_heads);
+            let mut outputs = Vec::with_capacity(cfg.n_heads);
+            for (out, trace) in results {
                 outputs.push(out);
-                heads.push(HeadTrace {
-                    selected: effective,
-                    q: qh,
-                    k: kh,
-                    v: vh,
-                });
+                heads.push(trace);
             }
             let refs: Vec<&Matrix> = outputs.iter().collect();
             let concat = Matrix::hcat(&refs).expect("head widths agree");

@@ -31,8 +31,8 @@ mod model;
 mod params;
 
 pub use config::{Pooling, TransformerConfig};
-pub use hooks::{AttentionHook, HookOutcome, NoHook};
 pub use generate::{DecodeSelector, DenseDecode, Generation, KvCache};
+pub use hooks::{AttentionHook, HookOutcome, NoHook};
 pub use infer::{ForwardTrace, HeadTrace, InferenceHook, LayerTrace};
 pub use model::{Model, TrainOutput};
 pub use params::TransformerParams;

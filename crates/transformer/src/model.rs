@@ -66,7 +66,10 @@ impl Model {
     ) -> TrainOutput {
         let cfg = &self.config;
         let n = ids.len();
-        assert!(n > 0 && n <= cfg.seq_len, "sequence length {n} out of range");
+        assert!(
+            n > 0 && n <= cfg.seq_len,
+            "sequence length {n} out of range"
+        );
         let hd = cfg.head_dim();
         let scale = 1.0 / (hd as f32).sqrt();
 
@@ -148,7 +151,11 @@ impl Model {
                     // Select row 0 with a constant 1 x n selector so the
                     // gradient flows only into the first position.
                     let sel = g.constant(dota_tensor::Matrix::from_fn(1, n, |_, c| {
-                        if c == 0 { 1.0 } else { 0.0 }
+                        if c == 0 {
+                            1.0
+                        } else {
+                            0.0
+                        }
                     }));
                     g.matmul(sel, x)
                 }
@@ -201,7 +208,13 @@ impl Model {
 
     /// Combines a model loss with hook auxiliary losses:
     /// `L = L_model + λ · mean(aux)` (Eq. 6).
-    pub fn total_loss(&self, g: &mut Graph, model_loss: Var, out: &TrainOutput, lambda: f32) -> Var {
+    pub fn total_loss(
+        &self,
+        g: &mut Graph,
+        model_loss: Var,
+        out: &TrainOutput,
+        lambda: f32,
+    ) -> Var {
         if out.aux_losses.is_empty() || lambda == 0.0 {
             return model_loss;
         }
@@ -223,11 +236,7 @@ fn combine_masks(
 ) -> Option<Vec<Vec<bool>>> {
     match (causal, hook_mask) {
         (false, m) => m,
-        (true, None) => Some(
-            (0..n)
-                .map(|i| (0..n).map(|j| j <= i).collect())
-                .collect(),
-        ),
+        (true, None) => Some((0..n).map(|i| (0..n).map(|j| j <= i).collect()).collect()),
         (true, Some(mut m)) => {
             for (i, row) in m.iter_mut().enumerate() {
                 for (j, keep) in row.iter_mut().enumerate() {
@@ -361,9 +370,7 @@ mod tests {
             ) -> HookOutcome {
                 let n = g.value(scores).rows();
                 // Keep only the diagonal.
-                let mask = (0..n)
-                    .map(|i| (0..n).map(|j| i == j).collect())
-                    .collect();
+                let mask = (0..n).map(|i| (0..n).map(|j| i == j).collect()).collect();
                 HookOutcome {
                     mask: Some(mask),
                     aux_loss: None,
@@ -491,10 +498,7 @@ mod gradient_tests {
         let h = 1e-3f32;
         for (name, pid) in reps {
             let analytic = g.param_grad(pid).unwrap_or_else(|| {
-                dota_tensor::Matrix::zeros(
-                    params.value(pid).rows(),
-                    params.value(pid).cols(),
-                )
+                dota_tensor::Matrix::zeros(params.value(pid).rows(), params.value(pid).cols())
             });
             let (rows, cols) = params.value(pid).shape();
             // Spot-check a handful of coordinates per parameter.

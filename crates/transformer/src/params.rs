@@ -64,10 +64,7 @@ impl TransformerParams {
             "token_embedding",
             rng.normal_matrix(config.vocab_size, d, 0.02),
         );
-        let pos_embedding = params.add(
-            "pos_embedding",
-            rng.normal_matrix(config.seq_len, d, 0.02),
-        );
+        let pos_embedding = params.add("pos_embedding", rng.normal_matrix(config.seq_len, d, 0.02));
         let mut layers = Vec::with_capacity(config.n_layers);
         for l in 0..config.n_layers {
             let mk = |params: &mut ParamSet, name: &str, m: Matrix| {
@@ -139,7 +136,10 @@ mod tests {
             .value(tp.layers[0].ln1_gamma)
             .iter()
             .all(|&x| x == 1.0));
-        assert!(params.value(tp.layers[0].ln1_beta).iter().all(|&x| x == 0.0));
+        assert!(params
+            .value(tp.layers[0].ln1_beta)
+            .iter()
+            .all(|&x| x == 0.0));
     }
 
     #[test]

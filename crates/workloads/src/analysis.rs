@@ -136,7 +136,11 @@ mod tests {
     fn local_window_attention_has_small_distance() {
         let n = 32;
         let local = Matrix::from_fn(n, n, |i, j| {
-            if (i as i64 - j as i64).abs() <= 1 { 1.0 } else { 0.0 }
+            if (i as i64 - j as i64).abs() <= 1 {
+                1.0
+            } else {
+                0.0
+            }
         });
         let norm = ops::softmax_rows(&local.scale(100.0));
         let s = attention_stats(&norm);

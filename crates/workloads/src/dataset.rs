@@ -247,7 +247,12 @@ mod tests {
     fn labels_are_balanced_enough() {
         // A degenerate generator (all one class) would make accuracy
         // experiments meaningless.
-        for b in [Benchmark::Qa, Benchmark::Image, Benchmark::Text, Benchmark::Retrieval] {
+        for b in [
+            Benchmark::Qa,
+            Benchmark::Image,
+            Benchmark::Text,
+            Benchmark::Retrieval,
+        ] {
             let spec = TaskSpec::tiny(b, 32, 17);
             let ds = spec.generate(200);
             let mut counts = vec![0usize; spec.n_classes];
@@ -300,7 +305,11 @@ impl Dataset {
     ///
     /// Panics if `n > self.len()`.
     pub fn split_at(&self, n: usize) -> (Dataset, Dataset) {
-        assert!(n <= self.samples.len(), "split {n} beyond {}", self.samples.len());
+        assert!(
+            n <= self.samples.len(),
+            "split {n} beyond {}",
+            self.samples.len()
+        );
         let (a, b) = self.samples.split_at(n);
         (
             Dataset {

@@ -102,7 +102,11 @@ pub fn text(spec: &TaskSpec, rng: &mut SeededRng) -> Sample {
     let positions = rng.sample_indices(n, total);
     for (i, &p) in positions.iter().enumerate() {
         let sentiment = if i < majority {
-            if label == 1 { POS } else { NEG }
+            if label == 1 {
+                POS
+            } else {
+                NEG
+            }
         } else if label == 1 {
             NEG
         } else {
@@ -166,9 +170,7 @@ pub fn lm(spec: &TaskSpec, rng: &mut SeededRng) -> Sample {
     let n_quoted = n_syms / 2;
     let filler_base = SYM_BASE + n_quoted;
     let n_fillers = spec.vocab_size - filler_base;
-    let mut ids: Vec<usize> = (0..n)
-        .map(|_| filler_base + rng.below(n_fillers))
-        .collect();
+    let mut ids: Vec<usize> = (0..n).map(|_| filler_base + rng.below(n_fillers)).collect();
     let x = SYM_BASE + rng.below(n_quoted);
     // COPY in the first third, RECALL in the last third.
     let copy_pos = 1 + rng.below((n / 3).max(1));

@@ -67,7 +67,10 @@ pub fn perplexity(mean_cross_entropy: f64) -> f64 {
 /// Panics if `targets.len()` exceeds `logits.rows()` or a target id is out
 /// of range.
 pub fn mean_nll(logits: &dota_tensor::Matrix, targets: &[usize]) -> f64 {
-    assert!(targets.len() <= logits.rows(), "more targets than positions");
+    assert!(
+        targets.len() <= logits.rows(),
+        "more targets than positions"
+    );
     let probs = dota_tensor::ops::softmax_rows(logits);
     let mut acc = 0.0f64;
     for (r, &t) in targets.iter().enumerate() {

@@ -16,7 +16,10 @@ use dota_workloads::Benchmark;
 
 fn main() {
     println!("=== Table 2: module inventory (22nm, 1 GHz) ===");
-    println!("{:<18} {:<32} {:>10} {:>10}", "module", "configuration", "power mW", "area mm2");
+    println!(
+        "{:<18} {:<32} {:>10} {:>10}",
+        "module", "configuration", "power mW", "area mm2"
+    );
     for m in energy::table2() {
         println!(
             "{:<18} {:<32} {:>10.2} {:>10.3}",
@@ -38,7 +41,12 @@ fn main() {
         sched::in_order_schedule(&fig8).total_loads()
     );
     // Fig. 9: balanced 4x6 mask.
-    let fig9 = vec![vec![0u32, 1, 2], vec![1, 2, 3], vec![1, 4, 5], vec![2, 3, 4]];
+    let fig9 = vec![
+        vec![0u32, 1, 2],
+        vec![1, 2, 3],
+        vec![1, 4, 5],
+        vec![2, 3, 4],
+    ];
     println!(
         "Fig. 9 mask: in-order {} loads, out-of-order (Algorithm 1) {} loads",
         sched::in_order_schedule(&fig9).total_loads(),
@@ -76,8 +84,12 @@ fn main() {
             let e = system.energy_row(b, point);
             println!(
                 "{:>10} {:>8} {:>11.1}x {:>11.1}x {:>9.1}x {:>11.0}x",
-                s.benchmark, s.variant, s.attention_vs_gpu, s.attention_vs_elsa,
-                s.end_to_end_vs_gpu, e.vs_gpu
+                s.benchmark,
+                s.variant,
+                s.attention_vs_gpu,
+                s.attention_vs_elsa,
+                s.end_to_end_vs_gpu,
+                e.vs_gpu
             );
         }
     }

@@ -15,7 +15,10 @@ use dota_workloads::Benchmark;
 
 fn main() {
     let retention = 0.25;
-    println!("Causal copy-recall LM, seq 32, retention {:.0}%\n", retention * 100.0);
+    println!(
+        "Causal copy-recall LM, seq 32, retention {:.0}%\n",
+        retention * 100.0
+    );
     // Streaming regime: many samples, few passes — random filler tokens
     // would otherwise be memorized instead of the planted retrieval edge.
     let run = BenchmarkRun::train(
@@ -32,10 +35,7 @@ fn main() {
         19,
     );
 
-    println!(
-        "{:>8} {:>12} {:>14}",
-        "method", "perplexity", "recall-acc"
-    );
+    println!("{:>8} {:>12} {:>14}", "method", "perplexity", "recall-acc");
     for (name, method, r) in [
         ("dense", Method::Dense, 1.0),
         ("DOTA", Method::Dota, retention),

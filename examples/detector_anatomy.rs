@@ -41,7 +41,10 @@ fn main() {
             / eval_ids.len() as f64
     };
 
-    println!("\nDetection recall vs oracle top-{k} (retention {:.0}%):\n", retention * 100.0);
+    println!(
+        "\nDetection recall vs oracle top-{k} (retention {:.0}%):\n",
+        retention * 100.0
+    );
     println!("{:<34} {:>8}", "method", "recall");
 
     // DOTA across ranks (trained per rank).
@@ -66,12 +69,18 @@ fn main() {
         );
         let rank = hook.config().rank_for_head_dim(model.config().head_dim());
         let r_f32 = recall(&hook.inference_f32(&p), &p);
-        println!("{:<34} {:>8.3}", format!("DOTA sigma={sigma} (rank {rank}), FP32"), r_f32);
+        println!(
+            "{:<34} {:>8.3}",
+            format!("DOTA sigma={sigma} (rank {rank}), FP32"),
+            r_f32
+        );
         // Quantized variants of the same trained detector.
         for prec in [Precision::Int8, Precision::Int4, Precision::Int2] {
-            let quant_hook = hook
-                .clone()
-                .with_config(DetectorConfig::new(retention).with_sigma(sigma).with_precision(prec));
+            let quant_hook = hook.clone().with_config(
+                DetectorConfig::new(retention)
+                    .with_sigma(sigma)
+                    .with_precision(prec),
+            );
             let r = recall(&quant_hook.inference(&p), &p);
             println!("{:<34} {:>8.3}", format!("  └ quantized {prec}"), r);
         }
@@ -79,7 +88,11 @@ fn main() {
 
     // Training-free baselines on the same model.
     let elsa = ElsaHook::from_model(&model, &params, 32, retention, 7);
-    println!("{:<34} {:>8.3}", "ELSA (32-bit sign hashes)", recall(&elsa, &params));
+    println!(
+        "{:<34} {:>8.3}",
+        "ELSA (32-bit sign hashes)",
+        recall(&elsa, &params)
+    );
     let a3 = A3Hook::from_model(&model, &params, 4, retention);
     println!("{:<34} {:>8.3}", "A3 (4 of 16 dims)", recall(&a3, &params));
     let random = RandomHook::new(retention, 3);

@@ -10,9 +10,9 @@
 
 use dota_accel::decode::simulate_decode;
 use dota_accel::AccelConfig;
+use dota_core::experiments::{self, TrainOptions};
 use dota_tensor::Matrix;
 use dota_transformer::{DecodeSelector, DenseDecode, TransformerConfig};
-use dota_core::experiments::{self, TrainOptions};
 use dota_workloads::{Benchmark, TaskSpec};
 
 /// Keep only the `budget` most recent cache positions plus position 0 — a

@@ -74,17 +74,25 @@ fn main() {
         5,
     );
     let sample = &run.test.samples()[0];
-    let trace = run
-        .model
-        .infer(&run.dota_params, &sample.ids, &run.hook.inference(&run.dota_params));
+    let trace = run.model.infer(
+        &run.dota_params,
+        &sample.ids,
+        &run.hook.inference(&run.dota_params),
+    );
     let accel = Accelerator::new(AccelConfig::default());
     let rep = accel.simulate_trace(run.model.config(), &trace);
     println!(
         "\nScheduler on the detected masks (retention {:.1}%):",
         rep.retention * 100.0
     );
-    println!("  K/V loads, token-parallel out-of-order: {}", rep.key_loads);
-    println!("  K/V loads, row-by-row dataflow:         {}", rep.key_loads_row_by_row);
+    println!(
+        "  K/V loads, token-parallel out-of-order: {}",
+        rep.key_loads
+    );
+    println!(
+        "  K/V loads, row-by-row dataflow:         {}",
+        rep.key_loads_row_by_row
+    );
     println!(
         "  memory-access reduction:                {:.2}x",
         rep.key_loads_row_by_row as f64 / rep.key_loads.max(1) as f64

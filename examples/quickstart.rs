@@ -30,7 +30,11 @@ fn main() {
     let dota = run.evaluate(Method::Dota, retention, 0);
     let random = run.evaluate(Method::Random, retention, 0);
     println!("  dense attention accuracy:       {:.3}", dense.accuracy);
-    println!("  DOTA @ {:>4.0}% retention:        {:.3}", retention * 100.0, dota.accuracy);
+    println!(
+        "  DOTA @ {:>4.0}% retention:        {:.3}",
+        retention * 100.0,
+        dota.accuracy
+    );
     println!("  random @ same retention:        {:.3}", random.accuracy);
 
     // --- Hardware side: simulated paper-scale speedup. ---

@@ -50,7 +50,12 @@ fn energy_rows_all_favor_dota() {
     for b in Benchmark::ALL {
         let c = sys.energy_row(b, OperatingPoint::Conservative);
         let a = sys.energy_row(b, OperatingPoint::Aggressive);
-        assert!(a.vs_gpu >= c.vs_gpu * 0.95, "{b:?}: A {} vs C {}", a.vs_gpu, c.vs_gpu);
+        assert!(
+            a.vs_gpu >= c.vs_gpu * 0.95,
+            "{b:?}: A {} vs C {}",
+            a.vs_gpu,
+            c.vs_gpu
+        );
     }
 }
 
@@ -117,7 +122,10 @@ fn dota_detection_beats_training_free_baselines() {
     // comparison (not this recall test) captures. Sanity-check it runs.
     let a3_hook = A3Hook::from_model(&model, &params, 4, retention);
     let a3 = detection_quality(&model, &params, ids, &a3_hook, k).recall;
-    assert!(a3 > random, "A3 recall {a3:.3} should beat random {random:.3}");
+    assert!(
+        a3 > random,
+        "A3 recall {a3:.3} should beat random {random:.3}"
+    );
 
     assert!(
         dota > elsa,

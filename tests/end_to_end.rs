@@ -32,8 +32,14 @@ fn text_pipeline_accuracy_and_replay() {
     let dota = run.evaluate(Method::Dota, retention, 1);
     let random = run.evaluate(Method::Random, retention, 1);
     assert!(dense.accuracy > 0.65, "dense {:?}", dense);
-    assert!(dota.accuracy >= random.accuracy, "dota {dota:?} vs random {random:?}");
-    assert!(dota.accuracy >= dense.accuracy - 0.2, "dota {dota:?} vs dense {dense:?}");
+    assert!(
+        dota.accuracy >= random.accuracy,
+        "dota {dota:?} vs random {random:?}"
+    );
+    assert!(
+        dota.accuracy >= dense.accuracy - 0.2,
+        "dota {dota:?} vs dense {dense:?}"
+    );
 
     // Replay the detected masks on the simulator.
     let sample = &run.test.samples()[0];

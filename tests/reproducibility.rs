@@ -16,8 +16,16 @@ use dota_workloads::Benchmark;
 fn fig3_attention_fractions_pinned() {
     let cfg = TransformerConfig::bert_large(16_384);
     let rows = flops::fig3_sweep(&cfg, &[384, 16_384]);
-    assert!((rows[0].attention_fraction - 0.0596).abs() < 5e-3, "{}", rows[0].attention_fraction);
-    assert!((rows[1].attention_fraction - 0.7308).abs() < 5e-3, "{}", rows[1].attention_fraction);
+    assert!(
+        (rows[0].attention_fraction - 0.0596).abs() < 5e-3,
+        "{}",
+        rows[0].attention_fraction
+    );
+    assert!(
+        (rows[1].attention_fraction - 0.7308).abs() < 5e-3,
+        "{}",
+        rows[1].attention_fraction
+    );
 }
 
 #[test]
@@ -28,16 +36,22 @@ fn fig12_geomeans_pinned() {
         (product / Benchmark::ALL.len() as f64).exp()
     };
     let attn_c = geomean(&|b| {
-        sys.speedup_row(b, OperatingPoint::Conservative).attention_vs_gpu
+        sys.speedup_row(b, OperatingPoint::Conservative)
+            .attention_vs_gpu
     });
     let elsa_c = geomean(&|b| {
-        sys.speedup_row(b, OperatingPoint::Conservative).attention_vs_elsa
+        sys.speedup_row(b, OperatingPoint::Conservative)
+            .attention_vs_elsa
     });
     let e2e_c = geomean(&|b| {
-        sys.speedup_row(b, OperatingPoint::Conservative).end_to_end_vs_gpu
+        sys.speedup_row(b, OperatingPoint::Conservative)
+            .end_to_end_vs_gpu
     });
     // EXPERIMENTS.md records 274x / 4.8x / 12.0x.
-    assert!((attn_c / 274.1 - 1.0).abs() < 0.02, "attention geomean {attn_c}");
+    assert!(
+        (attn_c / 274.1 - 1.0).abs() < 0.02,
+        "attention geomean {attn_c}"
+    );
     assert!((elsa_c / 4.8 - 1.0).abs() < 0.05, "elsa geomean {elsa_c}");
     assert!((e2e_c / 12.0 - 1.0).abs() < 0.02, "e2e geomean {e2e_c}");
 }
@@ -54,9 +68,8 @@ fn fig15_optimum_pinned_at_parallelism_4() {
     for t in 1..=6 {
         let loads = sched::schedule_matrix(&sel, t, true).total_loads();
         let mem = loads as f64 / base as f64;
-        let sched_cost = sched::buffer_requirement(t) as f64
-            / sched::buffer_requirement(4) as f64
-            * 0.08;
+        let sched_cost =
+            sched::buffer_requirement(t) as f64 / sched::buffer_requirement(4) as f64 * 0.08;
         let total = mem + sched_cost;
         if total < best.1 {
             best = (t, total);
@@ -70,7 +83,12 @@ fn paper_worked_examples_pinned() {
     let fig8 = vec![vec![1u32, 2], vec![0, 1, 4], vec![1, 2], vec![0, 2, 4]];
     assert_eq!(sched::row_by_row_loads(&fig8), 10);
     assert_eq!(sched::in_order_schedule(&fig8).total_loads(), 5);
-    let fig9 = vec![vec![0u32, 1, 2], vec![1, 2, 3], vec![1, 4, 5], vec![2, 3, 4]];
+    let fig9 = vec![
+        vec![0u32, 1, 2],
+        vec![1, 2, 3],
+        vec![1, 4, 5],
+        vec![2, 3, 4],
+    ];
     assert_eq!(sched::in_order_schedule(&fig9).total_loads(), 11);
     assert_eq!(sched::locality_aware_schedule(&fig9).total_loads(), 7);
 }
@@ -81,6 +99,14 @@ fn energy_rows_pinned() {
     let qa = sys.energy_row(Benchmark::Qa, OperatingPoint::Conservative);
     let ret = sys.energy_row(Benchmark::Retrieval, OperatingPoint::Conservative);
     // EXPERIMENTS.md records 103x (QA) and 616x (Retrieval).
-    assert!((qa.vs_gpu / 103.0 - 1.0).abs() < 0.03, "QA vs GPU {}", qa.vs_gpu);
-    assert!((ret.vs_gpu / 616.0 - 1.0).abs() < 0.03, "Retrieval vs GPU {}", ret.vs_gpu);
+    assert!(
+        (qa.vs_gpu / 103.0 - 1.0).abs() < 0.03,
+        "QA vs GPU {}",
+        qa.vs_gpu
+    );
+    assert!(
+        (ret.vs_gpu / 616.0 - 1.0).abs() < 0.03,
+        "Retrieval vs GPU {}",
+        ret.vs_gpu
+    );
 }

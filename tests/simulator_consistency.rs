@@ -73,7 +73,10 @@ fn token_parallelism_sweep_reduces_loads_with_diminishing_returns() {
     assert!(l6 <= l4, "{l6} > {l4}");
     let gain_12 = l1 as f64 / l2 as f64;
     let gain_46 = l4 as f64 / l6 as f64;
-    assert!(gain_12 > gain_46, "no diminishing returns: {gain_12} vs {gain_46}");
+    assert!(
+        gain_12 > gain_46,
+        "no diminishing returns: {gain_12} vs {gain_46}"
+    );
 }
 
 #[test]
