@@ -219,6 +219,23 @@ impl PerfReport {
     }
 }
 
+/// Emits one Chrome-trace event per pipeline stage of layer `l` on the
+/// simulated `encoder` track, starting at `cursor` cycles; returns the new
+/// cursor (the coarse model is additive, so stages lay end to end).
+fn emit_stage_events(l: u64, cursor: u64, cycles: &StageLatency) -> u64 {
+    let mut t = cursor;
+    for (stage, dur) in [
+        ("linear", cycles.linear),
+        ("detection", cycles.detection),
+        ("attention", cycles.attention),
+        ("ffn", cycles.ffn),
+    ] {
+        dota_trace::sim_event("encoder", &format!("L{l}.{stage}"), t, dur);
+        t += dur;
+    }
+    t
+}
+
 /// The DOTA accelerator simulator.
 #[derive(Debug, Clone)]
 pub struct Accelerator {
@@ -296,17 +313,25 @@ impl Accelerator {
         let key_loads = key_loads_head * heads * layers;
         let key_loads_rbr = rbr_head * heads * layers;
 
-        let layer = self.layer_report(
-            model,
-            n,
-            k_per_row,
-            retention,
-            sigma,
-            key_loads_head,
-            rbr_head,
-        );
+        // One layer_report call per layer (identical arithmetic to computing
+        // one representative layer and adding it `layers` times, since the
+        // model is pure) so memory/MAC counters accumulate whole-model
+        // totals and the trace shows every layer's stages.
         let mut report = PerfReport::default();
-        for _ in 0..layers {
+        let mut cursor = 0u64;
+        for l in 0..layers {
+            let layer = self.layer_report(
+                model,
+                n,
+                k_per_row,
+                retention,
+                sigma,
+                key_loads_head,
+                rbr_head,
+            );
+            if dota_trace::enabled() {
+                cursor = emit_stage_events(l, cursor, &layer.cycles);
+            }
             report = report.add(&layer);
         }
         report.key_loads = key_loads;
@@ -322,7 +347,8 @@ impl Accelerator {
         let mut total = PerfReport::default();
         let n = trace.layers[0].heads[0].q.rows();
         let sigma = 0.0; // detection cost is folded per-head below
-        for layer in &trace.layers {
+        let mut cursor = 0u64;
+        for (l, layer) in trace.layers.iter().enumerate() {
             let mut kept_sum = 0u64;
             let mut key_loads = 0u64;
             let mut rbr = 0u64;
@@ -358,6 +384,9 @@ impl Accelerator {
             rep.key_loads = key_loads;
             rep.key_loads_row_by_row = rbr;
             rep.retention = retention;
+            if dota_trace::enabled() {
+                cursor = emit_stage_events(l as u64, cursor, &rep.cycles);
+            }
             total = total.add(&rep);
         }
         total
@@ -469,6 +498,30 @@ impl Accelerator {
             dram_pj: dram.energy_pj(),
             leakage_pj: energy::SRAM_LEAKAGE_MW * 1e-3 * seconds * 1e12,
         };
+
+        if dota_trace::enabled() {
+            dota_trace::count("accel.layers", 1);
+            dota_trace::count("accel.kept_connections", kept);
+            dota_trace::count("accel.cycles.linear", linear);
+            dota_trace::count("accel.cycles.detection", detection);
+            dota_trace::count("accel.cycles.attention", attention);
+            dota_trace::count("accel.cycles.ffn", ffn);
+            dota_trace::count(&format!("rmmu.macs.{}", Precision::Fx16), attn_stage_macs);
+            dota_trace::count(
+                &format!("rmmu.macs.{}", cfg.linear_precision),
+                linear_stage_macs,
+            );
+            if detect_macs > 0 {
+                dota_trace::count(
+                    &format!("rmmu.detect_macs.{}", cfg.detect_precision),
+                    detect_macs,
+                );
+            }
+            dota_trace::count("mfu.ops", mfu_total);
+            dota_trace::count("sched.ids_issued", sched_ids);
+            dota_trace::count("accel.key_loads", key_loads_head * heads);
+            dota_trace::count("accel.key_loads_row_by_row", rbr_head * heads);
+        }
 
         PerfReport {
             cycles,

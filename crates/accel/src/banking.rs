@@ -99,12 +99,17 @@ pub fn analyze_conflicts(
             .max(u64::from(round_loads > 0));
         actual += max_bank;
     }
-    ConflictReport {
+    let report = ConflictReport {
         rounds: schedule.rounds.len(),
         loads,
         ideal_cycles: ideal,
         actual_cycles: actual,
+    };
+    if dota_trace::enabled() {
+        dota_trace::count("sram.bank_conflict_stalls", report.stall_cycles());
+        dota_trace::count("sram.bank_access_cycles", report.actual_cycles);
     }
+    report
 }
 
 #[cfg(test)]

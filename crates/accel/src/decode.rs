@@ -116,6 +116,17 @@ pub fn simulate_decode(
         leakage_pj: energy::SRAM_LEAKAGE_MW * 1e-3 * seconds * 1e12,
     };
 
+    if dota_trace::enabled() {
+        dota_trace::count("decode.tokens", gen_tokens as u64);
+        dota_trace::count("decode.cycles", cycles);
+        dota_trace::count("decode.weight_stream_cycles", weight_stream_cycles);
+        dota_trace::count("decode.kv_stream_cycles", kv_stream_cycles);
+        dota_trace::count("decode.weight_bytes", weight_bytes * gen_tokens as u64);
+        dota_trace::count("decode.kv_bytes", kv_bytes_total);
+        dota_trace::count("decode.macs_fx16", macs);
+        dota_trace::count("decode.macs_detect", detect_macs);
+    }
+
     DecodeReport {
         cycles,
         weight_stream_cycles,

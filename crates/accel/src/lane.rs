@@ -35,6 +35,19 @@ pub enum Resource {
     SramPort,
 }
 
+impl Resource {
+    /// Stable display name (trace track and counter key component).
+    pub fn name(self) -> &'static str {
+        match self {
+            Resource::RmmuFx => "RmmuFx",
+            Resource::RmmuDetect => "RmmuDetect",
+            Resource::Mfu => "Mfu",
+            Resource::DramPort => "DramPort",
+            Resource::SramPort => "SramPort",
+        }
+    }
+}
+
 /// One schedulable unit of work.
 #[derive(Debug, Clone)]
 pub struct Tile {
@@ -55,6 +68,8 @@ pub struct PipelineReport {
     pub makespan: u64,
     /// Busy cycles per resource.
     pub busy: BTreeMap<Resource, u64>,
+    /// Start time of every tile, in input order.
+    pub start_times: Vec<u64>,
     /// Completion time of every tile, in input order.
     pub finish_times: Vec<u64>,
 }
@@ -82,6 +97,7 @@ impl PipelineReport {
 /// ordered (deps must reference earlier tiles).
 pub fn schedule(tiles: &[Tile]) -> PipelineReport {
     let mut resource_free: BTreeMap<Resource, u64> = BTreeMap::new();
+    let mut starts: Vec<u64> = Vec::with_capacity(tiles.len());
     let mut finish: Vec<u64> = Vec::with_capacity(tiles.len());
     let mut busy: BTreeMap<Resource, u64> = BTreeMap::new();
     for (i, tile) in tiles.iter().enumerate() {
@@ -95,13 +111,27 @@ pub fn schedule(tiles: &[Tile]) -> PipelineReport {
         let end = start + tile.cycles;
         resource_free.insert(tile.resource, end);
         *busy.entry(tile.resource).or_insert(0) += tile.cycles;
+        dota_trace::sim_event(tile.resource.name(), &tile.name, start, tile.cycles);
+        starts.push(start);
         finish.push(end);
     }
-    PipelineReport {
+    let report = PipelineReport {
         makespan: finish.iter().copied().max().unwrap_or(0),
         busy,
+        start_times: starts,
         finish_times: finish,
+    };
+    if dota_trace::enabled() {
+        dota_trace::count("lane.makespan_cycles", report.makespan);
+        for (&res, &busy_cycles) in &report.busy {
+            dota_trace::count(&format!("lane.{}.busy_cycles", res.name()), busy_cycles);
+            dota_trace::count(
+                &format!("lane.{}.idle_cycles", res.name()),
+                report.makespan - busy_cycles,
+            );
+        }
     }
+    report
 }
 
 /// Builds the tile DAG of an `n_layers`-deep encoder pass with

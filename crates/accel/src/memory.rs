@@ -36,12 +36,14 @@ impl DramModel {
     /// Records a read and returns the cycles it occupies on the interface.
     pub fn read(&mut self, bytes: u64) -> u64 {
         self.bytes_read += bytes;
+        dota_trace::count("dram.bytes_read", bytes);
         (bytes as f64 / self.bytes_per_cycle()).ceil() as u64
     }
 
     /// Records a write and returns the cycles it occupies.
     pub fn write(&mut self, bytes: u64) -> u64 {
         self.bytes_written += bytes;
+        dota_trace::count("dram.bytes_written", bytes);
         (bytes as f64 / self.bytes_per_cycle()).ceil() as u64
     }
 
@@ -129,6 +131,7 @@ impl SramModel {
     /// stripe across banks (`ceil(bytes / (64 * banks))`).
     pub fn access(&mut self, bytes: u64) -> u64 {
         self.bytes_accessed += bytes;
+        dota_trace::count("sram.bytes_accessed", bytes);
         let per_cycle = 64 * self.banks as u64;
         bytes.div_ceil(per_cycle)
     }

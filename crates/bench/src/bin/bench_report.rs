@@ -41,12 +41,22 @@ struct AttnRow {
 }
 
 #[derive(Serialize)]
+struct CounterScenario {
+    scenario: String,
+    counters: std::collections::BTreeMap<String, u64>,
+}
+
+#[derive(Serialize)]
 struct Report {
     parallel_feature: bool,
     pool_threads: usize,
     host_note: &'static str,
     gemm: Vec<GemmRow>,
     attention: Vec<AttnRow>,
+    /// Deterministic hardware-counter snapshots (see `dota-trace`): the
+    /// same scenarios `counters_baseline` regression-checks. Unlike the
+    /// timing rows, these are bit-identical across hosts and thread counts.
+    counters: Vec<CounterScenario>,
 }
 
 /// Best-of-`reps` wall-clock milliseconds.
@@ -152,12 +162,37 @@ fn main() {
     println!("\nAttention (head_dim 64, retention 10%): dense vs DOTA-sparse");
     let attention = attention_rows();
 
+    println!("\nHardware counters (deterministic; selected totals per scenario)");
+    let counters: Vec<CounterScenario> = dota_bench::counter_scenarios()
+        .into_iter()
+        .map(|(scenario, counters)| CounterScenario { scenario, counters })
+        .collect();
+    for cs in &counters {
+        println!("  {} ({} counters)", cs.scenario, cs.counters.len());
+        // Headline totals only; the JSON carries the full snapshot.
+        for key in [
+            "sched.row_by_row.loads",
+            "sched.in_order.loads",
+            "sched.ooo.loads",
+            "accel.cycles.attention",
+            "accel.key_loads",
+            "decode.cycles",
+            "attn.connections.omitted",
+            "dram.bytes_read",
+        ] {
+            if let Some(v) = cs.counters.get(key) {
+                println!("    {key:<28} {v}");
+            }
+        }
+    }
+
     let report = Report {
         parallel_feature: cfg!(feature = "parallel"),
         pool_threads: dota_parallel::num_threads(),
         host_note: "pool_speedup is host-dependent; ~1.0 on single-core runners",
         gemm,
         attention,
+        counters,
     };
     let mut path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
     path.pop();

@@ -1,0 +1,128 @@
+//! Hardware-counter regression harness.
+//!
+//! Default mode re-runs the deterministic counter scenarios (see
+//! `dota_bench::counter_scenarios`) and rewrites the committed baseline at
+//! `results/counters_baseline.json`. `--check` mode re-runs the scenarios
+//! and diffs them against the committed baseline instead, exiting non-zero
+//! on any drift — run it in CI after behaviour-changing simulator work and
+//! regenerate the baseline deliberately when a change is intended:
+//!
+//! ```text
+//! cargo run --release -p dota-bench --bin counters_baseline            # rewrite
+//! cargo run --release -p dota-bench --bin counters_baseline -- --check # verify
+//! ```
+//!
+//! The scenarios are fully seeded and every counter is a `u64` sum, so the
+//! check is bitwise stable across hosts, thread counts and the `parallel`
+//! feature — any diff is a real behaviour change, not noise.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+#[derive(Serialize, Deserialize)]
+struct Scenario {
+    scenario: String,
+    counters: BTreeMap<String, u64>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct Baseline {
+    note: String,
+    scenarios: Vec<Scenario>,
+}
+
+fn current() -> Baseline {
+    Baseline {
+        note: "Deterministic dota-trace counter totals; regenerate with \
+               `cargo run -p dota-bench --bin counters_baseline` when a \
+               simulator change is intended."
+            .to_owned(),
+        scenarios: dota_bench::counter_scenarios()
+            .into_iter()
+            .map(|(scenario, counters)| Scenario { scenario, counters })
+            .collect(),
+    }
+}
+
+fn baseline_path() -> std::path::PathBuf {
+    let mut p = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p.push("results");
+    p.push("counters_baseline.json");
+    p
+}
+
+/// Prints every difference between the committed and current counters.
+/// Returns the number of differences.
+fn diff(committed: &Baseline, now: &Baseline) -> usize {
+    let mut diffs = 0;
+    let committed_by_name: BTreeMap<&str, &Scenario> = committed
+        .scenarios
+        .iter()
+        .map(|s| (s.scenario.as_str(), s))
+        .collect();
+    for cur in &now.scenarios {
+        let Some(base) = committed_by_name.get(cur.scenario.as_str()) else {
+            println!("  {}: missing from committed baseline", cur.scenario);
+            diffs += 1;
+            continue;
+        };
+        let keys: std::collections::BTreeSet<&String> =
+            base.counters.keys().chain(cur.counters.keys()).collect();
+        for key in keys {
+            let (b, c) = (base.counters.get(key), cur.counters.get(key));
+            if b != c {
+                let fmt = |v: Option<&u64>| v.map_or_else(|| "<absent>".to_owned(), u64::to_string);
+                println!(
+                    "  {}/{key}: baseline {} vs current {}",
+                    cur.scenario,
+                    fmt(b),
+                    fmt(c)
+                );
+                diffs += 1;
+            }
+        }
+    }
+    for base in &committed.scenarios {
+        if !now.scenarios.iter().any(|s| s.scenario == base.scenario) {
+            println!("  {}: no longer produced", base.scenario);
+            diffs += 1;
+        }
+    }
+    diffs
+}
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    let now = current();
+    let path = baseline_path();
+
+    if check {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read {}: {e}", path.display());
+            std::process::exit(2);
+        });
+        let committed: Baseline = serde_json::from_str(&text).unwrap_or_else(|e| {
+            eprintln!("cannot parse {}: {e}", path.display());
+            std::process::exit(2);
+        });
+        println!("Counter regression check against {}", path.display());
+        let diffs = diff(&committed, &now);
+        if diffs == 0 {
+            let total: usize = now.scenarios.iter().map(|s| s.counters.len()).sum();
+            println!(
+                "OK: {} scenarios, {total} counters, all identical to baseline",
+                now.scenarios.len()
+            );
+        } else {
+            println!("FAIL: {diffs} counter(s) drifted from the committed baseline");
+            std::process::exit(1);
+        }
+    } else {
+        for s in &now.scenarios {
+            println!("{:<22} {} counters", s.scenario, s.counters.len());
+        }
+        dota_bench::write_json("counters_baseline", &now);
+    }
+}

@@ -7,6 +7,8 @@ use dota_core::{DotaSystem, EnergyRow};
 use dota_workloads::Benchmark;
 
 fn main() {
+    // Honours --trace/--counters (or DOTA_TRACE/DOTA_COUNTERS); no-op otherwise.
+    let _obs = dota_bench::Observability::from_env("fig13_energy");
     let system = DotaSystem::paper_default();
 
     let grid: Vec<(Benchmark, OperatingPoint)> = Benchmark::ALL

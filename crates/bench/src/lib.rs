@@ -8,6 +8,7 @@
 #![deny(missing_docs)]
 
 use serde::Serialize;
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 
 /// Writes `value` as pretty JSON to `results/<name>.json` (relative to the
@@ -54,6 +55,143 @@ where
     dota_parallel::par_map(points, |_, p| f(p))
 }
 
+/// Observability binding for a figure binary: honours `--trace <path>` /
+/// `--counters <path>` CLI flags (or the `DOTA_TRACE` / `DOTA_COUNTERS`
+/// environment variables), opening an exclusive [`dota_trace`] session when
+/// either is set and writing the requested files when dropped.
+///
+/// Hold the returned value for the whole `main`; when neither flag nor
+/// variable is set this is a no-op and tracing stays disabled. Binaries
+/// that open their own internal `dota_trace` sessions (e.g. the counter
+/// scenarios) must **not** also hold an `Observability` — sessions are
+/// exclusive and the inner `session()` call would deadlock.
+pub struct Observability {
+    guard: Option<dota_trace::TraceGuard>,
+    trace: Option<PathBuf>,
+    counters: Option<PathBuf>,
+}
+
+impl Observability {
+    /// Reads the flags/environment and, if observability was requested,
+    /// starts a trace session labelled `label`.
+    pub fn from_env(label: &str) -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let flag = |name: &str| -> Option<String> {
+            args.iter()
+                .position(|a| a == name)
+                .and_then(|i| args.get(i + 1).cloned())
+        };
+        let trace = flag("--trace")
+            .or_else(|| std::env::var("DOTA_TRACE").ok())
+            .map(PathBuf::from);
+        let counters = flag("--counters")
+            .or_else(|| std::env::var("DOTA_COUNTERS").ok())
+            .map(PathBuf::from);
+        let guard = (trace.is_some() || counters.is_some()).then(|| dota_trace::session(label));
+        Self {
+            guard,
+            trace,
+            counters,
+        }
+    }
+}
+
+impl Drop for Observability {
+    fn drop(&mut self) {
+        let Some(guard) = self.guard.take() else {
+            return;
+        };
+        if let Some(p) = &self.trace {
+            match guard.write_trace(p) {
+                Ok(()) => eprintln!("[trace written to {}]", p.display()),
+                Err(e) => eprintln!("[trace write to {} failed: {e}]", p.display()),
+            }
+        }
+        if let Some(p) = &self.counters {
+            match guard.write_counters(p) {
+                Ok(()) => eprintln!("[counters written to {}]", p.display()),
+                Err(e) => eprintln!("[counters write to {} failed: {e}]", p.display()),
+            }
+        }
+    }
+}
+
+/// The deterministic counter scenarios shared by `bench_report` (counter
+/// summary section) and `counters_baseline` (regression check against the
+/// committed baseline).
+///
+/// Each scenario runs inside its own exclusive [`dota_trace`] session and
+/// returns its full counter snapshot. Every input is seeded and every
+/// counter is a `u64` sum, so the snapshots are bit-identical across runs,
+/// `DOTA_THREADS` values, and the `parallel` feature.
+pub fn counter_scenarios() -> Vec<(String, BTreeMap<String, u64>)> {
+    use dota_accel::{sched, synth, AccelConfig, Accelerator};
+    use dota_transformer::TransformerConfig;
+
+    let mut out = Vec::new();
+
+    // 1. The paper's Fig. 8 working example: row-by-row (10 loads) vs
+    //    in-order token-parallel scheduling (5 loads).
+    {
+        let guard = dota_trace::session("sched_fig8");
+        let fig8: Vec<Vec<u32>> = vec![vec![1, 2], vec![0, 1, 4], vec![1, 2], vec![0, 2, 4]];
+        let _ = sched::row_by_row_loads(&fig8);
+        let _ = sched::in_order_schedule(&fig8);
+        out.push(("sched_fig8".to_owned(), guard.counters()));
+    }
+
+    // 2. The paper's Fig. 9/10 working example: in-order (11 loads) vs
+    //    out-of-order scheduling (7 loads) of the same detected pattern.
+    {
+        let guard = dota_trace::session("sched_fig9");
+        let fig9: Vec<Vec<u32>> = vec![vec![0, 1, 2], vec![1, 2, 3], vec![1, 4, 5], vec![2, 3, 4]];
+        let _ = sched::row_by_row_loads(&fig9);
+        let _ = sched::in_order_schedule(&fig9);
+        let _ = sched::locality_aware_schedule(&fig9);
+        out.push(("sched_fig9".to_owned(), guard.counters()));
+    }
+
+    // 3. Analytic full-model simulation on a small shape.
+    {
+        let guard = dota_trace::session("simulate_shape_small");
+        let model = TransformerConfig::tiny(128, 64, 2);
+        let accel = Accelerator::new(AccelConfig::default());
+        let _ = accel.simulate_shape(&model, 128, 0.25, 0.25, &synth::SelectionProfile::default());
+        out.push(("simulate_shape_small".to_owned(), guard.counters()));
+    }
+
+    // 4. Incremental decoding on a small prompt/generation budget.
+    {
+        let guard = dota_trace::session("simulate_decode_small");
+        let model = TransformerConfig::tiny_causal(64, 64);
+        let _ =
+            dota_accel::decode::simulate_decode(&AccelConfig::default(), &model, 32, 8, 0.25, 0.25);
+        out.push(("simulate_decode_small".to_owned(), guard.counters()));
+    }
+
+    // 5. End-to-end: tiny model + quantized detector inference, replayed
+    //    through the cycle simulator. Exercises the detector, per-head
+    //    attention counters and the trace-replay path together.
+    {
+        let guard = dota_trace::session("tiny_infer_replay");
+        let mut params = dota_autograd::ParamSet::new();
+        let model =
+            dota_transformer::Model::init(TransformerConfig::tiny(16, 8, 2), &mut params, 11);
+        let hook = dota_detector::DotaHook::init(
+            dota_detector::DetectorConfig::new(0.25),
+            model.config(),
+            &mut params,
+        );
+        let ids = vec![1usize, 2, 3, 4, 5, 6, 7, 0, 1, 2, 3, 4, 5, 6, 7, 0];
+        let trace = model.infer(&params, &ids, &hook.inference(&params));
+        let accel = Accelerator::new(AccelConfig::default());
+        let _ = accel.simulate_trace(model.config(), &trace);
+        out.push(("tiny_infer_replay".to_owned(), guard.counters()));
+    }
+
+    out
+}
+
 /// Formats a ratio as `x.x×`.
 pub fn times(x: f64) -> String {
     if x >= 100.0 {
@@ -76,6 +214,25 @@ mod tests {
     #[test]
     fn results_dir_ends_with_results() {
         assert!(results_dir().ends_with("results"));
+    }
+
+    #[test]
+    fn counter_scenarios_are_deterministic() {
+        let a = counter_scenarios();
+        let b = counter_scenarios();
+        assert_eq!(a, b, "scenario counters must be bit-identical run-to-run");
+        assert_eq!(a.len(), 5);
+        for (name, counters) in &a {
+            assert!(!counters.is_empty(), "scenario {name} recorded no counters");
+        }
+        // Spot-check the paper-figure pins: Fig. 8 (10 row-by-row vs 5
+        // in-order) and Fig. 9 (11 in-order vs 7 out-of-order).
+        let fig8 = &a[0].1;
+        assert_eq!(fig8["sched.row_by_row.loads"], 10);
+        assert_eq!(fig8["sched.in_order.loads"], 5);
+        let fig9 = &a[1].1;
+        assert_eq!(fig9["sched.in_order.loads"], 11);
+        assert_eq!(fig9["sched.ooo.loads"], 7);
     }
 
     #[test]

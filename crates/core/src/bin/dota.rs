@@ -7,26 +7,45 @@
 //! dota simulate BENCH --retention R   # raw simulator report
 //! dota decode --context N --tokens T  # decoder-mode analysis
 //! dota train BENCH [--retention R] [--seq N]   # tiny-model accuracy run
+//! dota infer BENCH [--retention R] [--seq N]   # one traced inference
 //! ```
+//!
+//! Every command accepts the global observability flags `--trace <path>`
+//! (Chrome-trace JSON, open in `chrome://tracing` or Perfetto) and
+//! `--counters <path>` (flat hardware-counter JSON).
 //!
 //! Build/run: `cargo run --release -p dota-core --bin dota -- <command>`.
 
 use dota_accel::decode::simulate_decode;
 use dota_accel::synth::SelectionProfile;
 use dota_accel::{energy, AccelConfig, Accelerator};
-use dota_core::experiments::{BenchmarkRun, Method, TrainOptions};
+use dota_core::experiments::{self, BenchmarkRun, Method, TrainOptions};
 use dota_core::presets::{self, OperatingPoint};
 use dota_core::DotaSystem;
-use dota_detector::DetectorConfig;
-use dota_workloads::Benchmark;
+use dota_detector::{DetectorConfig, DotaHook};
+use dota_workloads::{Benchmark, TaskSpec};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(command) = args.first() else {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let (trace_path, counters_path) = match (
+        take_flag(&mut args, "--trace"),
+        take_flag(&mut args, "--counters"),
+    ) {
+        (Ok(t), Ok(c)) => (t, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(command) = args.first().cloned() else {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
+    // One trace session spans the whole command; outputs are written only
+    // on success so a failed run never leaves a half-meaningful trace.
+    let session =
+        (trace_path.is_some() || counters_path.is_some()).then(|| dota_trace::session(&command));
     let rest = &args[1..];
     let result = match command.as_str() {
         "table2" => cmd_table2(),
@@ -35,12 +54,31 @@ fn main() -> ExitCode {
         "simulate" => cmd_simulate(rest),
         "decode" => cmd_decode(rest),
         "train" => cmd_train(rest),
+        "infer" => cmd_infer(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
         }
         other => Err(format!("unknown command `{other}`\n{USAGE}")),
     };
+    let result = result.and_then(|()| {
+        let Some(session) = &session else {
+            return Ok(());
+        };
+        if let Some(p) = &trace_path {
+            session
+                .write_trace(std::path::Path::new(p))
+                .map_err(|e| format!("writing trace {p}: {e}"))?;
+            eprintln!("[trace written to {p}]");
+        }
+        if let Some(p) = &counters_path {
+            session
+                .write_counters(std::path::Path::new(p))
+                .map_err(|e| format!("writing counters {p}: {e}"))?;
+            eprintln!("[counters written to {p}]");
+        }
+        Ok(())
+    });
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -48,6 +86,20 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Removes `--name <value>` from `args` wherever it appears, returning the
+/// value.
+fn take_flag(args: &mut Vec<String>, name: &str) -> Result<Option<String>, String> {
+    let Some(i) = args.iter().position(|a| a == name) else {
+        return Ok(None);
+    };
+    if i + 1 >= args.len() {
+        return Err(format!("{name} needs a value"));
+    }
+    let value = args.remove(i + 1);
+    args.remove(i);
+    Ok(Some(value))
 }
 
 const USAGE: &str = "\
@@ -67,6 +119,15 @@ commands:
         [--save FILE]             train a tiny model jointly with the
                                   detector, report accuracy, optionally
                                   checkpoint the adapted weights
+  infer BENCH [--retention R] [--seq N] [--seed S]
+                                  run one detector-filtered inference on a
+                                  tiny preset and replay it on the
+                                  simulator (pairs well with --trace)
+
+global options (any command):
+  --trace FILE                    write a Chrome-trace JSON of the run
+                                  (open in chrome://tracing or Perfetto)
+  --counters FILE                 write the hardware-counter totals as JSON
 BENCH: qa | image | text | retrieval | lm";
 
 fn parse_benchmark(s: &str) -> Result<Benchmark, String> {
@@ -332,5 +393,53 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
             .map_err(|e| e.to_string())?;
         println!("adapted weights saved to {path}");
     }
+    Ok(())
+}
+
+fn cmd_infer(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = parse_flags(args)?;
+    let bench = positional
+        .first()
+        .ok_or("infer needs a benchmark".to_owned())
+        .and_then(|s| parse_benchmark(s))?;
+    let retention = flag_f64(&flags, "retention")?.unwrap_or(0.25);
+    let seq = flag_usize(&flags, "seq")?.unwrap_or(16);
+    let seed = flag_usize(&flags, "seed")?.unwrap_or(7) as u64;
+
+    let _span = dota_trace::host_span("infer.build");
+    let spec = TaskSpec::tiny(bench, seq, seed);
+    let (_, test) = spec.generate_split(1, 1);
+    let ids = test.samples()[0].ids.clone();
+    let (model, mut params) = experiments::build_model(&spec, seed);
+    let hook = DotaHook::init(
+        DetectorConfig::new(retention).with_sigma(0.5),
+        model.config(),
+        &mut params,
+    );
+    drop(_span);
+
+    let trace = {
+        let _span = dota_trace::host_span("infer.forward");
+        model.infer(&params, &ids, &hook.inference(&params))
+    };
+    let rep = {
+        let _span = dota_trace::host_span("infer.replay");
+        let acc = Accelerator::new(AccelConfig::default());
+        acc.simulate_trace(model.config(), &trace)
+    };
+    println!(
+        "infer {} (seq {}, seed {seed}): retention {:.1}% (configured {:.1}%)",
+        bench.name(),
+        ids.len(),
+        trace.retention() * 100.0,
+        retention * 100.0
+    );
+    println!(
+        "replayed on simulator: {} cycles, {} K/V loads ({} row-by-row), {:.3} uJ",
+        rep.cycles.total(),
+        rep.key_loads,
+        rep.key_loads_row_by_row,
+        rep.energy.total_pj() * 1e-6
+    );
     Ok(())
 }

@@ -197,11 +197,17 @@ impl DotaInferenceHook<'_> {
 impl InferenceHook for DotaInferenceHook<'_> {
     fn select(&self, layer: usize, head: usize, x: &Matrix) -> Option<Vec<Vec<u32>>> {
         let scores = self.estimated_scores(layer, head, x);
-        Some(LowRankDetector::select_for_layer(
-            &self.hook.cfg,
-            &scores,
-            Some(layer),
-        ))
+        let sel = LowRankDetector::select_for_layer(&self.hook.cfg, &scores, Some(layer));
+        if dota_trace::enabled() {
+            let n = x.rows() as u64;
+            dota_trace::count("detector.selections", 1);
+            dota_trace::count("detector.scored_pairs", n * n);
+            dota_trace::count(
+                "detector.detected_pairs",
+                sel.iter().map(|r| r.len() as u64).sum(),
+            );
+        }
+        Some(sel)
     }
 }
 

@@ -385,7 +385,7 @@ mod tests {
     proptest! {
         #[test]
         fn macro_without_config_header(v in any::<bool>()) {
-            prop_assert!(v || !v);
+            prop_assert!(usize::from(v) <= 1);
         }
     }
 }

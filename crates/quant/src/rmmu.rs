@@ -319,7 +319,13 @@ impl RmmuArray {
         }
         self.int2_ops += mul.int2_ops();
         let macs = (a.rows() * a.cols() * b.rows()) as u64;
-        self.cycles += macs.div_ceil(rate);
+        let cycles = macs.div_ceil(rate);
+        self.cycles += cycles;
+        if dota_trace::enabled() {
+            dota_trace::count(&format!("rmmu.exec.macs.{precision}"), macs);
+            dota_trace::count("rmmu.exec.int2_ops", mul.int2_ops());
+            dota_trace::count("rmmu.exec.cycles", cycles);
+        }
         Ok(out)
     }
 }

@@ -214,6 +214,28 @@ impl<T: Deserialize> Deserialize for Vec<T> {
     }
 }
 
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(fields) => fields
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            _ => Err(DeError::new("expected object for map")),
+        }
+    }
+}
+
 impl<T: Serialize> Serialize for [T] {
     fn to_value(&self) -> Value {
         Value::Array(self.iter().map(Serialize::to_value).collect())
@@ -299,6 +321,25 @@ mod tests {
             vec![1, 2, 3]
         );
         assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn map_round_trips_in_key_order() {
+        use std::collections::BTreeMap;
+        let m: BTreeMap<String, u64> = [("b".to_string(), 2u64), ("a".to_string(), 1)]
+            .into_iter()
+            .collect();
+        let v = m.to_value();
+        // BTreeMap iterates sorted, and objects preserve insertion order.
+        assert_eq!(
+            v.as_object()
+                .unwrap()
+                .iter()
+                .map(|(k, _)| k.as_str())
+                .collect::<Vec<_>>(),
+            vec!["a", "b"]
+        );
+        assert_eq!(BTreeMap::<String, u64>::from_value(&v).unwrap(), m);
     }
 
     #[test]

@@ -104,12 +104,25 @@ fn parse_struct(input: TokenStream) -> Result<(String, Vec<String>), String> {
 
 /// Splits a brace-group body at top-level commas and pulls out each field's
 /// identifier (the ident immediately before the first top-level `:`).
+///
+/// Angle brackets are plain punctuation in a token stream (not a group), so
+/// commas inside generic arguments like `BTreeMap<String, u64>` must be
+/// skipped by tracking `<`/`>` depth.
 fn parse_fields(body: TokenStream) -> Result<Vec<String>, String> {
     let mut fields = Vec::new();
     let mut chunk: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0i32;
     for tt in body {
         match &tt {
-            TokenTree::Punct(p) if p.as_char() == ',' => {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle_depth += 1;
+                chunk.push(tt);
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth -= 1;
+                chunk.push(tt);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
                 if !chunk.is_empty() {
                     fields.push(field_name(&chunk)?);
                     chunk.clear();

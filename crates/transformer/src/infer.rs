@@ -166,6 +166,22 @@ impl crate::Model {
                         })
                         .collect()
                 });
+                if dota_trace::enabled() {
+                    let total = (n * n) as u64;
+                    let kept = match &effective {
+                        Some(sel) => sel.iter().map(|r| r.len() as u64).sum(),
+                        None => total,
+                    };
+                    // Global and per-(layer, head) retained/omitted tallies;
+                    // sums of u64 are order-independent, so serial and
+                    // parallel head fan-out record identical totals.
+                    dota_trace::count("attn.heads", 1);
+                    dota_trace::count("attn.connections.total", total);
+                    dota_trace::count("attn.connections.retained", kept);
+                    dota_trace::count("attn.connections.omitted", total - kept);
+                    dota_trace::count(&format!("attn.L{l}.H{h}.retained"), kept);
+                    dota_trace::count(&format!("attn.L{l}.H{h}.omitted"), total - kept);
+                }
                 // Sparse path: score only the kept connections (O(kept)
                 // work, like the accelerator); dense path otherwise.
                 let out = match &effective {
