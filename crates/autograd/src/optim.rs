@@ -84,6 +84,31 @@ impl ParamSet {
         }
         acc.sqrt()
     }
+
+    /// Per-parameter L2 gradient norms present in `graph`, as
+    /// `(name, norm)` pairs in registration order. Parameters without a
+    /// gradient on this tape are omitted. The telemetry hook behind the
+    /// per-step `grad_norm.*` metrics.
+    pub fn grad_norms(&self, graph: &Graph) -> Vec<(&str, f32)> {
+        self.ids()
+            .filter_map(|id| {
+                graph.param_grad(id).map(|g| {
+                    let sq: f32 = g.iter().map(|x| x * x).sum();
+                    (self.name(id), sq.sqrt())
+                })
+            })
+            .collect()
+    }
+
+    /// The largest per-parameter gradient L2 norm in `graph` (0 when the
+    /// tape holds no gradients) — the norm that saturates first under
+    /// clipping, and the first place exploding gradients show up.
+    pub fn max_grad_norm(&self, graph: &Graph) -> f32 {
+        self.grad_norms(graph)
+            .into_iter()
+            .map(|(_, n)| n)
+            .fold(0.0, f32::max)
+    }
 }
 
 /// A gradient-descent optimizer over a [`ParamSet`].

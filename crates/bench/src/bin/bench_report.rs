@@ -12,21 +12,51 @@
 //! identical either way); the optimized-vs-naive and dense-vs-DOTA ratios
 //! hold on one core.
 
+use dota_metrics::Histogram;
 use dota_tensor::rng::SeededRng;
 use dota_tensor::{ops, reference};
 use serde::Serialize;
 use std::time::Instant;
 
+/// Percentile summary of repeated wall-clock samples of one kernel.
+/// min/p50 come straight from the sample histogram; with the small rep
+/// counts used here p95/p99 collapse toward the max, which is still the
+/// honest tail estimate for the samples taken.
+#[derive(Serialize)]
+struct TimingSummary {
+    reps: u64,
+    min_ms: f64,
+    mean_ms: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+}
+
+impl TimingSummary {
+    fn from_hist(h: &Histogram) -> Self {
+        let q = |q: f64| h.quantile(q).unwrap_or(f64::NAN);
+        Self {
+            reps: h.count(),
+            min_ms: q(0.0),
+            mean_ms: h.mean().unwrap_or(f64::NAN),
+            p50_ms: q(0.5),
+            p95_ms: q(0.95),
+            p99_ms: q(0.99),
+        }
+    }
+}
+
 #[derive(Serialize)]
 struct GemmRow {
     size: usize,
-    naive_ms: f64,
-    optimized_serial_ms: f64,
-    optimized_pool_ms: f64,
-    /// Blocked/unrolled kernel vs the textbook triple loop, both serial.
+    naive: TimingSummary,
+    optimized_serial: TimingSummary,
+    optimized_pool: TimingSummary,
+    /// Blocked/unrolled kernel vs the textbook triple loop, both serial,
+    /// on median (p50) wall-clock.
     speedup_vs_naive: f64,
-    /// Thread pool vs `DOTA_THREADS=1`; ~1.0 without the `parallel`
-    /// feature or on a single-core host.
+    /// Thread pool vs `DOTA_THREADS=1` on p50; ~1.0 without the
+    /// `parallel` feature or on a single-core host.
     pool_speedup: f64,
 }
 
@@ -35,8 +65,9 @@ struct AttnRow {
     benchmark: String,
     seq_len: usize,
     retention: f64,
-    dense_ms: f64,
-    dota_ms: f64,
+    dense: TimingSummary,
+    dota: TimingSummary,
+    /// Dense vs DOTA-sparse on median (p50) wall-clock.
     speedup: f64,
 }
 
@@ -59,16 +90,17 @@ struct Report {
     counters: Vec<CounterScenario>,
 }
 
-/// Best-of-`reps` wall-clock milliseconds.
-fn time_ms<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
-    let mut best = f64::INFINITY;
+/// Wall-clock milliseconds of `reps` runs, as a streaming histogram the
+/// report summarizes into p50/p95/p99 (instead of a single best-of mean).
+fn time_hist<R>(reps: usize, mut f: impl FnMut() -> R) -> Histogram {
+    let mut h = Histogram::new();
     for _ in 0..reps {
         let t = Instant::now();
         let out = f();
-        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+        h.record(t.elapsed().as_secs_f64() * 1e3);
         std::hint::black_box(out);
     }
-    best
+    h
 }
 
 fn with_one_thread<R>(f: impl FnOnce() -> R) -> R {
@@ -88,24 +120,25 @@ fn gemm_rows() -> Vec<GemmRow> {
     for &size in &[128usize, 256, 512, 1024, 2048] {
         let a = rng.normal_matrix(size, size, 1.0);
         let b = rng.normal_matrix(size, size, 1.0);
-        // Naive cost grows as size^3; one repetition suffices for a
-        // stable ratio at the large sizes.
-        let (opt_reps, naive_reps) = if size >= 1024 { (2, 1) } else { (4, 2) };
-        let naive_ms = time_ms(naive_reps, || reference::matmul(&a, &b));
-        let serial_ms = with_one_thread(|| time_ms(opt_reps, || a.matmul(&b).expect("shape")));
-        let pool_ms = time_ms(opt_reps, || a.matmul(&b).expect("shape"));
+        // Naive cost grows as size^3; a couple of repetitions suffice for
+        // a stable median at the large sizes.
+        let (opt_reps, naive_reps) = if size >= 1024 { (3, 2) } else { (7, 3) };
+        let naive = time_hist(naive_reps, || reference::matmul(&a, &b));
+        let serial = with_one_thread(|| time_hist(opt_reps, || a.matmul(&b).expect("shape")));
+        let pool = time_hist(opt_reps, || a.matmul(&b).expect("shape"));
+        let p50 = |h: &Histogram| h.quantile(0.5).unwrap_or(f64::NAN);
         let row = GemmRow {
             size,
-            naive_ms,
-            optimized_serial_ms: serial_ms,
-            optimized_pool_ms: pool_ms,
-            speedup_vs_naive: naive_ms / serial_ms.max(1e-9),
-            pool_speedup: serial_ms / pool_ms.max(1e-9),
+            speedup_vs_naive: p50(&naive) / p50(&serial).max(1e-9),
+            pool_speedup: p50(&serial) / p50(&pool).max(1e-9),
+            naive: TimingSummary::from_hist(&naive),
+            optimized_serial: TimingSummary::from_hist(&serial),
+            optimized_pool: TimingSummary::from_hist(&pool),
         };
         println!(
-            "{:>5}  naive {:>9.2} ms  serial {:>8.2} ms  pool {:>8.2} ms  {:>5.1}x vs naive  {:>4.2}x pool",
-            row.size, row.naive_ms, row.optimized_serial_ms, row.optimized_pool_ms,
-            row.speedup_vs_naive, row.pool_speedup
+            "{:>5}  naive p50 {:>9.2} ms  serial p50 {:>8.2} ms (p99 {:>8.2})  pool p50 {:>8.2} ms  {:>5.1}x vs naive  {:>4.2}x pool",
+            row.size, row.naive.p50_ms, row.optimized_serial.p50_ms, row.optimized_serial.p99_ms,
+            row.optimized_pool.p50_ms, row.speedup_vs_naive, row.pool_speedup
         );
         rows.push(row);
     }
@@ -129,22 +162,28 @@ fn attention_rows() -> Vec<AttnRow> {
         let kept = ((retention * n as f64).round() as usize).clamp(1, n);
         let sel_row: Vec<u32> = (0..kept).map(|j| (j * n / kept) as u32).collect();
         let selected = vec![sel_row; n];
-        let dense_ms = time_ms(2, || {
+        let dense = time_hist(3, || {
             let scores = q.matmul_nt(&k).expect("shape").scale(scale);
             ops::softmax_rows(&scores).matmul(&v).expect("shape")
         });
-        let dota_ms = time_ms(2, || ops::sparse_attention(&q, &k, &v, &selected, scale));
+        let dota = time_hist(3, || ops::sparse_attention(&q, &k, &v, &selected, scale));
+        let p50 = |h: &Histogram| h.quantile(0.5).unwrap_or(f64::NAN);
         let row = AttnRow {
             benchmark: b.name().to_owned(),
             seq_len: n,
             retention,
-            dense_ms,
-            dota_ms,
-            speedup: dense_ms / dota_ms.max(1e-9),
+            speedup: p50(&dense) / p50(&dota).max(1e-9),
+            dense: TimingSummary::from_hist(&dense),
+            dota: TimingSummary::from_hist(&dota),
         };
         println!(
-            "{:>10}  n {:>5}  dense {:>9.2} ms  DOTA {:>8.2} ms  {:>5.1}x",
-            row.benchmark, row.seq_len, row.dense_ms, row.dota_ms, row.speedup
+            "{:>10}  n {:>5}  dense p50 {:>9.2} ms  DOTA p50 {:>8.2} ms (p99 {:>8.2})  {:>5.1}x",
+            row.benchmark,
+            row.seq_len,
+            row.dense.p50_ms,
+            row.dota.p50_ms,
+            row.dota.p99_ms,
+            row.speedup
         );
         rows.push(row);
     }
@@ -152,6 +191,10 @@ fn attention_rows() -> Vec<AttnRow> {
 }
 
 fn main() {
+    // No `Observability` here: `counter_scenarios` opens its own exclusive
+    // trace sessions, which would deadlock against an outer one. The
+    // provenance manifest is still written.
+    let _manifest = dota_bench::run_manifest("bench_report");
     println!(
         "Kernel report (parallel feature: {}, pool threads: {})\n",
         cfg!(feature = "parallel"),

@@ -120,6 +120,11 @@ fn main() {
             std::process::exit(1);
         }
     } else {
+        // Rewrite mode records provenance for the regenerated baseline;
+        // `--check` is read-only and leaves no manifest behind. No
+        // `Observability` in either mode — the scenarios open their own
+        // exclusive trace sessions.
+        let _manifest = dota_bench::run_manifest("counters_baseline");
         for s in &now.scenarios {
             println!("{:<22} {} counters", s.scenario, s.counters.len());
         }

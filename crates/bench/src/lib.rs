@@ -56,9 +56,11 @@ where
 }
 
 /// Observability binding for a figure binary: honours `--trace <path>` /
-/// `--counters <path>` CLI flags (or the `DOTA_TRACE` / `DOTA_COUNTERS`
-/// environment variables), opening an exclusive [`dota_trace`] session when
-/// either is set and writing the requested files when dropped.
+/// `--counters <path>` / `--hists <path>` CLI flags (or the `DOTA_TRACE` /
+/// `DOTA_COUNTERS` / `DOTA_HISTS` environment variables), opening an
+/// exclusive [`dota_trace`] session (and, for `--hists`, a
+/// [`dota_metrics`] histogram session) when requested and writing the
+/// files when dropped.
 ///
 /// Hold the returned value for the whole `main`; when neither flag nor
 /// variable is set this is a no-op and tracing stays disabled. Binaries
@@ -67,8 +69,10 @@ where
 /// exclusive and the inner `session()` call would deadlock.
 pub struct Observability {
     guard: Option<dota_trace::TraceGuard>,
+    hist_guard: Option<dota_metrics::HistGuard>,
     trace: Option<PathBuf>,
     counters: Option<PathBuf>,
+    hists: Option<PathBuf>,
 }
 
 impl Observability {
@@ -87,17 +91,29 @@ impl Observability {
         let counters = flag("--counters")
             .or_else(|| std::env::var("DOTA_COUNTERS").ok())
             .map(PathBuf::from);
+        let hists = flag("--hists")
+            .or_else(|| std::env::var("DOTA_HISTS").ok())
+            .map(PathBuf::from);
         let guard = (trace.is_some() || counters.is_some()).then(|| dota_trace::session(label));
+        let hist_guard = hists.is_some().then(|| dota_metrics::hist_session(label));
         Self {
             guard,
+            hist_guard,
             trace,
             counters,
+            hists,
         }
     }
 }
 
 impl Drop for Observability {
     fn drop(&mut self) {
+        if let (Some(guard), Some(p)) = (self.hist_guard.take(), &self.hists) {
+            match guard.write_summary(p) {
+                Ok(()) => eprintln!("[histograms written to {}]", p.display()),
+                Err(e) => eprintln!("[histogram write to {} failed: {e}]", p.display()),
+            }
+        }
         let Some(guard) = self.guard.take() else {
             return;
         };
@@ -112,6 +128,67 @@ impl Drop for Observability {
                 Ok(()) => eprintln!("[counters written to {}]", p.display()),
                 Err(e) => eprintln!("[counters write to {} failed: {e}]", p.display()),
             }
+        }
+    }
+}
+
+/// Provenance manifest for a bench/figure run, finalized and written to
+/// `results/<label>.manifest.json` when dropped.
+///
+/// Declare it in `main` **after** any [`Observability`] binding: guards
+/// drop in reverse declaration order, so the manifest finalizes (and
+/// captures the live counter snapshot) while the trace session is still
+/// recording. The `parallel` feature flag, `DOTA_THREADS` budget, git sha,
+/// host and wall clock are collected automatically; seed and config knobs
+/// are recorded via [`ManifestGuard::seed`] / [`ManifestGuard::config`].
+pub struct ManifestGuard {
+    manifest: dota_metrics::Manifest,
+    started: std::time::Instant,
+}
+
+/// Starts the provenance record for one bench binary — see
+/// [`ManifestGuard`].
+pub fn run_manifest(label: &str) -> ManifestGuard {
+    let mut manifest = dota_metrics::Manifest::collect(label);
+    if cfg!(feature = "parallel") {
+        manifest = manifest.with_feature("parallel");
+    }
+    ManifestGuard {
+        manifest,
+        started: std::time::Instant::now(),
+    }
+}
+
+impl ManifestGuard {
+    /// Records the run's top-level RNG seed.
+    pub fn seed(&mut self, seed: u64) {
+        self.manifest.seed = Some(seed);
+    }
+
+    /// Records one configuration knob (retention grid, sequence lengths,
+    /// sample counts, …).
+    pub fn config(&mut self, key: &str, value: impl ToString) {
+        self.manifest
+            .config
+            .insert(key.to_owned(), value.to_string());
+    }
+}
+
+impl Drop for ManifestGuard {
+    fn drop(&mut self) {
+        if dota_trace::enabled() {
+            self.manifest.counters = dota_trace::counters_snapshot();
+        }
+        self.manifest.wall_clock_secs = self.started.elapsed().as_secs_f64();
+        let dir = results_dir();
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("[manifest dir {} failed: {e}]", dir.display());
+            return;
+        }
+        let path = dir.join(format!("{}.manifest.json", self.manifest.label));
+        match self.manifest.write(&path) {
+            Ok(()) => eprintln!("[manifest written to {}]", path.display()),
+            Err(e) => eprintln!("[manifest write to {} failed: {e}]", path.display()),
         }
     }
 }

@@ -21,19 +21,22 @@ use dota_accel::synth::SelectionProfile;
 use dota_accel::{energy, AccelConfig, Accelerator};
 use dota_core::experiments::{self, BenchmarkRun, Method, TrainOptions};
 use dota_core::presets::{self, OperatingPoint};
+use dota_core::report;
 use dota_core::DotaSystem;
 use dota_detector::{DetectorConfig, DotaHook};
+use dota_metrics::{Manifest, MetricsSink};
 use dota_workloads::{Benchmark, TaskSpec};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let (trace_path, counters_path) = match (
+    let (trace_path, counters_path, hists_path) = match (
         take_flag(&mut args, "--trace"),
         take_flag(&mut args, "--counters"),
+        take_flag(&mut args, "--hists"),
     ) {
-        (Ok(t), Ok(c)) => (t, c),
-        (Err(e), _) | (_, Err(e)) => {
+        (Ok(t), Ok(c), Ok(h)) => (t, c, h),
+        (Err(e), _, _) | (_, Err(e), _) | (_, _, Err(e)) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
@@ -46,6 +49,10 @@ fn main() -> ExitCode {
     // on success so a failed run never leaves a half-meaningful trace.
     let session =
         (trace_path.is_some() || counters_path.is_some()).then(|| dota_trace::session(&command));
+    // Likewise one histogram session for score/kernel distributions.
+    let hist_session = hists_path
+        .is_some()
+        .then(|| dota_metrics::hist_session(&command));
     let rest = &args[1..];
     let result = match command.as_str() {
         "table2" => cmd_table2(),
@@ -55,6 +62,7 @@ fn main() -> ExitCode {
         "decode" => cmd_decode(rest),
         "train" => cmd_train(rest),
         "infer" => cmd_infer(rest),
+        "report" => cmd_report(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -62,6 +70,12 @@ fn main() -> ExitCode {
         other => Err(format!("unknown command `{other}`\n{USAGE}")),
     };
     let result = result.and_then(|()| {
+        if let (Some(hists), Some(p)) = (&hist_session, &hists_path) {
+            hists
+                .write_summary(std::path::Path::new(p))
+                .map_err(|e| format!("writing histograms {p}: {e}"))?;
+            eprintln!("[histograms written to {p}]");
+        }
         let Some(session) = &session else {
             return Ok(());
         };
@@ -116,18 +130,29 @@ commands:
   decode --context N --tokens T [--retention R]
                                   decoder-mode (KV-cache) analysis
   train BENCH [--retention R] [--seq N] [--samples K] [--epochs E]
-        [--save FILE]             train a tiny model jointly with the
+        [--save FILE] [--metrics-out DIR]
+                                  train a tiny model jointly with the
                                   detector, report accuracy, optionally
-                                  checkpoint the adapted weights
+                                  checkpoint the adapted weights; with
+                                  --metrics-out, write per-step metrics
+                                  JSONL, a results JSON and a run manifest
+                                  into DIR
   infer BENCH [--retention R] [--seq N] [--seed S]
                                   run one detector-filtered inference on a
                                   tiny preset and replay it on the
                                   simulator (pairs well with --trace)
+  report diff A B [--tol T] [--ignore K1,K2]
+                                  compare two runs (result files or run
+                                  directories) value-by-value at relative
+                                  tolerance T (default 1e-6); exits
+                                  nonzero when regressions are found
 
 global options (any command):
   --trace FILE                    write a Chrome-trace JSON of the run
                                   (open in chrome://tracing or Perfetto)
   --counters FILE                 write the hardware-counter totals as JSON
+  --hists FILE                    write attention/detector score histogram
+                                  summaries (p50/p95/p99) as JSON
 BENCH: qa | image | text | retrieval | lm";
 
 fn parse_benchmark(s: &str) -> Result<Benchmark, String> {
@@ -355,12 +380,20 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
     let seq = flag_usize(&flags, "seq")?.unwrap_or(24);
     let samples = flag_usize(&flags, "samples")?.unwrap_or(400);
     let epochs = flag_usize(&flags, "epochs")?.unwrap_or(20);
+    let seed = 5u64;
+    let metrics_out = flags.get("metrics-out").cloned();
+    let started = std::time::Instant::now();
     println!(
         "training {} (seq {seq}, {samples} samples, {epochs} epochs) with DOTA at {:.1}% retention...",
         bench.name(),
         retention * 100.0
     );
-    let run = BenchmarkRun::train(
+    let mut sink = if metrics_out.is_some() {
+        MetricsSink::new()
+    } else {
+        MetricsSink::disabled()
+    };
+    let run = BenchmarkRun::train_logged(
         bench,
         seq,
         samples,
@@ -372,9 +405,11 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
             lr_warmup_steps: 600,
             ..Default::default()
         },
-        5,
+        seed,
+        &mut sink,
     );
     println!("{:>8} {:>10} {:>12}", "method", "accuracy", "perplexity");
+    let mut method_rows: Vec<serde_json::Value> = Vec::new();
     for (name, method, r) in [
         ("dense", Method::Dense, 1.0),
         ("DOTA", Method::Dota, retention),
@@ -387,6 +422,58 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
             Some(ppl) => println!("{name:>8} {:>10.3} {ppl:>12.2}", p.accuracy),
             None => println!("{name:>8} {:>10.3} {:>12}", p.accuracy, "-"),
         }
+        method_rows.push(serde_json::Value::Object(vec![
+            ("method".to_owned(), serde_json::Value::Str(name.to_owned())),
+            ("retention".to_owned(), serde_json::Value::Float(r)),
+            ("accuracy".to_owned(), serde_json::Value::Float(p.accuracy)),
+            (
+                "perplexity".to_owned(),
+                match p.perplexity {
+                    Some(ppl) => serde_json::Value::Float(ppl),
+                    None => serde_json::Value::Null,
+                },
+            ),
+        ]));
+    }
+    if let Some(dir) = &metrics_out {
+        let dir = std::path::Path::new(dir);
+        std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+        sink.write_jsonl(&dir.join("metrics.jsonl"))
+            .map_err(|e| format!("writing metrics.jsonl: {e}"))?;
+        let results = serde_json::Value::Object(vec![
+            (
+                "benchmark".to_owned(),
+                serde_json::Value::Str(bench.name().to_owned()),
+            ),
+            ("methods".to_owned(), serde_json::Value::Array(method_rows)),
+        ]);
+        std::fs::write(
+            dir.join("train_results.json"),
+            serde_json::to_string_pretty(&results).map_err(|e| e.to_string())?,
+        )
+        .map_err(|e| format!("writing train_results.json: {e}"))?;
+        let mut manifest = Manifest::collect("train")
+            .with_seed(seed)
+            .with_config("benchmark", bench.name())
+            .with_config("retention", retention)
+            .with_config("seq", seq)
+            .with_config("samples", samples)
+            .with_config("epochs", epochs);
+        if cfg!(feature = "parallel") {
+            manifest = manifest.with_feature("parallel");
+        }
+        if dota_trace::enabled() {
+            manifest.counters = dota_trace::counters_snapshot();
+        }
+        manifest.wall_clock_secs = started.elapsed().as_secs_f64();
+        manifest
+            .write(&dir.join("manifest.json"))
+            .map_err(|e| format!("writing manifest.json: {e}"))?;
+        eprintln!(
+            "[metrics ({} steps), results and manifest written to {}]",
+            sink.len(),
+            dir.display()
+        );
     }
     if let Some(path) = flags.get("save") {
         dota_core::checkpoint::save_params(&run.dota_params, std::path::Path::new(path))
@@ -394,6 +481,47 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
         println!("adapted weights saved to {path}");
     }
     Ok(())
+}
+
+fn cmd_report(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = parse_flags(args)?;
+    match positional.first().map(String::as_str) {
+        Some("diff") => {
+            let a = positional
+                .get(1)
+                .ok_or("report diff needs two paths: dota report diff <run-a> <run-b>")?;
+            let b = positional
+                .get(2)
+                .ok_or("report diff needs two paths: dota report diff <run-a> <run-b>")?;
+            let mut opts = report::DiffOptions::default();
+            if let Some(t) = flag_f64(&flags, "tol")? {
+                if t.is_nan() || t < 0.0 {
+                    return Err("--tol must be a non-negative number".to_owned());
+                }
+                opts.tolerance = t;
+            }
+            if let Some(extra) = flags.get("ignore") {
+                opts.ignore_keys.extend(
+                    extra
+                        .split(',')
+                        .filter(|k| !k.is_empty())
+                        .map(str::to_owned),
+                );
+            }
+            let rep = report::diff_paths(std::path::Path::new(a), std::path::Path::new(b), &opts)?;
+            print!("{}", rep.render());
+            if rep.has_regressions() {
+                return Err(format!("{} regression(s) found", rep.findings.len()));
+            }
+            Ok(())
+        }
+        Some(other) => Err(format!(
+            "unknown report subcommand `{other}` (try `dota report diff A B`)"
+        )),
+        None => {
+            Err("usage: dota report diff <run-a> <run-b> [--tol T] [--ignore K1,K2]".to_owned())
+        }
+    }
 }
 
 fn cmd_infer(args: &[String]) -> Result<(), String> {

@@ -13,6 +13,7 @@ use dota_detector::{
     oracle::{OracleHook, RandomHook},
 };
 use dota_detector::{DetectorConfig, DotaHook};
+use dota_metrics::MetricsSink;
 use dota_transformer::{InferenceHook, Model, NoHook, TransformerConfig};
 use dota_workloads::{generators, metrics, Benchmark, Dataset, TaskSpec};
 
@@ -85,6 +86,20 @@ pub fn train_dense(
     data: &Dataset,
     opts: &TrainOptions,
 ) -> Vec<f32> {
+    train_dense_logged(model, params, data, opts, &mut MetricsSink::disabled())
+}
+
+/// [`train_dense`] with per-step telemetry: records `dense.loss`,
+/// `dense.lr`, `dense.grad_norm` and `dense.grad_norm_max` into `sink`
+/// (one row per optimizer step). Gradient norms are only computed while
+/// the sink is enabled, so the silent path costs nothing extra.
+pub fn train_dense_logged(
+    model: &Model,
+    params: &mut ParamSet,
+    data: &Dataset,
+    opts: &TrainOptions,
+    sink: &mut MetricsSink,
+) -> Vec<f32> {
     let mut opt = Adam::new(opts.lr).clip_norm(5.0);
     let mut losses = Vec::with_capacity(opts.epochs);
     let mut step = 0usize;
@@ -100,8 +115,17 @@ pub fn train_dense(
             } else {
                 model.classification_loss(&mut g, &out, sample.label)
             };
-            total += g.value(loss)[(0, 0)];
+            let loss_val = g.value(loss)[(0, 0)];
+            total += loss_val;
             g.backward(loss);
+            if sink.enabled() {
+                sink.log(&[
+                    ("dense.loss", f64::from(loss_val)),
+                    ("dense.lr", f64::from(opts.warmed_lr(step))),
+                    ("dense.grad_norm", f64::from(params.grad_norm(&g))),
+                    ("dense.grad_norm_max", f64::from(params.max_grad_norm(&g))),
+                ]);
+            }
             opt.step(params, &g);
         }
         let mean = total / data.len().max(1) as f32;
@@ -133,6 +157,31 @@ pub fn train_joint(
     hook: &mut DotaHook,
     data: &Dataset,
     opts: &TrainOptions,
+) -> Vec<f32> {
+    train_joint_logged(
+        model,
+        params,
+        hook,
+        data,
+        opts,
+        &mut MetricsSink::disabled(),
+    )
+}
+
+/// [`train_joint`] with per-step telemetry. Phase 1 records
+/// `warmup.detector_mse` / `warmup.grad_norm`; phase 2 records the Eq. 6
+/// decomposition (`joint.loss`, `joint.model_loss`, `joint.detector_mse`),
+/// the learning rate, gradient norms, and the per-layer retention ratio
+/// the detector masks actually imposed (`joint.retention.L{l}`, averaged
+/// over the layer's heads). All extra computation is gated on
+/// [`MetricsSink::enabled`].
+pub fn train_joint_logged(
+    model: &Model,
+    params: &mut ParamSet,
+    hook: &mut DotaHook,
+    data: &Dataset,
+    opts: &TrainOptions,
+    sink: &mut MetricsSink,
 ) -> Vec<f32> {
     let mut losses = Vec::with_capacity(opts.epochs);
 
@@ -171,8 +220,15 @@ pub fn train_joint(
                     }
                 }
                 let loss = acc.expect("at least one head");
-                total += g.value(loss)[(0, 0)];
+                let loss_val = g.value(loss)[(0, 0)];
+                total += loss_val;
                 g.backward(loss);
+                if sink.enabled() {
+                    sink.log(&[
+                        ("warmup.detector_mse", f64::from(loss_val)),
+                        ("warmup.grad_norm", f64::from(params.grad_norm(&g))),
+                    ]);
+                }
                 opt.step(params, &g);
             }
             losses.push(total / data.len().max(1) as f32);
@@ -197,8 +253,48 @@ pub fn train_joint(
                 model.classification_loss(&mut g, &out, sample.label)
             };
             let loss = model.total_loss(&mut g, model_loss, &out, opts.lambda);
-            total += g.value(loss)[(0, 0)];
+            let loss_val = g.value(loss)[(0, 0)];
+            total += loss_val;
             g.backward(loss);
+            if sink.enabled() {
+                let mse_mean = if out.aux_losses.is_empty() {
+                    0.0
+                } else {
+                    out.aux_losses
+                        .iter()
+                        .map(|&a| f64::from(g.value(a)[(0, 0)]))
+                        .sum::<f64>()
+                        / out.aux_losses.len() as f64
+                };
+                let mut row: Vec<(String, f64)> = vec![
+                    ("joint.loss".to_owned(), f64::from(loss_val)),
+                    (
+                        "joint.model_loss".to_owned(),
+                        f64::from(g.value(model_loss)[(0, 0)]),
+                    ),
+                    ("joint.detector_mse".to_owned(), mse_mean),
+                    ("joint.lr".to_owned(), f64::from(opts.warmed_lr(step))),
+                    (
+                        "joint.grad_norm".to_owned(),
+                        f64::from(params.grad_norm(&g)),
+                    ),
+                    (
+                        "joint.grad_norm_max".to_owned(),
+                        f64::from(params.max_grad_norm(&g)),
+                    ),
+                ];
+                let n_layers = model.config().n_layers;
+                for l in 0..n_layers {
+                    let stats: Vec<_> = out.mask_stats.iter().filter(|s| s.layer == l).collect();
+                    if !stats.is_empty() {
+                        let r =
+                            stats.iter().map(|s| s.retention()).sum::<f64>() / stats.len() as f64;
+                        row.push((format!("joint.retention.L{l}"), r));
+                    }
+                }
+                let refs: Vec<(&str, f64)> = row.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+                sink.log(&refs);
+            }
             opt.step(params, &g);
         }
         let mean = total / data.len().max(1) as f32;
@@ -379,14 +475,42 @@ impl BenchmarkRun {
         opts: &TrainOptions,
         seed: u64,
     ) -> Self {
+        Self::train_logged(
+            benchmark,
+            seq_len,
+            train_samples,
+            test_samples,
+            detector_cfg,
+            opts,
+            seed,
+            &mut MetricsSink::disabled(),
+        )
+    }
+
+    /// [`BenchmarkRun::train`] with per-step telemetry: the dense
+    /// pretraining and both joint phases log into one continuous `sink`
+    /// (steps are 1-based across the whole pipeline). See
+    /// [`train_dense_logged`] and [`train_joint_logged`] for the metric
+    /// names.
+    #[allow(clippy::too_many_arguments)]
+    pub fn train_logged(
+        benchmark: Benchmark,
+        seq_len: usize,
+        train_samples: usize,
+        test_samples: usize,
+        detector_cfg: DetectorConfig,
+        opts: &TrainOptions,
+        seed: u64,
+        sink: &mut MetricsSink,
+    ) -> Self {
         let spec = TaskSpec::tiny(benchmark, seq_len, seed);
         let (train, test) = spec.generate_split(train_samples, test_samples);
         let (model, mut dense_params) = build_model(&spec, seed);
-        train_dense(&model, &mut dense_params, &train, opts);
+        train_dense_logged(&model, &mut dense_params, &train, opts, sink);
 
         let mut dota_params = dense_params.clone();
         let mut hook = DotaHook::init(detector_cfg, model.config(), &mut dota_params);
-        train_joint(&model, &mut dota_params, &mut hook, &train, opts);
+        train_joint_logged(&model, &mut dota_params, &mut hook, &train, opts, sink);
 
         Self {
             benchmark,

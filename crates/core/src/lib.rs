@@ -33,6 +33,7 @@ pub mod checkpoint;
 pub mod compress;
 pub mod experiments;
 pub mod presets;
+pub mod report;
 mod system;
 
 pub use system::{DotaSystem, EnergyRow, SpeedupRow};

@@ -198,6 +198,12 @@ impl InferenceHook for DotaInferenceHook<'_> {
     fn select(&self, layer: usize, head: usize, x: &Matrix) -> Option<Vec<Vec<u32>>> {
         let scores = self.estimated_scores(layer, head, x);
         let sel = LowRankDetector::select_for_layer(&self.hook.cfg, &scores, Some(layer));
+        if dota_metrics::hist_enabled() {
+            dota_metrics::observe_many(
+                &format!("detector.scores.L{layer}.H{head}"),
+                scores.as_slice().iter().map(|&s| f64::from(s)),
+            );
+        }
         if dota_trace::enabled() {
             let n = x.rows() as u64;
             dota_trace::count("detector.selections", 1);

@@ -1,0 +1,222 @@
+//! Run manifests: provenance records written next to every result file.
+//!
+//! A manifest answers "which code, configuration and environment produced
+//! this `results/*.json`?" — the prerequisite for treating result history
+//! as a trajectory and for cross-run regression diffing (`dota report
+//! diff`). Volatile fields (git sha, wall clock, host) are recorded for
+//! provenance but ignored by the differ; `seed`, `features` and `config`
+//! are compared.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+/// Provenance of one run: who produced an output, from what source
+/// revision, with what configuration, on what machine, in how long.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Manifest {
+    /// Name of the producing binary / command (e.g. `fig12_speedup`).
+    pub label: String,
+    /// `git rev-parse HEAD` of the working tree (`unknown` outside a
+    /// repository). A `-dirty` suffix marks uncommitted changes.
+    pub git_sha: String,
+    /// `os/arch` of the producing host.
+    pub host: String,
+    /// Hostname (from `$HOSTNAME`, `unknown` when unset).
+    pub hostname: String,
+    /// Worker-thread budget (the `DOTA_THREADS` cap, else the host's
+    /// available parallelism).
+    pub threads: usize,
+    /// Active cargo feature flags relevant to the run (e.g. `parallel`).
+    pub features: Vec<String>,
+    /// Top-level RNG seed, when the run has a single one.
+    pub seed: Option<u64>,
+    /// Free-form configuration: retention, sequence length, epochs, …
+    /// String-valued so every knob serializes uniformly.
+    pub config: BTreeMap<String, String>,
+    /// Hardware-counter totals captured from an active `dota-trace`
+    /// session, merged in by the caller (empty when tracing was off).
+    pub counters: BTreeMap<String, u64>,
+    /// Wall-clock duration of the run in seconds.
+    pub wall_clock_secs: f64,
+}
+
+impl Manifest {
+    /// Collects the environment-derived fields: git sha, host triple,
+    /// hostname, and the worker-thread budget.
+    pub fn collect(label: &str) -> Self {
+        Self {
+            label: label.to_owned(),
+            git_sha: git_sha(),
+            host: format!("{}/{}", std::env::consts::OS, std::env::consts::ARCH),
+            hostname: std::env::var("HOSTNAME").unwrap_or_else(|_| "unknown".to_owned()),
+            threads: thread_budget(),
+            features: Vec::new(),
+            seed: None,
+            config: BTreeMap::new(),
+            counters: BTreeMap::new(),
+            wall_clock_secs: 0.0,
+        }
+    }
+
+    /// Sets the top-level seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Appends an active feature flag.
+    pub fn with_feature(mut self, feature: &str) -> Self {
+        self.features.push(feature.to_owned());
+        self
+    }
+
+    /// Records one configuration knob.
+    pub fn with_config(mut self, key: &str, value: impl ToString) -> Self {
+        self.config.insert(key.to_owned(), value.to_string());
+        self
+    }
+
+    /// The manifest as pretty JSON (deterministic field order).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push_str("{\n  \"label\": ");
+        crate::write_json_string(&mut out, &self.label);
+        out.push_str(",\n  \"git_sha\": ");
+        crate::write_json_string(&mut out, &self.git_sha);
+        out.push_str(",\n  \"host\": ");
+        crate::write_json_string(&mut out, &self.host);
+        out.push_str(",\n  \"hostname\": ");
+        crate::write_json_string(&mut out, &self.hostname);
+        out.push_str(&format!(",\n  \"threads\": {}", self.threads));
+        out.push_str(",\n  \"features\": [");
+        for (i, f) in self.features.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            crate::write_json_string(&mut out, f);
+        }
+        out.push(']');
+        match self.seed {
+            Some(s) => out.push_str(&format!(",\n  \"seed\": {s}")),
+            None => out.push_str(",\n  \"seed\": null"),
+        }
+        out.push_str(",\n  \"config\": {");
+        for (i, (k, v)) in self.config.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            crate::write_json_string(&mut out, k);
+            out.push_str(": ");
+            crate::write_json_string(&mut out, v);
+        }
+        if !self.config.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push('}');
+        out.push_str(",\n  \"counters\": {");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            crate::write_json_string(&mut out, k);
+            out.push_str(&format!(": {v}"));
+        }
+        if !self.counters.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push('}');
+        out.push_str(&format!(
+            ",\n  \"wall_clock_secs\": {}\n}}\n",
+            crate::fmt_f64(self.wall_clock_secs)
+        ));
+        out
+    }
+
+    /// Writes the manifest JSON to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn write(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// The worker-thread budget: the `DOTA_THREADS` cap when set, otherwise the
+/// host's available parallelism (1 when undeterminable).
+fn thread_budget() -> usize {
+    if let Ok(v) = std::env::var("DOTA_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// `git rev-parse HEAD` plus a `-dirty` marker, or `unknown`.
+fn git_sha() -> String {
+    let head = std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_owned());
+    let Some(mut sha) = head.filter(|s| !s.is_empty()) else {
+        return "unknown".to_owned();
+    };
+    let dirty = std::process::Command::new("git")
+        .args(["status", "--porcelain"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| !o.stdout.is_empty())
+        .unwrap_or(false);
+    if dirty {
+        sha.push_str("-dirty");
+    }
+    sha
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_json_shape() {
+        let mut m = Manifest::collect("unit_test")
+            .with_seed(7)
+            .with_feature("parallel")
+            .with_config("retention", 0.25)
+            .with_config("seq", 24usize);
+        m.counters.insert("attn.heads".to_owned(), 4);
+        m.wall_clock_secs = 1.5;
+        let json = m.to_json();
+        assert!(json.contains("\"label\": \"unit_test\""));
+        assert!(json.contains("\"seed\": 7"));
+        assert!(json.contains("\"features\": [\"parallel\"]"));
+        assert!(json.contains("\"retention\": \"0.25\""));
+        assert!(json.contains("\"seq\": \"24\""));
+        assert!(json.contains("\"attn.heads\": 4"));
+        assert!(json.contains("\"wall_clock_secs\": 1.5"));
+        assert!(m.threads >= 1);
+        assert!(m.host.contains('/'));
+    }
+
+    #[test]
+    fn empty_collections_serialize_compact() {
+        let m = Manifest::collect("x");
+        let json = m.to_json();
+        assert!(json.contains("\"features\": []"));
+        assert!(json.contains("\"config\": {}"));
+        assert!(json.contains("\"counters\": {}"));
+        assert!(json.contains("\"seed\": null"));
+    }
+}

@@ -1,0 +1,127 @@
+//! Property tests pinning the [`dota_metrics::Histogram`] contract:
+//! quantiles are monotone in `q`, merging is associative and commutative
+//! on everything except the floating-point `sum`, and `p50` lands within
+//! one log bucket of the exact nearest-rank median on random data.
+
+use dota_metrics::Histogram;
+use proptest::prelude::*;
+
+/// Builds a histogram over `values`.
+fn hist(values: &[f64]) -> Histogram {
+    let mut h = Histogram::new();
+    h.record_all(values.iter().copied());
+    h
+}
+
+/// The exact nearest-rank `q`-quantile of `values` (matching the
+/// histogram's rank definition: the smallest 1-based rank `r` with
+/// `r >= q * n`).
+fn exact_quantile(values: &[f64], q: f64) -> f64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let target = ((q * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[target - 1]
+}
+
+/// Order-and-grouping-insensitive fingerprint of a histogram: the bucket
+/// table, count, min, max and a quantile sweep. `sum` is deliberately
+/// excluded — f64 addition is not associative, so the merged `sum` (and
+/// `mean`) may differ in the last ulps across merge trees.
+type Fingerprint = (Vec<(i32, u64)>, u64, Option<f64>, Option<f64>, Vec<f64>);
+
+fn fingerprint(h: &Histogram) -> Fingerprint {
+    let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0]
+        .iter()
+        .filter_map(|&q| h.quantile(q))
+        .collect();
+    (
+        h.buckets().iter().map(|(&k, &c)| (k, c)).collect(),
+        h.count(),
+        h.min(),
+        h.max(),
+        qs,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+    #[test]
+    fn quantiles_are_monotone_in_q(
+        values in proptest::collection::vec(-1e4f64..1e4, 1..150),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0,
+    ) {
+        let h = hist(&values);
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let a = h.quantile(lo).unwrap();
+        let b = h.quantile(hi).unwrap();
+        prop_assert!(a <= b, "quantile({lo}) = {a} > quantile({hi}) = {b}");
+        // And every quantile stays inside the observed range.
+        prop_assert!(a >= h.min().unwrap() && b <= h.max().unwrap());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+    #[test]
+    fn merge_is_associative_and_commutative(
+        xs in proptest::collection::vec(-1e3f64..1e3, 0..60),
+        ys in proptest::collection::vec(-1e3f64..1e3, 0..60),
+        zs in proptest::collection::vec(-1e3f64..1e3, 0..60),
+    ) {
+        let (a, b, c) = (hist(&xs), hist(&ys), hist(&zs));
+        // (a ⊕ b) ⊕ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a ⊕ (b ⊕ c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(fingerprint(&left), fingerprint(&right));
+        // Commutativity: b ⊕ a == a ⊕ b.
+        let mut ba = b.clone();
+        ba.merge(&a);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        prop_assert_eq!(fingerprint(&ba), fingerprint(&ab));
+        // Merging equals recording the concatenation.
+        let all: Vec<f64> = xs.iter().chain(&ys).chain(&zs).copied().collect();
+        prop_assert_eq!(fingerprint(&left), fingerprint(&hist(&all)));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+    #[test]
+    fn p50_is_within_one_bucket_of_exact_median(
+        values in proptest::collection::vec(-1e4f64..1e4, 1..200),
+    ) {
+        let h = hist(&values);
+        let p50 = h.quantile(0.5).unwrap();
+        let median = exact_quantile(&values, 0.5);
+        let dist = (Histogram::bucket_key(p50) - Histogram::bucket_key(median)).abs();
+        prop_assert!(
+            dist <= 1,
+            "p50 {p50} (bucket {}) vs exact median {median} (bucket {}): {} buckets apart",
+            Histogram::bucket_key(p50),
+            Histogram::bucket_key(median),
+            dist
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn extreme_quantiles_are_exact(
+        values in proptest::collection::vec(-1e4f64..1e4, 1..100),
+    ) {
+        // q=0 must return the minimum and q=1 the maximum exactly (the
+        // clamp to [min, max] pins both ends regardless of bucket width).
+        let h = hist(&values);
+        prop_assert_eq!(h.quantile(0.0).unwrap(), h.min().unwrap());
+        prop_assert_eq!(h.quantile(1.0).unwrap(), h.max().unwrap());
+    }
+}

@@ -182,6 +182,15 @@ impl crate::Model {
                     dota_trace::count(&format!("attn.L{l}.H{h}.retained"), kept);
                     dota_trace::count(&format!("attn.L{l}.H{h}.omitted"), total - kept);
                 }
+                if dota_metrics::hist_enabled() {
+                    // The sparse path never materializes the score matrix,
+                    // so build it only while a histogram session is live.
+                    let scores = qh.matmul_nt(&kh).expect("shape").scale(scale);
+                    dota_metrics::observe_many(
+                        &format!("attn.scores.L{l}.H{h}"),
+                        scores.as_slice().iter().map(|&s| f64::from(s)),
+                    );
+                }
                 // Sparse path: score only the kept connections (O(kept)
                 // work, like the accelerator); dense path otherwise.
                 let out = match &effective {

@@ -34,5 +34,5 @@ pub use config::{Pooling, TransformerConfig};
 pub use generate::{DecodeSelector, DenseDecode, Generation, KvCache};
 pub use hooks::{AttentionHook, HookOutcome, NoHook};
 pub use infer::{ForwardTrace, HeadTrace, InferenceHook, LayerTrace};
-pub use model::{Model, TrainOutput};
+pub use model::{MaskStat, Model, TrainOutput};
 pub use params::TransformerParams;

@@ -11,6 +11,36 @@ pub struct TrainOutput {
     /// Auxiliary losses contributed by the [`AttentionHook`] (one per
     /// hooked head), to be combined as `L_model + λ·Σ L_aux`.
     pub aux_losses: Vec<Var>,
+    /// Retention of every hook-supplied attention mask (one entry per
+    /// hooked head, in layer/head order; empty when the hook never
+    /// masked). Counted on the hook's mask *before* any causal
+    /// intersection, so the ratio reflects the detector's keep decisions.
+    pub mask_stats: Vec<MaskStat>,
+}
+
+/// How much of one head's attention a hook mask retained during a forward
+/// pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaskStat {
+    /// Layer index.
+    pub layer: usize,
+    /// Head index within the layer.
+    pub head: usize,
+    /// Number of query–key connections the mask kept.
+    pub kept: usize,
+    /// Total connections (`n²` for sequence length `n`).
+    pub total: usize,
+}
+
+impl MaskStat {
+    /// Kept fraction `kept / total` (0 for an empty mask).
+    pub fn retention(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.kept as f64 / self.total as f64
+        }
+    }
 }
 
 /// A Transformer model: configuration plus parameter handles.
@@ -81,6 +111,7 @@ impl Model {
         let mut x = g.add(tok, pos);
 
         let mut aux_losses = Vec::new();
+        let mut mask_stats = Vec::new();
         for (l, layer) in self.params.layers.iter().enumerate() {
             // Linear transformation stage: Q, K, V = X Wq, X Wk, X Wv.
             let wq = g.param(params, layer.wq);
@@ -103,6 +134,15 @@ impl Model {
                 let HookOutcome { mask, aux_loss } = hook.on_scores(g, l, h, x, scores);
                 if let Some(a) = aux_loss {
                     aux_losses.push(a);
+                }
+                if let Some(m) = &mask {
+                    let kept = m.iter().flatten().filter(|&&keep| keep).count();
+                    mask_stats.push(MaskStat {
+                        layer: l,
+                        head: h,
+                        kept,
+                        total: n * n,
+                    });
                 }
                 let mask = combine_masks(n, cfg.causal, mask);
                 let attn = match mask {
@@ -163,7 +203,11 @@ impl Model {
             let proj = g.matmul(pooled, wh);
             g.add_bias(proj, bh)
         };
-        TrainOutput { logits, aux_losses }
+        TrainOutput {
+            logits,
+            aux_losses,
+            mask_stats,
+        }
     }
 
     /// Builds the classification loss (cross-entropy of the pooled logits

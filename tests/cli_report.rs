@@ -1,0 +1,122 @@
+//! End-to-end CLI telemetry tests: `dota train --metrics-out` must produce
+//! a deterministic metrics JSONL and a provenance manifest, and
+//! `dota report diff` must accept identical-seed runs while flagging a run
+//! with a perturbed configuration.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn run_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dota_cli_report_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Trains the tiny text preset into `dir` under a fixed thread budget.
+fn train(dir: &Path, threads: &str, retention: &str) {
+    let out = Command::new(env!("CARGO_BIN_EXE_dota"))
+        .args([
+            "train",
+            "text",
+            "--seq",
+            "16",
+            "--samples",
+            "40",
+            "--epochs",
+            "2",
+            "--retention",
+            retention,
+            "--metrics-out",
+        ])
+        .arg(dir)
+        .env("DOTA_THREADS", threads)
+        .output()
+        .expect("run dota train");
+    assert!(
+        out.status.success(),
+        "train failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+fn report_diff(a: &Path, b: &Path) -> (bool, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_dota"))
+        .arg("report")
+        .arg("diff")
+        .arg(a)
+        .arg(b)
+        .output()
+        .expect("run dota report diff");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.status.success(), text)
+}
+
+#[test]
+fn metrics_are_deterministic_and_diff_flags_perturbations() {
+    let run_t1 = run_dir("t1");
+    let run_t8 = run_dir("t8");
+    let run_perturbed = run_dir("perturbed");
+
+    // Same seed and config under different thread budgets: the GEMM
+    // kernels are bit-compatible across DOTA_THREADS (see the parallel
+    // layer's reproducibility tests), so the logged loss series must be
+    // byte-identical.
+    train(&run_t1, "1", "0.25");
+    train(&run_t8, "8", "0.25");
+    let jsonl_t1 = std::fs::read(run_t1.join("metrics.jsonl")).expect("read t1 metrics");
+    let jsonl_t8 = std::fs::read(run_t8.join("metrics.jsonl")).expect("read t8 metrics");
+    assert!(!jsonl_t1.is_empty(), "metrics.jsonl is empty");
+    assert_eq!(
+        jsonl_t1, jsonl_t8,
+        "metrics.jsonl differs between DOTA_THREADS=1 and 8"
+    );
+    let text = String::from_utf8(jsonl_t1).expect("metrics.jsonl is UTF-8");
+    for line in text.lines() {
+        assert!(
+            line.starts_with("{\"step\":"),
+            "malformed metrics row: {line}"
+        );
+    }
+    assert!(
+        text.lines().any(|l| l.contains("\"joint.loss\"")),
+        "no joint-phase rows logged"
+    );
+
+    // The run directory carries its provenance manifest and results file.
+    let manifest =
+        std::fs::read_to_string(run_t1.join("manifest.json")).expect("read manifest.json");
+    for key in ["\"label\"", "\"git_sha\"", "\"seed\"", "\"config\""] {
+        assert!(manifest.contains(key), "manifest missing {key}: {manifest}");
+    }
+    assert!(
+        run_t1.join("train_results.json").exists(),
+        "train_results.json missing"
+    );
+
+    // Identical-seed runs diff clean: `threads` is a volatile manifest key
+    // and every measured value matches exactly.
+    let (ok, diff_text) = report_diff(&run_t1, &run_t8);
+    assert!(ok, "identical runs reported as regressed:\n{diff_text}");
+    assert!(
+        diff_text.contains("no regressions"),
+        "unexpected diff output:\n{diff_text}"
+    );
+
+    // A perturbed retention changes both the manifest config and the
+    // training trajectory — the diff must flag it and exit non-zero.
+    train(&run_perturbed, "1", "0.5");
+    let (ok, diff_text) = report_diff(&run_t1, &run_perturbed);
+    assert!(!ok, "perturbed run was not flagged:\n{diff_text}");
+    assert!(
+        diff_text.contains("REGRESSION"),
+        "no REGRESSION lines in output:\n{diff_text}"
+    );
+
+    for dir in [run_t1, run_t8, run_perturbed] {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
