@@ -1,7 +1,9 @@
 use crate::energy;
+use crate::fault::SimFault;
 use crate::memory::{DramModel, SramModel};
 use crate::sched;
 use crate::synth::{sample_selection, SelectionProfile};
+use dota_faults::FaultSite;
 use dota_quant::rmmu::RmmuConfig;
 use dota_quant::Precision;
 use dota_tensor::rng::SeededRng;
@@ -287,6 +289,49 @@ impl Accelerator {
         sigma: f64,
         profile: &SelectionProfile,
     ) -> PerfReport {
+        match self.simulate_shape_impl(model, n, retention, sigma, profile, false) {
+            Ok(report) => report,
+            // With injection off the impl has no error source.
+            Err(_) => unreachable!("fault-free simulation cannot fail"),
+        }
+    }
+
+    /// Fault-aware variant of [`simulate_shape`](Accelerator::simulate_shape):
+    /// inside a [`dota_faults`] session, injected SRAM bit-flips and DRAM
+    /// transient-read errors are absorbed (ECC replay / bounded retry,
+    /// counted under `faults.*`) and stuck lanes are routed around at
+    /// reduced throughput; unabsorbable faults (retry exhaustion, every
+    /// lane down) surface as a typed [`SimFault`]. Identical to
+    /// `simulate_shape` when no fault session is active.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SimFault`] the modeled machine cannot recover
+    /// from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `retention` is outside `(0, 1]`.
+    pub fn try_simulate_shape(
+        &self,
+        model: &TransformerConfig,
+        n: usize,
+        retention: f64,
+        sigma: f64,
+        profile: &SelectionProfile,
+    ) -> Result<PerfReport, SimFault> {
+        self.simulate_shape_impl(model, n, retention, sigma, profile, true)
+    }
+
+    fn simulate_shape_impl(
+        &self,
+        model: &TransformerConfig,
+        n: usize,
+        retention: f64,
+        sigma: f64,
+        profile: &SelectionProfile,
+        faults: bool,
+    ) -> Result<PerfReport, SimFault> {
         assert!(
             retention > 0.0 && retention <= 1.0,
             "retention {retention} out of range"
@@ -317,10 +362,11 @@ impl Accelerator {
         // one representative layer and adding it `layers` times, since the
         // model is pure) so memory/MAC counters accumulate whole-model
         // totals and the trace shows every layer's stages.
+        let exec = self.degraded(faults)?;
         let mut report = PerfReport::default();
         let mut cursor = 0u64;
         for l in 0..layers {
-            let layer = self.layer_report(
+            let layer = exec.layer_report(
                 model,
                 n,
                 k_per_row,
@@ -328,7 +374,9 @@ impl Accelerator {
                 sigma,
                 key_loads_head,
                 rbr_head,
-            );
+                l,
+                faults,
+            )?;
             if dota_trace::enabled() {
                 cursor = emit_stage_events(l, cursor, &layer.cycles);
             }
@@ -337,13 +385,72 @@ impl Accelerator {
         report.key_loads = key_loads;
         report.key_loads_row_by_row = key_loads_rbr;
         report.retention = retention;
-        report
+        Ok(report)
+    }
+
+    /// Routes around stuck lanes: inside a fault session, each configured
+    /// lane is tested against site `lane.stuck`; dropped lanes are counted
+    /// (`faults.lane.dropped`) and the returned executor runs on the
+    /// survivors at proportionally reduced throughput. All lanes down is a
+    /// typed error. Returns an unmodified clone when `faults` is false or
+    /// no session is active.
+    fn degraded(&self, faults: bool) -> Result<Accelerator, SimFault> {
+        if !faults || !dota_faults::enabled() {
+            return Ok(self.clone());
+        }
+        let mut up = 0usize;
+        for lane in 0..self.config.lanes {
+            if dota_faults::should_inject(FaultSite::LaneStuck, &[lane as u64]) {
+                dota_faults::record("faults.lane.dropped", 1);
+                dota_trace::count("faults.lane.dropped", 1);
+            } else {
+                up += 1;
+            }
+        }
+        if up == 0 {
+            return Err(SimFault::AllLanesDown {
+                lanes: self.config.lanes,
+            });
+        }
+        let mut config = self.config.clone();
+        config.lanes = up;
+        Ok(Accelerator { config })
     }
 
     /// Simulates a replayed [`ForwardTrace`] from a real model inference:
     /// the exact per-head selections drive the scheduler and the sparse
     /// attention cost.
     pub fn simulate_trace(&self, model: &TransformerConfig, trace: &ForwardTrace) -> PerfReport {
+        match self.simulate_trace_impl(model, trace, false) {
+            Ok(report) => report,
+            // With injection off the impl has no error source.
+            Err(_) => unreachable!("fault-free simulation cannot fail"),
+        }
+    }
+
+    /// Fault-aware variant of [`simulate_trace`](Accelerator::simulate_trace)
+    /// with the same absorb-or-typed-error semantics as
+    /// [`try_simulate_shape`](Accelerator::try_simulate_shape).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SimFault`] the modeled machine cannot recover
+    /// from.
+    pub fn try_simulate_trace(
+        &self,
+        model: &TransformerConfig,
+        trace: &ForwardTrace,
+    ) -> Result<PerfReport, SimFault> {
+        self.simulate_trace_impl(model, trace, true)
+    }
+
+    fn simulate_trace_impl(
+        &self,
+        model: &TransformerConfig,
+        trace: &ForwardTrace,
+        faults: bool,
+    ) -> Result<PerfReport, SimFault> {
+        let exec = self.degraded(faults)?;
         let mut total = PerfReport::default();
         let n = trace.layers[0].heads[0].q.rows();
         let sigma = 0.0; // detection cost is folded per-head below
@@ -372,7 +479,7 @@ impl Accelerator {
             let heads = layer.heads.len() as u64;
             let retention = kept_sum as f64 / (heads * (n * n) as u64) as f64;
             let k_per_row = (kept_sum as f64 / (heads as f64 * n as f64)).round() as usize;
-            let mut rep = self.layer_report(
+            let mut rep = exec.layer_report(
                 model,
                 n,
                 k_per_row.max(1),
@@ -380,7 +487,9 @@ impl Accelerator {
                 sigma,
                 key_loads / heads.max(1),
                 rbr / heads.max(1),
-            );
+                l as u64,
+                faults,
+            )?;
             rep.key_loads = key_loads;
             rep.key_loads_row_by_row = rbr;
             rep.retention = retention;
@@ -389,10 +498,12 @@ impl Accelerator {
             }
             total = total.add(&rep);
         }
-        total
+        Ok(total)
     }
 
-    /// Cycle/energy model of a single encoder layer.
+    /// Cycle/energy model of a single encoder layer. `l` is the layer's
+    /// index (stable fault coordinate); with `faults` set, memory accesses
+    /// go through the fault-aware paths and may surface a [`SimFault`].
     #[allow(clippy::too_many_arguments)]
     fn layer_report(
         &self,
@@ -403,7 +514,9 @@ impl Accelerator {
         sigma: f64,
         key_loads_head: u64,
         rbr_head: u64,
-    ) -> PerfReport {
+        l: u64,
+        faults: bool,
+    ) -> Result<PerfReport, SimFault> {
         let cfg = &self.config;
         let d = model.d_model as u64;
         let d_ff = model.d_ff as u64;
@@ -422,7 +535,12 @@ impl Accelerator {
         let linear_rate = cfg.linear_macs_per_cycle();
         let linear_macs = nn * d * d * 4;
         let linear_compute = (linear_macs as f64 / linear_rate).ceil() as u64;
-        let linear_dram = dram.read(4 * d * d * bytes) + dram.read(nn * d * bytes);
+        let linear_dram = if faults {
+            dram.read_checked(4 * d * d * bytes, "linear.weights", 0, l)?
+                + dram.read_checked(nn * d * bytes, "linear.activations", 1, l)?
+        } else {
+            dram.read(4 * d * d * bytes) + dram.read(nn * d * bytes)
+        };
         let linear = linear_compute.max(linear_dram);
 
         // --- Detection stage (skipped when sigma == 0). ---
@@ -454,14 +572,22 @@ impl Accelerator {
         // the scaled build widens every lane's banks proportionally.
         let kv_bytes = key_loads_head * heads * 2 * hd * bytes;
         let kv_per_lane = (kv_bytes as f64 / (cfg.lanes as f64 * cfg.scale)).ceil() as u64;
-        let kv_cycles = sram.access(kv_per_lane);
+        let kv_cycles = if faults {
+            sram.access_checked(kv_per_lane, 0, l)
+        } else {
+            sram.access(kv_per_lane)
+        };
         // Pipelined: RMMU, MFU and SRAM streams overlap.
         let attention = attn_compute.max(mfu_cycles).max(kv_cycles);
 
         // --- FFN stage. ---
         let ffn_macs = 2 * nn * d * d_ff;
         let ffn_compute = (ffn_macs as f64 / linear_rate).ceil() as u64;
-        let ffn_dram = dram.read(2 * d * d_ff * bytes);
+        let ffn_dram = if faults {
+            dram.read_checked(2 * d * d_ff * bytes, "ffn.weights", 2, l)?
+        } else {
+            dram.read(2 * d * d_ff * bytes)
+        };
         let gelu_cycles = (nn * d_ff).div_ceil(32 * cfg.lanes as u64 * cfg.scale.ceil() as u64);
         let ffn = ffn_compute.max(ffn_dram) + gelu_cycles;
 
@@ -476,7 +602,11 @@ impl Accelerator {
         let fx_macs = linear_macs + attn_macs + ffn_macs;
         // Activation streams through SRAM: inputs and outputs of each GEMM.
         let act_bytes = (nn * d * 8 + nn * d_ff * 2) * bytes;
-        sram.access(act_bytes);
+        if faults {
+            sram.access_checked(act_bytes, 1, l);
+        } else {
+            sram.access(act_bytes);
+        }
         let accum_ops = nn * d * 4 + kept + nn * d_ff + nn * d;
         let mfu_total = mfu_ops + nn * d_ff; // softmax + GELU
         let seconds = cycles.total() as f64 / (energy::FREQ_GHZ * 1e9);
@@ -523,14 +653,14 @@ impl Accelerator {
             dota_trace::count("accel.key_loads_row_by_row", rbr_head * heads);
         }
 
-        PerfReport {
+        Ok(PerfReport {
             cycles,
             energy,
             key_loads: key_loads_head * heads,
             key_loads_row_by_row: rbr_head * heads,
             retention,
             attention_energy_pj,
-        }
+        })
     }
 }
 
@@ -655,6 +785,106 @@ mod tests {
     fn rejects_zero_retention() {
         let acc = Accelerator::new(AccelConfig::default());
         let _ = acc.simulate_shape(&lra(), 128, 0.0, 0.2, &SelectionProfile::default());
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use dota_faults::{FaultPlan, FaultSite};
+
+    fn lra() -> TransformerConfig {
+        TransformerConfig::lra(2048, 2)
+    }
+
+    #[test]
+    fn try_simulate_matches_infallible_without_session() {
+        let acc = Accelerator::new(AccelConfig::default());
+        let prof = SelectionProfile::default();
+        let a = acc.simulate_shape(&lra(), 256, 0.1, 0.2, &prof);
+        let b = acc
+            .try_simulate_shape(&lra(), 256, 0.1, 0.2, &prof)
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sram_bitflips_absorbed_with_extra_cycles() {
+        let acc = Accelerator::new(AccelConfig::default());
+        let prof = SelectionProfile::default();
+        let clean = acc.simulate_shape(&lra(), 256, 0.1, 0.2, &prof);
+        let guard = dota_faults::session(FaultPlan::new(3).with_rate(FaultSite::SramBitFlip, 1.0));
+        let faulty = acc
+            .try_simulate_shape(&lra(), 256, 0.1, 0.2, &prof)
+            .expect("bit flips are always absorbed");
+        assert!(guard.counter("faults.sram.bitflips") > 0);
+        assert!(
+            faulty.cycles.total() >= clean.cycles.total(),
+            "ECC replay cannot make the run faster"
+        );
+        // Legacy entry point stays fault-free even inside the session.
+        let legacy = acc.simulate_shape(&lra(), 256, 0.1, 0.2, &prof);
+        assert_eq!(legacy, clean);
+    }
+
+    #[test]
+    fn dram_read_faults_retry_then_fail() {
+        let acc = Accelerator::new(AccelConfig::default());
+        let prof = SelectionProfile::default();
+        // Rate 1.0: every retry also faults, so the read must fail.
+        let guard = dota_faults::session(FaultPlan::new(4).with_rate(FaultSite::DramRead, 1.0));
+        let err = acc
+            .try_simulate_shape(&lra(), 256, 0.1, 0.2, &prof)
+            .unwrap_err();
+        assert!(matches!(err, SimFault::DramReadFailed { .. }), "{err}");
+        assert!(guard.counter("faults.dram.retries") > 0);
+        assert!(guard.counter("faults.dram.failed_reads") > 0);
+        drop(guard);
+        // A low rate is absorbed by the bounded retry.
+        let guard = dota_faults::session(FaultPlan::new(4).with_rate(FaultSite::DramRead, 0.05));
+        let clean = acc.simulate_shape(&lra(), 256, 0.1, 0.2, &prof);
+        let faulty = acc
+            .try_simulate_shape(&lra(), 256, 0.1, 0.2, &prof)
+            .expect("rate 0.05 faults absorbed by retry");
+        assert!(guard.counter("faults.dram.retries") > 0);
+        assert!(faulty.cycles.total() >= clean.cycles.total());
+    }
+
+    #[test]
+    fn all_lanes_stuck_is_typed_error() {
+        let acc = Accelerator::new(AccelConfig::default());
+        let prof = SelectionProfile::default();
+        let _guard = dota_faults::session(FaultPlan::new(5).with_rate(FaultSite::LaneStuck, 1.0));
+        let err = acc
+            .try_simulate_shape(&lra(), 256, 0.1, 0.2, &prof)
+            .unwrap_err();
+        assert_eq!(err, SimFault::AllLanesDown { lanes: 4 });
+    }
+
+    #[test]
+    fn partial_lane_drop_degrades_throughput() {
+        let acc = Accelerator::new(AccelConfig::default());
+        let prof = SelectionProfile::default();
+        let clean = acc.simulate_shape(&lra(), 512, 0.1, 0.2, &prof);
+        // Find a seed where some but not all lanes survive (deterministic
+        // per seed, so scan a few).
+        for seed in 0..64u64 {
+            let guard =
+                dota_faults::session(FaultPlan::new(seed).with_rate(FaultSite::LaneStuck, 0.5));
+            let result = acc.try_simulate_shape(&lra(), 512, 0.1, 0.2, &prof);
+            let dropped = guard.counter("faults.lane.dropped");
+            drop(guard);
+            if let Ok(report) = result {
+                if dropped > 0 {
+                    assert!(
+                        report.cycles.total() > clean.cycles.total(),
+                        "losing {dropped} lanes must slow the run"
+                    );
+                    return;
+                }
+            }
+        }
+        panic!("no seed in 0..64 dropped a strict subset of lanes");
     }
 }
 

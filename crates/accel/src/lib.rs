@@ -31,6 +31,7 @@ pub mod banking;
 pub mod decode;
 pub mod elsa;
 pub mod energy;
+pub mod fault;
 pub mod gpu;
 pub mod lane;
 mod memory;
@@ -40,4 +41,5 @@ pub mod sched;
 pub mod synth;
 
 pub use accelerator::{AccelConfig, Accelerator, EnergyBreakdown, PerfReport, StageLatency};
+pub use fault::SimFault;
 pub use memory::{DramModel, SramModel};

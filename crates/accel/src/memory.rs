@@ -1,4 +1,6 @@
 use crate::energy;
+use crate::fault::{SimFault, DRAM_MAX_RETRIES};
+use dota_faults::FaultSite;
 
 /// Off-chip DRAM model: bandwidth-limited transfers with per-byte energy.
 ///
@@ -38,6 +40,47 @@ impl DramModel {
         self.bytes_read += bytes;
         dota_trace::count("dram.bytes_read", bytes);
         (bytes as f64 / self.bytes_per_cycle()).ceil() as u64
+    }
+
+    /// Fault-aware variant of [`read`](DramModel::read): transient read
+    /// errors injected at site `dram.read` are retried (each retry
+    /// re-occupies the interface for the full transfer) up to
+    /// [`DRAM_MAX_RETRIES`] times; exhausting the retries surfaces a typed
+    /// [`SimFault::DramReadFailed`]. `stage`/`layer` identify the read for
+    /// the fault coordinates and the error message. Identical to `read`
+    /// when no fault session is active.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimFault::DramReadFailed`] when every retry also faults.
+    pub fn read_checked(
+        &mut self,
+        bytes: u64,
+        stage: &'static str,
+        stage_id: u64,
+        layer: u64,
+    ) -> Result<u64, SimFault> {
+        let mut cycles = self.read(bytes);
+        if !dota_faults::enabled() {
+            return Ok(cycles);
+        }
+        let mut attempt = 0u64;
+        while dota_faults::should_inject(FaultSite::DramRead, &[layer, stage_id, attempt]) {
+            attempt += 1;
+            if attempt > DRAM_MAX_RETRIES {
+                dota_faults::record("faults.dram.failed_reads", 1);
+                dota_trace::count("faults.dram.failed_reads", 1);
+                return Err(SimFault::DramReadFailed {
+                    stage,
+                    layer,
+                    bytes,
+                });
+            }
+            dota_faults::record("faults.dram.retries", 1);
+            dota_trace::count("faults.dram.retries", 1);
+            cycles += (bytes as f64 / self.bytes_per_cycle()).ceil() as u64;
+        }
+        Ok(cycles)
     }
 
     /// Records a write and returns the cycles it occupies.
@@ -134,6 +177,26 @@ impl SramModel {
         dota_trace::count("sram.bytes_accessed", bytes);
         let per_cycle = 64 * self.banks as u64;
         bytes.div_ceil(per_cycle)
+    }
+
+    /// Fault-aware variant of [`access`](SramModel::access): a bit flip
+    /// injected at site `sram.bitflip` is caught by the banked array's ECC
+    /// and the access is replayed from the clean line, so the fault is
+    /// always absorbed — it costs a second full access and increments the
+    /// `faults.sram.bitflips` counter. `stream`/`layer` are the stable
+    /// fault coordinates. Identical to `access` when no fault session is
+    /// active.
+    pub fn access_checked(&mut self, bytes: u64, stream_id: u64, layer: u64) -> u64 {
+        let cycles = self.access(bytes);
+        if dota_faults::enabled()
+            && dota_faults::should_inject(FaultSite::SramBitFlip, &[layer, stream_id])
+        {
+            dota_faults::record("faults.sram.bitflips", 1);
+            dota_trace::count("faults.sram.bitflips", 1);
+            // ECC replay: the line is re-read; charge the access again.
+            return cycles + self.access(bytes);
+        }
+        cycles
     }
 
     /// Cycles for `accesses` simultaneous accesses that all hit the same

@@ -69,7 +69,11 @@ fn main() {
                 warmup_epochs: 3,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1)
+        });
         let acc = experiments::eval_accuracy(&model, &params, &test, &hook.inference(&params));
         // Utilization: with T=4 token-parallel groups, a round is fully
         // utilized when all 4 queries have work. Measure on one test

@@ -52,7 +52,11 @@ fn main() {
         let cfg = DetectorConfig::new(mean_retention)
             .with_sigma(0.5)
             .with_layer_retentions(layers.clone());
-        let run = BenchmarkRun::train(Benchmark::Qa, 24, 400, 100, cfg, &opts, 5);
+        let run =
+            BenchmarkRun::train(Benchmark::Qa, 24, 400, 100, cfg, &opts, 5).unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(1)
+            });
         let point = run.evaluate(Method::Dota, mean_retention, 1);
         // Measure the achieved overall retention from a real trace.
         let sample = &run.test.samples()[0];

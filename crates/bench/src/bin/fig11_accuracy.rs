@@ -86,7 +86,11 @@ fn main() {
                 DetectorConfig::new(r).with_sigma(0.5),
                 &opts,
                 5,
-            );
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(1)
+            });
             let dense = run.evaluate(Method::Dense, 1.0, 1);
             let dota = run.evaluate(Method::Dota, r, 1);
             let elsa = run.evaluate(Method::Elsa, r, 1);

@@ -76,7 +76,11 @@ fn main() {
                 warmup_epochs: 2,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1)
+        });
         let acc = experiments::eval_accuracy(&model, &params, &test, &hook.inference(&params));
         println!("{sigma:>8.3} {rank:>6} {acc:>10.3}");
         sigma_sweep.push(SigmaPoint {
@@ -105,7 +109,11 @@ fn main() {
             warmup_epochs: 2,
             ..Default::default()
         },
-    );
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1)
+    });
     // FP32 reference first, then the integer precisions: only the
     // *inference-time* quantization changes, as in the paper.
     let f32_acc = experiments::eval_accuracy(&model, &params, &test, &hook.inference_f32(&params));

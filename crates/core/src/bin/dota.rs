@@ -8,17 +8,21 @@
 //! dota decode --context N --tokens T  # decoder-mode analysis
 //! dota train BENCH [--retention R] [--seq N]   # tiny-model accuracy run
 //! dota infer BENCH [--retention R] [--seq N]   # one traced inference
+//! dota faults --seed S --rates 0,0.05,1       # fault-injection campaign
 //! ```
 //!
 //! Every command accepts the global observability flags `--trace <path>`
 //! (Chrome-trace JSON, open in `chrome://tracing` or Perfetto) and
-//! `--counters <path>` (flat hardware-counter JSON).
+//! `--counters <path>` (flat hardware-counter JSON), plus
+//! `--faults site=rate[,...]` / `--fault-seed S` to run under
+//! deterministic fault injection (see the README's Robustness section).
 //!
 //! Build/run: `cargo run --release -p dota-core --bin dota -- <command>`.
 
 use dota_accel::decode::simulate_decode;
 use dota_accel::synth::SelectionProfile;
 use dota_accel::{energy, AccelConfig, Accelerator};
+use dota_core::campaign;
 use dota_core::experiments::{self, BenchmarkRun, Method, TrainOptions};
 use dota_core::presets::{self, OperatingPoint};
 use dota_core::report;
@@ -29,14 +33,26 @@ use dota_workloads::{Benchmark, TaskSpec};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    if let Err(e) = validate_env() {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let (trace_path, counters_path, hists_path) = match (
+    let (trace_path, counters_path, hists_path, fault_spec, fault_seed) = match (
         take_flag(&mut args, "--trace"),
         take_flag(&mut args, "--counters"),
         take_flag(&mut args, "--hists"),
+        take_flag(&mut args, "--faults"),
+        take_flag(&mut args, "--fault-seed"),
     ) {
-        (Ok(t), Ok(c), Ok(h)) => (t, c, h),
-        (Err(e), _, _) | (_, Err(e), _) | (_, _, Err(e)) => {
+        (Ok(t), Ok(c), Ok(h), Ok(f), Ok(s)) => (
+            t.or_else(|| env_path("DOTA_TRACE")),
+            c.or_else(|| env_path("DOTA_COUNTERS")),
+            h.or_else(|| env_path("DOTA_HISTS")),
+            f,
+            s,
+        ),
+        (Err(e), ..) | (_, Err(e), ..) | (_, _, Err(e), ..) | (.., Err(e), _) | (.., Err(e)) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
@@ -53,6 +69,15 @@ fn main() -> ExitCode {
     let hist_session = hists_path
         .is_some()
         .then(|| dota_metrics::hist_session(&command));
+    // A fault session makes any command run under deterministic injection
+    // (`dota faults` manages its own sessions instead).
+    let fault_session = match fault_session(&command, fault_spec, fault_seed) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let rest = &args[1..];
     let result = match command.as_str() {
         "table2" => cmd_table2(),
@@ -63,12 +88,25 @@ fn main() -> ExitCode {
         "train" => cmd_train(rest),
         "infer" => cmd_infer(rest),
         "report" => cmd_report(rest),
+        "faults" => cmd_faults(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
         }
         other => Err(format!("unknown command `{other}`\n{USAGE}")),
     };
+    if let Some(guard) = &fault_session {
+        let injected = guard.injected_total();
+        if injected > 0 {
+            let rows: Vec<String> = guard
+                .counters()
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
+            eprintln!("[faults: {}]", rows.join(" "));
+        }
+    }
+    drop(fault_session);
     let result = result.and_then(|()| {
         if let (Some(hists), Some(p)) = (&hist_session, &hists_path) {
             hists
@@ -100,6 +138,142 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Rejects malformed observability/threading environment variables up
+/// front: a typo'd `DOTA_THREADS=all` silently falling back to the
+/// default would invalidate a benchmark without any sign of it.
+fn validate_env() -> Result<(), String> {
+    if let Ok(v) = std::env::var("DOTA_THREADS") {
+        match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => {}
+            _ => {
+                return Err(format!(
+                    "DOTA_THREADS must be a positive integer, got `{v}`"
+                ))
+            }
+        }
+    }
+    for name in ["DOTA_TRACE", "DOTA_COUNTERS", "DOTA_HISTS"] {
+        if let Ok(v) = std::env::var(name) {
+            if v.trim().is_empty() {
+                return Err(format!(
+                    "{name} is set but empty; set it to an output path or unset it"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A non-empty environment variable as a path fallback for the matching
+/// CLI flag ([`validate_env`] has already rejected set-but-empty values).
+fn env_path(name: &str) -> Option<String> {
+    std::env::var(name).ok().filter(|v| !v.trim().is_empty())
+}
+
+/// Opens the global fault-injection session requested by `--faults`
+/// (and `--fault-seed`), if any. `dota faults` manages its own sessions —
+/// combining it with the global flag is rejected rather than deadlocking
+/// on the session exclusivity lock.
+fn fault_session(
+    command: &str,
+    spec: Option<String>,
+    seed: Option<String>,
+) -> Result<Option<dota_faults::FaultGuard>, String> {
+    let seed = seed
+        .map(|s| {
+            s.parse::<u64>()
+                .map_err(|_| format!("--fault-seed must be an unsigned integer, got `{s}`"))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    let Some(spec) = spec else {
+        return Ok(None);
+    };
+    if command == "faults" {
+        return Err(
+            "`dota faults` runs its own fault sessions; drop the global --faults flag \
+                    and use `--sites`/`--rates` instead"
+                .to_owned(),
+        );
+    }
+    let plan = dota_faults::FaultPlan::parse_spec(seed, &spec)?;
+    Ok(Some(dota_faults::session(plan)))
+}
+
+fn cmd_faults(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = parse_flags(args)?;
+    if let Some(extra) = positional.first() {
+        return Err(format!(
+            "faults takes no positional arguments, got `{extra}`"
+        ));
+    }
+    let mut opts = campaign::CampaignOptions {
+        seed: flag_usize(&flags, "seed")?.unwrap_or(0) as u64,
+        ..Default::default()
+    };
+    if let Some(sites) = flags.get("sites") {
+        opts.sites = sites
+            .split(',')
+            .filter(|s| !s.trim().is_empty())
+            .map(|s| dota_faults::FaultSite::parse(s.trim()))
+            .collect::<Result<Vec<_>, _>>()?;
+    }
+    if let Some(rates) = flags.get("rates") {
+        opts.rates = rates
+            .split(',')
+            .filter(|s| !s.trim().is_empty())
+            .map(|s| {
+                s.trim()
+                    .parse::<f64>()
+                    .map_err(|_| format!("--rates entries must be numbers, got `{s}`"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+    }
+    if let Some(seq) = flag_usize(&flags, "seq")? {
+        opts.seq_len = seq;
+    }
+    if opts.sites.is_empty() || opts.rates.is_empty() {
+        return Err("the campaign needs at least one site and one rate".to_owned());
+    }
+    println!(
+        "fault campaign: seed {}, {} site(s) x {} rate(s), seq {}",
+        opts.seed,
+        opts.sites.len(),
+        opts.rates.len(),
+        opts.seq_len
+    );
+    let report = campaign::run_campaign(&opts);
+    println!(
+        "{:<18} {:>6} {:>9} {:>9} {:>14}  error",
+        "site", "rate", "status", "injected", "outcome"
+    );
+    for run in &report.runs {
+        println!(
+            "{:<18} {:>6} {:>9} {:>9} {:>14}  {}",
+            run.site.name(),
+            run.rate,
+            run.status.name(),
+            run.injected,
+            if run.outcome.is_finite() {
+                format!("{:.3}", run.outcome)
+            } else {
+                "-".to_owned()
+            },
+            run.error.as_deref().unwrap_or("")
+        );
+    }
+    let (clean, absorbed, failed) = report.tally();
+    println!("{clean} clean, {absorbed} absorbed, {failed} failed");
+    if let Some(out) = flags.get("out") {
+        let path = std::path::Path::new(out);
+        report
+            .write(path)
+            .map_err(|e| format!("writing campaign report {out}: {e}"))?;
+        eprintln!("[campaign report written to {out}]");
+    }
+    Ok(())
 }
 
 /// Removes `--name <value>` from `args` wherever it appears, returning the
@@ -146,6 +320,12 @@ commands:
                                   directories) value-by-value at relative
                                   tolerance T (default 1e-6); exits
                                   nonzero when regressions are found
+  faults [--seed S] [--sites a,b] [--rates r1,r2] [--seq N] [--out FILE]
+                                  deterministic fault-injection campaign:
+                                  sweep (site, rate) cells, report whether
+                                  each fault was absorbed or failed with a
+                                  typed error; --out writes a seed-stable
+                                  JSON report (diffable with report diff)
 
 global options (any command):
   --trace FILE                    write a Chrome-trace JSON of the run
@@ -153,6 +333,12 @@ global options (any command):
   --counters FILE                 write the hardware-counter totals as JSON
   --hists FILE                    write attention/detector score histogram
                                   summaries (p50/p95/p99) as JSON
+  --faults SITE=RATE[,...]        run the command under deterministic
+                                  fault injection (sites: sram.bitflip,
+                                  dram.read, lane.stuck, detector.corrupt,
+                                  detector.saturate, attn.input,
+                                  train.loss)
+  --fault-seed S                  seed for --faults decisions (default 0)
 BENCH: qa | image | text | retrieval | lm";
 
 fn parse_benchmark(s: &str) -> Result<Benchmark, String> {
@@ -407,7 +593,8 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
         },
         seed,
         &mut sink,
-    );
+    )
+    .map_err(|e| format!("training failed: {e}"))?;
     println!("{:>8} {:>10} {:>12}", "method", "accuracy", "perplexity");
     let mut method_rows: Vec<serde_json::Value> = Vec::new();
     for (name, method, r) in [
@@ -548,13 +735,22 @@ fn cmd_infer(args: &[String]) -> Result<(), String> {
 
     let trace = {
         let _span = dota_trace::host_span("infer.forward");
-        model.infer(&params, &ids, &hook.inference(&params))
+        model
+            .try_infer(&params, &ids, &hook.inference(&params))
+            .map_err(|e| format!("inference failed: {e}"))?
     };
     let rep = {
         let _span = dota_trace::host_span("infer.replay");
         let acc = Accelerator::new(AccelConfig::default());
-        acc.simulate_trace(model.config(), &trace)
+        acc.try_simulate_trace(model.config(), &trace)
+            .map_err(|e| format!("simulation failed: {e}"))?
     };
+    if trace.fallback_dense > 0 {
+        eprintln!(
+            "[{} head(s) fell back to dense attention]",
+            trace.fallback_dense
+        );
+    }
     println!(
         "infer {} (seq {}, seed {seed}): retention {:.1}% (configured {:.1}%)",
         bench.name(),
@@ -570,4 +766,76 @@ fn cmd_infer(args: &[String]) -> Result<(), String> {
         rep.energy.total_pj() * 1e-6
     );
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Runs `body` with one environment variable set (or unset), restoring
+    /// it afterwards; serialized because the environment is process-global.
+    fn with_env<R>(name: &str, value: Option<&str>, body: impl FnOnce() -> R) -> R {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        let _guard = LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let prev = std::env::var(name).ok();
+        match value {
+            Some(v) => std::env::set_var(name, v),
+            None => std::env::remove_var(name),
+        }
+        let out = body();
+        match prev {
+            Some(v) => std::env::set_var(name, v),
+            None => std::env::remove_var(name),
+        }
+        out
+    }
+
+    #[test]
+    fn invalid_dota_threads_is_rejected() {
+        for bad in ["zero", "0", "-4"] {
+            with_env("DOTA_THREADS", Some(bad), || {
+                let err = validate_env().unwrap_err();
+                assert!(err.contains("DOTA_THREADS"), "{err}");
+            });
+        }
+        with_env("DOTA_THREADS", Some("8"), || validate_env().unwrap());
+        with_env("DOTA_THREADS", None, || validate_env().unwrap());
+    }
+
+    #[test]
+    fn empty_dota_trace_is_rejected() {
+        with_env("DOTA_TRACE", Some("  "), || {
+            let err = validate_env().unwrap_err();
+            assert!(err.contains("DOTA_TRACE"), "{err}");
+        });
+        with_env("DOTA_TRACE", Some("/tmp/t.json"), || {
+            validate_env().unwrap();
+            assert_eq!(env_path("DOTA_TRACE").as_deref(), Some("/tmp/t.json"));
+        });
+    }
+
+    #[test]
+    fn empty_dota_hists_is_rejected() {
+        with_env("DOTA_HISTS", Some(""), || {
+            let err = validate_env().unwrap_err();
+            assert!(err.contains("DOTA_HISTS"), "{err}");
+        });
+        with_env("DOTA_HISTS", None, || validate_env().unwrap());
+    }
+
+    #[test]
+    fn empty_dota_counters_is_rejected() {
+        with_env("DOTA_COUNTERS", Some(""), || {
+            let err = validate_env().unwrap_err();
+            assert!(err.contains("DOTA_COUNTERS"), "{err}");
+        });
+    }
+
+    #[test]
+    fn global_faults_flag_is_rejected_for_campaigns() {
+        let err = fault_session("faults", Some("sram.bitflip=1".to_owned()), None).unwrap_err();
+        assert!(err.contains("dota faults"), "{err}");
+    }
 }

@@ -6,6 +6,20 @@
 //! a [`ParamSet`] whose registration order — and therefore every
 //! [`ParamId`](dota_autograd::ParamId) handed out by re-initialized models
 //! and hooks with the same construction order — matches the saved one.
+//!
+//! Two robustness properties matter for the crash-resume and watchdog
+//! paths:
+//!
+//! * **Crash-safe writes** — [`save_params`] writes to a temp file in the
+//!   destination directory and atomically renames it into place, so a
+//!   crash mid-write can never leave a truncated checkpoint under the
+//!   final name (a reader sees the old file or the new file, nothing in
+//!   between).
+//! * **Bit-exact values** — format v2 stores each `f32` as its raw bit
+//!   pattern (`data_bits`), so NaN/Inf parameters (e.g. captured by the
+//!   divergence watchdog for post-mortem) round-trip exactly; the JSON
+//!   layer would otherwise collapse non-finite floats to `null`. Format
+//!   v1 (`data` as plain floats) is still loaded.
 
 use dota_autograd::ParamSet;
 use dota_tensor::Matrix;
@@ -13,23 +27,46 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::path::Path;
 
-/// One serialized parameter.
+/// One serialized parameter (format v2: raw `f32` bit patterns).
 #[derive(Debug, Serialize, Deserialize)]
 struct SavedParam {
     name: String,
     rows: usize,
     cols: usize,
-    data: Vec<f32>,
+    data_bits: Vec<u32>,
 }
 
-/// The on-disk checkpoint document.
+/// The on-disk checkpoint document (format v2).
 #[derive(Debug, Serialize, Deserialize)]
 struct Checkpoint {
     format_version: u32,
     params: Vec<SavedParam>,
 }
 
-const FORMAT_VERSION: u32 = 1;
+/// One serialized parameter in the legacy v1 format (plain floats; cannot
+/// represent NaN/Inf).
+#[derive(Debug, Deserialize)]
+struct SavedParamV1 {
+    name: String,
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+#[derive(Debug, Deserialize)]
+struct CheckpointV1 {
+    #[allow(dead_code)]
+    format_version: u32,
+    params: Vec<SavedParamV1>,
+}
+
+/// Minimal probe to dispatch on the version before a full parse.
+#[derive(Debug, Deserialize)]
+struct VersionProbe {
+    format_version: u32,
+}
+
+const FORMAT_VERSION: u32 = 2;
 
 /// Errors from loading a checkpoint.
 #[derive(Debug)]
@@ -65,7 +102,42 @@ impl From<std::io::Error> for CheckpointError {
     }
 }
 
-/// Serializes every parameter of `params` to JSON at `path`.
+/// Writes `contents` to `path` crash-safely: the bytes go to a uniquely
+/// named temp file in `path`'s directory, which is then atomically renamed
+/// over `path`. A reader (or a resume after a crash) sees either the
+/// previous complete file or the new complete file, never a partial write.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error (the temp file is cleaned up).
+pub fn write_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let file_name = path.file_name().ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, "path has no file name")
+    })?;
+    let tmp_name = format!(
+        ".{}.tmp.{}",
+        file_name.to_string_lossy(),
+        std::process::id()
+    );
+    let tmp = match dir {
+        Some(d) => d.join(&tmp_name),
+        None => std::path::PathBuf::from(&tmp_name),
+    };
+    if let Err(e) = std::fs::write(&tmp, contents) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    Ok(())
+}
+
+/// Serializes every parameter of `params` to JSON at `path`, crash-safely
+/// (temp file + atomic rename; see [`write_atomic`]). Values are stored as
+/// raw bit patterns, so non-finite parameters survive the round trip.
 ///
 /// # Errors
 ///
@@ -81,18 +153,20 @@ pub fn save_params(params: &ParamSet, path: &Path) -> Result<(), CheckpointError
                     name: params.name(id).to_owned(),
                     rows: m.rows(),
                     cols: m.cols(),
-                    data: m.as_slice().to_vec(),
+                    data_bits: m.as_slice().iter().map(|v| v.to_bits()).collect(),
                 }
             })
             .collect(),
     };
     let json = serde_json::to_string(&doc).map_err(|e| CheckpointError::Parse(e.to_string()))?;
-    std::fs::write(path, json)?;
+    write_atomic(path, &json)?;
     Ok(())
 }
 
 /// Loads a checkpoint into a fresh [`ParamSet`], preserving registration
 /// order (so ids line up with a model/hook built in the same order).
+/// Understands the current bit-exact v2 format and the legacy v1 float
+/// format.
 ///
 /// # Errors
 ///
@@ -100,21 +174,40 @@ pub fn save_params(params: &ParamSet, path: &Path) -> Result<(), CheckpointError
 /// unsupported version, or internally inconsistent.
 pub fn load_params(path: &Path) -> Result<ParamSet, CheckpointError> {
     let json = std::fs::read_to_string(path)?;
-    let doc: Checkpoint =
+    let probe: VersionProbe =
         serde_json::from_str(&json).map_err(|e| CheckpointError::Parse(e.to_string()))?;
-    if doc.format_version != FORMAT_VERSION {
-        return Err(CheckpointError::Version(doc.format_version));
-    }
-    let mut params = ParamSet::new();
-    for p in doc.params {
-        if p.data.len() != p.rows * p.cols {
-            return Err(CheckpointError::Corrupt(p.name));
+    let params: Vec<(String, usize, usize, Vec<f32>)> = match probe.format_version {
+        1 => {
+            let doc: CheckpointV1 =
+                serde_json::from_str(&json).map_err(|e| CheckpointError::Parse(e.to_string()))?;
+            doc.params
+                .into_iter()
+                .map(|p| (p.name, p.rows, p.cols, p.data))
+                .collect()
         }
-        let m = Matrix::from_vec(p.rows, p.cols, p.data)
-            .map_err(|_| CheckpointError::Corrupt(p.name.clone()))?;
-        params.add(&p.name, m);
+        2 => {
+            let doc: Checkpoint =
+                serde_json::from_str(&json).map_err(|e| CheckpointError::Parse(e.to_string()))?;
+            doc.params
+                .into_iter()
+                .map(|p| {
+                    let data = p.data_bits.iter().map(|&b| f32::from_bits(b)).collect();
+                    (p.name, p.rows, p.cols, data)
+                })
+                .collect()
+        }
+        v => return Err(CheckpointError::Version(v)),
+    };
+    let mut set = ParamSet::new();
+    for (name, rows, cols, data) in params {
+        if data.len() != rows * cols {
+            return Err(CheckpointError::Corrupt(name));
+        }
+        let m = Matrix::from_vec(rows, cols, data)
+            .map_err(|_| CheckpointError::Corrupt(name.clone()))?;
+        set.add(&name, m);
     }
-    Ok(params)
+    Ok(set)
 }
 
 #[cfg(test)]
@@ -143,6 +236,74 @@ mod tests {
             assert_eq!(params.name(a), loaded.name(b));
             assert_eq!(params.value(a), loaded.value(b));
         }
+    }
+
+    #[test]
+    fn non_finite_values_round_trip_bit_exactly() {
+        let mut params = ParamSet::new();
+        let values = vec![
+            f32::NAN,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            -0.0,
+            f32::MIN_POSITIVE / 2.0, // subnormal
+            1.5,
+        ];
+        params.add("weird", Matrix::from_vec(2, 3, values.clone()).unwrap());
+        let path = tmp("nonfinite");
+        save_params(&params, &path).unwrap();
+        let loaded = load_params(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let id = loaded.ids().next().unwrap();
+        let got = loaded.value(id).as_slice().to_vec();
+        for (a, b) in values.iter().zip(&got) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn truncated_file_is_parse_error_not_panic() {
+        let spec = TaskSpec::tiny(Benchmark::Text, 20, 1);
+        let (_, params) = experiments::build_model(&spec, 1);
+        let path = tmp("truncated");
+        save_params(&params, &path).unwrap();
+        let full = std::fs::read_to_string(&path).unwrap();
+        // A crash mid-write of a *non-atomic* writer: half the document.
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        let err = load_params(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err, CheckpointError::Parse(_)), "{err}");
+    }
+
+    #[test]
+    fn legacy_v1_documents_still_load() {
+        let path = tmp("v1");
+        std::fs::write(
+            &path,
+            r#"{"format_version":1,"params":[{"name":"w","rows":1,"cols":2,"data":[1.5,-2.0]}]}"#,
+        )
+        .unwrap();
+        let loaded = load_params(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let id = loaded.ids().next().unwrap();
+        assert_eq!(loaded.name(id), "w");
+        assert_eq!(loaded.value(id).as_slice(), &[1.5, -2.0]);
+    }
+
+    #[test]
+    fn atomic_write_leaves_no_temp_files() {
+        let dir = std::env::temp_dir().join(format!("dota_atomic_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.json");
+        write_atomic(&path, "{\"ok\":true}").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"ok\":true}");
+        let others: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .filter(|n| n != "ckpt.json")
+            .collect();
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(others.is_empty(), "leftover temp files: {others:?}");
     }
 
     #[test]
@@ -190,7 +351,7 @@ mod tests {
         let path = tmp("corrupt");
         std::fs::write(
             &path,
-            r#"{"format_version":1,"params":[{"name":"w","rows":2,"cols":2,"data":[1.0]}]}"#,
+            r#"{"format_version":2,"params":[{"name":"w","rows":2,"cols":2,"data_bits":[0]}]}"#,
         )
         .unwrap();
         let err = load_params(&path).unwrap_err();

@@ -14,6 +14,7 @@ use dota_detector::{
 };
 use dota_detector::{DetectorConfig, DotaHook};
 use dota_metrics::MetricsSink;
+use dota_tensor::ShapeError;
 use dota_transformer::{InferenceHook, Model, NoHook, TransformerConfig};
 use dota_workloads::{generators, metrics, Benchmark, Dataset, TaskSpec};
 
@@ -151,13 +152,18 @@ pub fn train_dense_logged(
 ///    `L_model + λ·L_MSE` trains model and detector together.
 ///
 /// Returns per-epoch mean losses (phase 2 only counts toward early stop).
+///
+/// # Errors
+///
+/// [`ShapeError`] when the model and detector parameter shapes do not
+/// conform (a corrupted checkpoint, for example).
 pub fn train_joint(
     model: &Model,
     params: &mut ParamSet,
     hook: &mut DotaHook,
     data: &Dataset,
     opts: &TrainOptions,
-) -> Vec<f32> {
+) -> Result<Vec<f32>, ShapeError> {
     train_joint_logged(
         model,
         params,
@@ -175,6 +181,11 @@ pub fn train_joint(
 /// the detector masks actually imposed (`joint.retention.L{l}`, averaged
 /// over the layer's heads). All extra computation is gated on
 /// [`MetricsSink::enabled`].
+///
+/// # Errors
+///
+/// [`ShapeError`] when the model and detector parameter shapes do not
+/// conform (a corrupted checkpoint, for example).
 pub fn train_joint_logged(
     model: &Model,
     params: &mut ParamSet,
@@ -182,7 +193,7 @@ pub fn train_joint_logged(
     data: &Dataset,
     opts: &TrainOptions,
     sink: &mut MetricsSink,
-) -> Vec<f32> {
+) -> Result<Vec<f32>, ShapeError> {
     let mut losses = Vec::with_capacity(opts.epochs);
 
     // --- Phase 1: detector-only estimation pretraining. ---
@@ -200,15 +211,14 @@ pub fn train_joint_logged(
                 let mut acc: Option<dota_autograd::Var> = None;
                 for (l, x) in xs.iter().enumerate() {
                     let layer = &model.params().layers[l];
-                    let q = x.matmul(params.value(layer.wq)).expect("shape");
-                    let k = x.matmul(params.value(layer.wk)).expect("shape");
+                    let q = x.matmul(params.value(layer.wq))?;
+                    let k = x.matmul(params.value(layer.wk))?;
                     let xv = g.constant(x.clone());
                     for h in 0..cfg.n_heads {
                         let (c0, c1) = (h * hd, (h + 1) * hd);
                         let scores = q
                             .slice_cols(c0, c1)
-                            .matmul_nt(&k.slice_cols(c0, c1))
-                            .expect("shape")
+                            .matmul_nt(&k.slice_cols(c0, c1))?
                             .scale(scale);
                         let target = g.constant(scores);
                         let s_tilde = hook.detector(l, h).estimated_scores(&mut g, params, xv);
@@ -219,7 +229,9 @@ pub fn train_joint_logged(
                         });
                     }
                 }
-                let loss = acc.expect("at least one head");
+                // A model with no layers/heads has no detector loss to
+                // warm up on; skip the sample rather than panic.
+                let Some(loss) = acc else { continue };
                 let loss_val = g.value(loss)[(0, 0)];
                 total += loss_val;
                 g.backward(loss);
@@ -303,7 +315,7 @@ pub fn train_joint_logged(
             break;
         }
     }
-    losses
+    Ok(losses)
 }
 
 /// Runs `per_sample` over every sample of `data`, in input order — fanned
@@ -387,7 +399,7 @@ pub fn eval_lm(
             let pred = row
                 .iter()
                 .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .max_by(|a, b| a.1.total_cmp(b.1))
                 .map(|(i, _)| i)
                 .unwrap_or(0);
             pred == s.ids[pos]
@@ -466,6 +478,11 @@ impl BenchmarkRun {
     /// Runs the full pipeline for `benchmark` at sequence length `seq_len`:
     /// generate data, train dense, clone, jointly adapt with the detector
     /// at `detector_cfg.retention`.
+    ///
+    /// # Errors
+    ///
+    /// [`ShapeError`] when the model and detector parameter shapes do not
+    /// conform.
     pub fn train(
         benchmark: Benchmark,
         seq_len: usize,
@@ -474,7 +491,7 @@ impl BenchmarkRun {
         detector_cfg: DetectorConfig,
         opts: &TrainOptions,
         seed: u64,
-    ) -> Self {
+    ) -> Result<Self, ShapeError> {
         Self::train_logged(
             benchmark,
             seq_len,
@@ -492,6 +509,11 @@ impl BenchmarkRun {
     /// (steps are 1-based across the whole pipeline). See
     /// [`train_dense_logged`] and [`train_joint_logged`] for the metric
     /// names.
+    ///
+    /// # Errors
+    ///
+    /// [`ShapeError`] when the model and detector parameter shapes do not
+    /// conform.
     #[allow(clippy::too_many_arguments)]
     pub fn train_logged(
         benchmark: Benchmark,
@@ -502,7 +524,7 @@ impl BenchmarkRun {
         opts: &TrainOptions,
         seed: u64,
         sink: &mut MetricsSink,
-    ) -> Self {
+    ) -> Result<Self, ShapeError> {
         let spec = TaskSpec::tiny(benchmark, seq_len, seed);
         let (train, test) = spec.generate_split(train_samples, test_samples);
         let (model, mut dense_params) = build_model(&spec, seed);
@@ -510,16 +532,16 @@ impl BenchmarkRun {
 
         let mut dota_params = dense_params.clone();
         let mut hook = DotaHook::init(detector_cfg, model.config(), &mut dota_params);
-        train_joint_logged(&model, &mut dota_params, &mut hook, &train, opts, sink);
+        train_joint_logged(&model, &mut dota_params, &mut hook, &train, opts, sink)?;
 
-        Self {
+        Ok(Self {
             benchmark,
             model,
             dense_params,
             dota_params,
             hook,
             test,
-        }
+        })
     }
 
     /// Evaluates one method at `retention` on the held-out set.
@@ -617,7 +639,8 @@ mod tests {
                 ..Default::default()
             },
             11,
-        );
+        )
+        .expect("training failed");
         let dense = run.evaluate(Method::Dense, 1.0, 1);
         let dota = run.evaluate(Method::Dota, 0.25, 1);
         assert!(dense.accuracy > 0.7, "dense {dense:?}");

@@ -29,11 +29,13 @@
 
 #![deny(missing_docs)]
 
+pub mod campaign;
 pub mod checkpoint;
 pub mod compress;
 pub mod experiments;
 pub mod presets;
 pub mod report;
 mod system;
+pub mod watchdog;
 
 pub use system::{DotaSystem, EnergyRow, SpeedupRow};

@@ -196,6 +196,27 @@ impl DotaInferenceHook<'_> {
 
 impl InferenceHook for DotaInferenceHook<'_> {
     fn select(&self, layer: usize, head: usize, x: &Matrix) -> Option<Vec<Vec<u32>>> {
+        if dota_faults::enabled() {
+            let coords = [layer as u64, head as u64];
+            let n = x.rows();
+            if dota_faults::should_inject(dota_faults::FaultSite::DetectorSaturate, &coords) {
+                // Saturated threshold comparator: nothing passes detection.
+                // The transformer treats the empty selection as degenerate
+                // and falls back to dense attention for this head.
+                dota_faults::record("faults.detector.saturated", 1);
+                dota_trace::count("faults.detector.saturated", 1);
+                return Some(vec![Vec::new(); n]);
+            }
+            if dota_faults::should_inject(dota_faults::FaultSite::DetectorCorrupt, &coords) {
+                // Corrupted score path: the emitted key IDs are garbage
+                // (high bit stuck), i.e. out of range — again absorbed by
+                // the transformer's dense fallback.
+                dota_faults::record("faults.detector.corrupted", 1);
+                dota_trace::count("faults.detector.corrupted", 1);
+                let bad = (0..n).map(|i| vec![(i + n) as u32]).collect();
+                return Some(bad);
+            }
+        }
         let scores = self.estimated_scores(layer, head, x);
         let sel = LowRankDetector::select_for_layer(&self.hook.cfg, &scores, Some(layer));
         if dota_metrics::hist_enabled() {
@@ -322,6 +343,42 @@ mod tests {
         let fresh_hook = DotaHook::init(DetectorConfig::new(0.25), model.config(), &mut fresh);
         let w0 = fresh.value(fresh_hook.detector(0, 0).wq_tilde());
         assert_ne!(w, w0, "detector weights unchanged by training");
+    }
+
+    #[test]
+    fn saturated_detector_triggers_dense_fallback() {
+        use dota_faults::{FaultPlan, FaultSite};
+        let (model, hook, params) = setup();
+        let ids = vec![1, 2, 3, 4, 5, 6, 7, 0];
+        let dense = model.infer(&params, &ids, &dota_transformer::NoHook);
+        let guard =
+            dota_faults::session(FaultPlan::new(1).with_rate(FaultSite::DetectorSaturate, 1.0));
+        let trace = model.infer(&params, &ids, &hook.inference(&params));
+        // Every head's selection saturated to empty -> dense fallback.
+        assert_eq!(trace.fallback_dense, 4);
+        assert_eq!(trace.retention(), 1.0);
+        assert_eq!(trace.logits, dense.logits);
+        assert_eq!(guard.counter("faults.detector.saturated"), 4);
+        assert_eq!(guard.counter("faults.fallback_dense"), 4);
+    }
+
+    #[test]
+    fn corrupted_detector_triggers_dense_fallback() {
+        use dota_faults::{FaultPlan, FaultSite};
+        let (model, hook, params) = setup();
+        let ids = vec![1, 2, 3, 4, 5, 6, 7, 0];
+        let dense = model.infer(&params, &ids, &dota_transformer::NoHook);
+        let guard =
+            dota_faults::session(FaultPlan::new(1).with_rate(FaultSite::DetectorCorrupt, 1.0));
+        let trace = model.infer(&params, &ids, &hook.inference(&params));
+        assert_eq!(trace.fallback_dense, 4);
+        assert_eq!(trace.logits, dense.logits);
+        assert_eq!(guard.counter("faults.detector.corrupted"), 4);
+        drop(guard);
+        // Session over: the hook selects normally again.
+        let trace = model.infer(&params, &ids, &hook.inference(&params));
+        assert_eq!(trace.fallback_dense, 0);
+        assert!((trace.retention() - 0.25).abs() < 1e-9);
     }
 
     #[test]

@@ -32,14 +32,35 @@ pub const THREADS_ENV: &str = "DOTA_THREADS";
 
 /// The number of worker threads a dispatch may use: `DOTA_THREADS` if set
 /// to a positive integer, otherwise the machine's available parallelism.
+///
+/// A malformed `DOTA_THREADS` falls back to the machine default so hot
+/// library paths never fail; front ends should reject it up front with
+/// [`num_threads_checked`] instead.
 pub fn num_threads() -> usize {
-    if let Ok(v) = std::env::var(THREADS_ENV) {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
-        }
+    num_threads_checked().unwrap_or_else(|_| available())
+}
+
+/// [`num_threads`] that surfaces a malformed `DOTA_THREADS` as an error
+/// instead of silently using the machine default (a typo'd budget would
+/// otherwise invalidate benchmark results without any sign of it).
+///
+/// # Errors
+///
+/// A description of the bad value when `DOTA_THREADS` is set but is not a
+/// positive integer.
+pub fn num_threads_checked() -> Result<usize, String> {
+    match std::env::var(THREADS_ENV) {
+        Err(_) => Ok(available()),
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err(format!(
+                "{THREADS_ENV} must be a positive integer, got `{v}`"
+            )),
+        },
     }
+}
+
+fn available() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
@@ -157,6 +178,29 @@ mod tests {
             None => std::env::remove_var(THREADS_ENV),
         }
         out
+    }
+
+    #[test]
+    fn threads_env_is_validated_by_checked_variant() {
+        // valid value: both variants agree
+        with_threads(Some("3"), || {
+            assert_eq!(num_threads(), 3);
+            assert_eq!(num_threads_checked(), Ok(3));
+        });
+        // unset: both use the machine default
+        with_threads(None, || {
+            assert_eq!(num_threads_checked(), Ok(num_threads()));
+        });
+        // malformed values: checked errors with the variable name, the
+        // silent variant falls back
+        for bad in ["0", "all", "-2", "1.5", ""] {
+            with_threads(Some(bad), || {
+                let err = num_threads_checked().unwrap_err();
+                assert!(err.contains("DOTA_THREADS"), "{err}");
+                assert!(err.contains(bad) || bad.is_empty(), "{err}");
+                assert!(num_threads() >= 1);
+            });
+        }
     }
 
     #[test]

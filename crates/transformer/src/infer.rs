@@ -1,6 +1,37 @@
 use crate::TransformerParams;
 use dota_autograd::ParamSet;
+use dota_faults::FaultSite;
 use dota_tensor::{ops, Matrix};
+use std::fmt;
+
+/// Typed errors from the guarded inference path ([`Model::try_infer`]).
+///
+/// [`Model::try_infer`]: crate::Model::try_infer
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InferError {
+    /// The attention block's input went non-finite (NaN/Inf) at a layer.
+    /// Dense fallback cannot absorb this — garbage operands poison every
+    /// head — so inference stops with a typed error instead of propagating.
+    NonFiniteInput {
+        /// Layer whose input failed the finiteness guard.
+        layer: usize,
+    },
+    /// The output logits contain NaN/Inf.
+    NonFiniteLogits,
+}
+
+impl fmt::Display for InferError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InferError::NonFiniteInput { layer } => {
+                write!(f, "non-finite attention input at layer {layer}")
+            }
+            InferError::NonFiniteLogits => write!(f, "non-finite output logits"),
+        }
+    }
+}
+
+impl std::error::Error for InferError {}
 
 /// Supplies sparse attention selections during inference.
 ///
@@ -65,6 +96,11 @@ pub struct ForwardTrace {
     pub layers: Vec<LayerTrace>,
     /// Output logits (`1 x n_classes` pooled, or `n x n_classes` causal).
     pub logits: Matrix,
+    /// Heads whose detector selection was degenerate (empty, out of range,
+    /// wrong row count) and therefore computed **dense** attention instead
+    /// of propagating garbage. Also recorded in the `faults.fallback_dense`
+    /// counter when a fault/trace session is live.
+    pub fallback_dense: u64,
 }
 
 impl ForwardTrace {
@@ -115,6 +151,47 @@ impl crate::Model {
         ids: &[usize],
         hook: &dyn InferenceHook,
     ) -> ForwardTrace {
+        match self.infer_impl(params, ids, hook, false) {
+            Ok(trace) => trace,
+            // With the strict guards off the impl has no error source.
+            Err(_) => unreachable!("unguarded inference cannot fail"),
+        }
+    }
+
+    /// Guarded variant of [`infer`](crate::Model::infer): checks the
+    /// attention block's input for NaN/Inf at every layer (and the output
+    /// logits at the end) and surfaces a typed [`InferError`] instead of
+    /// silently propagating garbage. Inside a [`dota_faults`] session the
+    /// `attn.input` site can poison an input tile to exercise this path.
+    ///
+    /// Degenerate detector selections fall back to dense attention per
+    /// head on **both** paths; the guards here cover what fallback cannot
+    /// absorb.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InferError`] when a non-finite value is detected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ids` is empty, longer than `seq_len`, or out of
+    /// vocabulary (precondition violations, as with `infer`).
+    pub fn try_infer(
+        &self,
+        params: &ParamSet,
+        ids: &[usize],
+        hook: &dyn InferenceHook,
+    ) -> Result<ForwardTrace, InferError> {
+        self.infer_impl(params, ids, hook, true)
+    }
+
+    fn infer_impl(
+        &self,
+        params: &ParamSet,
+        ids: &[usize],
+        hook: &dyn InferenceHook,
+        strict: bool,
+    ) -> Result<ForwardTrace, InferError> {
         let cfg = self.config();
         let tp: &TransformerParams = self.params();
         let n = ids.len();
@@ -136,7 +213,19 @@ impl crate::Model {
         }
 
         let mut layers = Vec::with_capacity(cfg.n_layers);
+        let mut fallback_dense = 0u64;
         for (l, layer) in tp.layers.iter().enumerate() {
+            if strict {
+                if dota_faults::enabled()
+                    && dota_faults::should_inject(FaultSite::AttnInput, &[l as u64])
+                {
+                    // Poison one element of the attention input tile.
+                    x[(0, 0)] = f32::NAN;
+                }
+                if x.as_slice().iter().any(|v| !v.is_finite()) {
+                    return Err(InferError::NonFiniteInput { layer: l });
+                }
+            }
             let q = x.matmul(params.value(layer.wq)).expect("shape");
             let k = x.matmul(params.value(layer.wk)).expect("shape");
             let v = x.matmul(params.value(layer.wv)).expect("shape");
@@ -146,13 +235,26 @@ impl crate::Model {
             // with the `parallel` feature the heads of a layer fan out over
             // `dota_parallel::par_map` (order-preserving, so the trace and
             // the concatenation order match serial execution exactly).
-            let compute_head = |h: usize| -> (Matrix, HeadTrace) {
+            let compute_head = |h: usize| -> (Matrix, HeadTrace, bool) {
                 let (c0, c1) = (h * hd, (h + 1) * hd);
                 let qh = q.slice_cols(c0, c1);
                 let kh = k.slice_cols(c0, c1);
                 let vh = v.slice_cols(c0, c1);
 
-                let selected = hook.select(l, h, &x);
+                // A degenerate selection (corrupted indices, saturated
+                // detector, wrong shape) would poison the head or panic in
+                // mask construction; this head falls back to full dense
+                // attention instead, and the fallback is counted.
+                let mut fell_back = false;
+                let selected = match hook.select(l, h, &x) {
+                    Some(sel) if selection_degenerate(&sel, n, cfg.causal) => {
+                        fell_back = true;
+                        dota_faults::record("faults.fallback_dense", 1);
+                        dota_trace::count("faults.fallback_dense", 1);
+                        None
+                    }
+                    other => other,
+                };
                 let mask = build_mask(n, cfg.causal, selected.as_deref());
                 // Record the effective selection (after causal intersection).
                 let effective: Option<Vec<Vec<u32>>> = mask.map(|m| {
@@ -208,21 +310,23 @@ impl crate::Model {
                         k: kh,
                         v: vh,
                     },
+                    fell_back,
                 )
             };
             let head_indices: Vec<usize> = (0..cfg.n_heads).collect();
             #[cfg(feature = "parallel")]
-            let results: Vec<(Matrix, HeadTrace)> =
+            let results: Vec<(Matrix, HeadTrace, bool)> =
                 dota_parallel::par_map(&head_indices, |_, &h| compute_head(h));
             #[cfg(not(feature = "parallel"))]
-            let results: Vec<(Matrix, HeadTrace)> =
+            let results: Vec<(Matrix, HeadTrace, bool)> =
                 head_indices.iter().map(|&h| compute_head(h)).collect();
 
             let mut heads = Vec::with_capacity(cfg.n_heads);
             let mut outputs = Vec::with_capacity(cfg.n_heads);
-            for (out, trace) in results {
+            for (out, trace, fell_back) in results {
                 outputs.push(out);
                 heads.push(trace);
+                fallback_dense += u64::from(fell_back);
             }
             let refs: Vec<&Matrix> = outputs.iter().collect();
             let concat = Matrix::hcat(&refs).expect("head widths agree");
@@ -271,7 +375,34 @@ impl crate::Model {
             };
             ops::add_bias(&pooled.matmul(wh).expect("shape"), bh.row(0))
         };
-        ForwardTrace { layers, logits }
+        if strict && logits.as_slice().iter().any(|v| !v.is_finite()) {
+            return Err(InferError::NonFiniteLogits);
+        }
+        Ok(ForwardTrace {
+            layers,
+            logits,
+            fallback_dense,
+        })
+    }
+}
+
+/// Whether a hook selection is unusable for sparse attention: wrong row
+/// count, an out-of-range key index, every row empty, or (non-causal) any
+/// empty row — an empty non-causal row would softmax over nothing. The
+/// causal mask repairs individual empty rows via the surviving diagonal, so
+/// only an entirely empty selection is degenerate there.
+fn selection_degenerate(sel: &[Vec<u32>], n: usize, causal: bool) -> bool {
+    if sel.len() != n {
+        return true;
+    }
+    if sel.iter().any(|row| row.iter().any(|&j| j as usize >= n)) {
+        return true;
+    }
+    let empty_rows = sel.iter().filter(|r| r.is_empty()).count();
+    if causal {
+        empty_rows == n
+    } else {
+        empty_rows > 0
     }
 }
 
@@ -394,6 +525,97 @@ mod tests {
             assert!(row.iter().all(|&j| (j as usize) <= i));
             assert_eq!(row.len(), i + 1);
         }
+    }
+
+    #[test]
+    fn degenerate_selection_falls_back_to_dense() {
+        // Out-of-range key indices (as a corrupted detector would emit)
+        // must not panic or poison the head: the head computes dense
+        // attention and the fallback is visible on the trace.
+        struct OutOfRange;
+        impl InferenceHook for OutOfRange {
+            fn select(&self, _l: usize, _h: usize, x: &Matrix) -> Option<Vec<Vec<u32>>> {
+                let n = x.rows();
+                Some((0..n).map(|i| vec![(i + n) as u32]).collect())
+            }
+        }
+        struct AllEmpty;
+        impl InferenceHook for AllEmpty {
+            fn select(&self, _l: usize, _h: usize, x: &Matrix) -> Option<Vec<Vec<u32>>> {
+                Some(vec![Vec::new(); x.rows()])
+            }
+        }
+        let (model, params) = tiny();
+        let ids = vec![1, 2, 3, 4, 5];
+        let dense = model.infer(&params, &ids, &NoHook);
+        assert_eq!(dense.fallback_dense, 0);
+        for hook in [&OutOfRange as &dyn InferenceHook, &AllEmpty] {
+            let trace = model.infer(&params, &ids, hook);
+            assert_eq!(trace.fallback_dense, 4, "2 layers x 2 heads all fell back");
+            assert_eq!(trace.retention(), 1.0);
+            assert_eq!(trace.logits, dense.logits, "fallback must equal dense");
+        }
+    }
+
+    #[test]
+    fn wrong_row_count_selection_falls_back() {
+        struct ShortSelection;
+        impl InferenceHook for ShortSelection {
+            fn select(&self, _l: usize, _h: usize, _x: &Matrix) -> Option<Vec<Vec<u32>>> {
+                Some(vec![vec![0u32]]) // one row regardless of n
+            }
+        }
+        let (model, params) = tiny();
+        let trace = model.infer(&params, &[1, 2, 3, 4], &ShortSelection);
+        assert_eq!(trace.fallback_dense, 4);
+        assert_eq!(trace.retention(), 1.0);
+    }
+
+    #[test]
+    fn try_infer_matches_infer_when_clean() {
+        let (model, params) = tiny();
+        let ids = vec![1, 4, 2, 7, 3];
+        let a = model.infer(&params, &ids, &NoHook);
+        let b = model.try_infer(&params, &ids, &NoHook).unwrap();
+        assert_eq!(a.logits, b.logits);
+        assert_eq!(a.fallback_dense, b.fallback_dense);
+    }
+
+    #[test]
+    fn try_infer_reports_non_finite_input() {
+        let (model, mut params) = tiny();
+        // Corrupt a weight so layer 0's input is fine but its output (the
+        // next layer's input) goes non-finite.
+        let wq0 = {
+            let tp = model.params();
+            tp.layers[0].w_ff2
+        };
+        params.value_mut(wq0)[(0, 0)] = f32::NAN;
+        let err = model.try_infer(&params, &[1, 2, 3], &NoHook).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                InferError::NonFiniteInput { .. } | InferError::NonFiniteLogits
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn attn_input_fault_surfaces_typed_error() {
+        use dota_faults::{FaultPlan, FaultSite};
+        let (model, params) = tiny();
+        let ids = vec![1, 2, 3, 4];
+        let guard = dota_faults::session(FaultPlan::new(2).with_rate(FaultSite::AttnInput, 1.0));
+        let err = model.try_infer(&params, &ids, &NoHook).unwrap_err();
+        assert_eq!(err, InferError::NonFiniteInput { layer: 0 });
+        assert_eq!(guard.counter("faults.attn.input.injected"), 1);
+        drop(guard);
+        // Unguarded inference is untouched by the site even mid-session.
+        let guard = dota_faults::session(FaultPlan::new(2).with_rate(FaultSite::AttnInput, 1.0));
+        let trace = model.infer(&params, &ids, &NoHook);
+        assert!(trace.logits.as_slice().iter().all(|v| v.is_finite()));
+        drop(guard);
     }
 
     #[test]

@@ -33,6 +33,6 @@ mod params;
 pub use config::{Pooling, TransformerConfig};
 pub use generate::{DecodeSelector, DenseDecode, Generation, KvCache};
 pub use hooks::{AttentionHook, HookOutcome, NoHook};
-pub use infer::{ForwardTrace, HeadTrace, InferenceHook, LayerTrace};
+pub use infer::{ForwardTrace, HeadTrace, InferError, InferenceHook, LayerTrace};
 pub use model::{MaskStat, Model, TrainOutput};
 pub use params::TransformerParams;

@@ -33,7 +33,8 @@ fn main() {
             ..Default::default()
         },
         19,
-    );
+    )
+    .expect("training failed");
 
     println!("{:>8} {:>12} {:>14}", "method", "perplexity", "recall-acc");
     for (name, method, r) in [

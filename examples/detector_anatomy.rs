@@ -66,7 +66,8 @@ fn main() {
                 lr: 0.01,
                 ..Default::default()
             },
-        );
+        )
+        .expect("training failed");
         let rank = hook.config().rank_for_head_dim(model.config().head_dim());
         let r_f32 = recall(&hook.inference_f32(&p), &p);
         println!(

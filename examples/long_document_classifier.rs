@@ -38,7 +38,8 @@ fn main() {
                 ..Default::default()
             },
             5,
-        );
+        )
+        .expect("training failed");
         let dense = run.evaluate(Method::Dense, 1.0, 0).accuracy;
         let dota = run.evaluate(Method::Dota, r, 0).accuracy;
         let oracle = run.evaluate(Method::Oracle, r, 0).accuracy;
@@ -72,7 +73,8 @@ fn main() {
             ..Default::default()
         },
         5,
-    );
+    )
+    .expect("training failed");
     let sample = &run.test.samples()[0];
     let trace = run.model.infer(
         &run.dota_params,

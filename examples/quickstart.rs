@@ -24,7 +24,8 @@ fn main() {
         DetectorConfig::new(retention),
         &TrainOptions::default(),
         42,
-    );
+    )
+    .expect("training failed");
 
     let dense = run.evaluate(Method::Dense, 1.0, 0);
     let dota = run.evaluate(Method::Dota, retention, 0);

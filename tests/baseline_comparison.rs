@@ -104,7 +104,8 @@ fn dota_detection_beats_training_free_baselines() {
             lambda: 1.0,
             ..Default::default()
         },
-    );
+    )
+    .expect("training failed");
 
     let dota = detection_quality(&model, &adapted, ids, &hook.inference_f32(&adapted), k).recall;
     let elsa_hook = ElsaHook::from_model(&model, &params, 32, retention, 3);

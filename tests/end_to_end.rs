@@ -25,7 +25,8 @@ fn text_pipeline_accuracy_and_replay() {
         DetectorConfig::new(retention),
         &small_opts(),
         101,
-    );
+    )
+    .expect("training failed");
 
     // Accuracy: DOTA close to dense, above random.
     let dense = run.evaluate(Method::Dense, 1.0, 1);
@@ -73,7 +74,8 @@ fn qa_pipeline_learns_lookup_task() {
             ..small_opts()
         },
         7,
-    );
+    )
+    .expect("training failed");
     let dense = run.evaluate(Method::Dense, 1.0, 1);
     // 4-way classification: chance is 0.25.
     assert!(dense.accuracy > 0.4, "QA dense accuracy {:?}", dense);
@@ -94,7 +96,8 @@ fn image_pipeline_beats_chance() {
             ..small_opts()
         },
         13,
-    );
+    )
+    .expect("training failed");
     let dense = run.evaluate(Method::Dense, 1.0, 1);
     assert!(dense.accuracy > 0.35, "Image dense accuracy {:?}", dense);
 }
@@ -116,7 +119,8 @@ fn lm_pipeline_reports_finite_perplexity() {
             ..Default::default()
         },
         29,
-    );
+    )
+    .expect("training failed");
     let dense = run.evaluate(Method::Dense, 1.0, 1);
     let dota = run.evaluate(Method::Dota, 0.5, 1);
     let dense_ppl = dense.perplexity.expect("lm reports ppl");

@@ -55,7 +55,8 @@ fn joint_training_improves_detection_recall() {
             lambda: 1.0,
             ..Default::default()
         },
-    );
+    )
+    .expect("training failed");
     let after = recall_of(&model, &adapted, &hook);
     assert!(
         after > before + 0.05,
@@ -90,7 +91,8 @@ fn lambda_controls_estimation_supervision() {
                 lambda,
                 ..Default::default()
             },
-        );
+        )
+        .expect("training failed");
         // Mean squared estimation error on one training sample.
         let ids = &train.samples()[0].ids;
         let xs = dota_detector::metrics::layer_inputs(&model, &p, ids);
@@ -175,7 +177,8 @@ fn adaptation_recovers_omission_loss() {
                 warmup_epochs: 2,
                 ..Default::default()
             },
-        );
+        )
+        .expect("training failed");
         acc[2] += experiments::eval_accuracy(&model, &adapted, &test, &hook.inference(&adapted));
     }
     let [acc_dense, acc_unadapted, acc_adapted] = acc.map(|a| a / SEEDS.len() as f64);

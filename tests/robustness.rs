@@ -1,0 +1,212 @@
+//! Robustness integration tests: crash-resume training, campaign
+//! determinism across thread counts, and CLI fault behavior (typed errors
+//! with nonzero exit, never a panic).
+
+use dota_core::campaign::{run_campaign, CampaignOptions};
+use dota_core::checkpoint;
+use dota_core::experiments::{build_model, TrainOptions};
+use dota_core::watchdog::{train_dense_guarded, WatchdogOptions};
+use dota_faults::FaultSite;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dota_robust_{name}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Interrupting a guarded run after any epoch and resuming from its
+/// crash-safe checkpoint reproduces the uninterrupted run *exactly*
+/// (tolerance 0): every epoch is an independent optimizer episode starting
+/// from a bit-exact parameter state, so the resumed epochs replay the same
+/// arithmetic. This is the documented contract of
+/// `dota_core::watchdog` — any relaxation of it must loosen this test
+/// deliberately.
+#[test]
+fn crash_resume_matches_uninterrupted_run_exactly() {
+    let spec = dota_workloads::TaskSpec::tiny(dota_workloads::Benchmark::Text, 16, 11);
+    let (train, _) = spec.generate_split(12, 2);
+    let opts = TrainOptions {
+        epochs: 4,
+        ..Default::default()
+    };
+
+    // Uninterrupted reference run.
+    let (model, mut full_params) = build_model(&spec, 11);
+    let full = train_dense_guarded(
+        &model,
+        &mut full_params,
+        &train,
+        &opts,
+        &WatchdogOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(full.losses.len(), 4);
+
+    // Same run, "crashed" after epoch 2 — only the checkpoint survives.
+    let dir = scratch_dir("resume");
+    let ckpt = dir.join("guarded.json");
+    let wd = WatchdogOptions {
+        checkpoint_path: Some(ckpt.clone()),
+        ..Default::default()
+    };
+    let (_, mut half_params) = build_model(&spec, 11);
+    let first_half = train_dense_guarded(
+        &model,
+        &mut half_params,
+        &train,
+        &TrainOptions { epochs: 2, ..opts },
+        &wd,
+    )
+    .unwrap();
+    drop(half_params); // the crash: in-memory state is gone
+
+    // Resume from the checkpoint and run the remaining epochs.
+    let mut resumed_params = checkpoint::load_params(&ckpt).unwrap();
+    let second_half = train_dense_guarded(
+        &model,
+        &mut resumed_params,
+        &train,
+        &TrainOptions { epochs: 2, ..opts },
+        &wd,
+    )
+    .unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+
+    let stitched: Vec<f32> = first_half
+        .losses
+        .iter()
+        .chain(second_half.losses.iter())
+        .copied()
+        .collect();
+    assert_eq!(
+        stitched.iter().map(|l| l.to_bits()).collect::<Vec<_>>(),
+        full.losses.iter().map(|l| l.to_bits()).collect::<Vec<_>>(),
+        "resumed losses diverged from the uninterrupted run"
+    );
+    for (a, b) in full_params.ids().zip(resumed_params.ids()) {
+        assert_eq!(full_params.value(a), resumed_params.value(b));
+    }
+}
+
+/// The campaign report is a pure function of the seed: fault decisions
+/// hash `(seed, site, coordinates)` rather than consuming a shared RNG
+/// stream, so the serialized report is byte-identical whatever
+/// `DOTA_THREADS` says (and across serial/`parallel` builds, which CI
+/// pins by diffing artifacts from both).
+#[test]
+fn campaign_report_is_byte_identical_across_thread_counts() {
+    let opts = CampaignOptions {
+        seed: 13,
+        sites: FaultSite::ALL.to_vec(),
+        rates: vec![0.0, 0.05, 1.0],
+        seq_len: 16,
+    };
+    let prev = std::env::var("DOTA_THREADS").ok();
+    std::env::set_var("DOTA_THREADS", "1");
+    let serial = run_campaign(&opts).to_json();
+    std::env::set_var("DOTA_THREADS", "8");
+    let threaded = run_campaign(&opts).to_json();
+    match prev {
+        Some(v) => std::env::set_var("DOTA_THREADS", v),
+        None => std::env::remove_var("DOTA_THREADS"),
+    }
+    assert_eq!(serial, threaded, "campaign report depends on thread count");
+}
+
+/// `dota infer --faults attn.input=1` must surface the injected NaN as a
+/// one-line typed error with a nonzero exit — not a panic, not a zero
+/// exit.
+#[test]
+fn cli_unabsorbable_fault_is_typed_error_with_nonzero_exit() {
+    let out = Command::new(env!("CARGO_BIN_EXE_dota"))
+        .args(["infer", "text", "--faults", "attn.input=1"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "expected nonzero exit");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("error: inference failed"),
+        "stderr was: {stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked"),
+        "fault surfaced as a panic: {stderr}"
+    );
+}
+
+/// The same command with an absorbable fault (detector corruption) must
+/// succeed, falling back to dense attention and reporting the counters.
+#[test]
+fn cli_absorbable_fault_degrades_and_exits_zero() {
+    let out = Command::new(env!("CARGO_BIN_EXE_dota"))
+        .args(["infer", "text", "--faults", "detector.corrupt=1"])
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "stderr was: {stderr}");
+    assert!(
+        stderr.contains("fell back to dense") && stderr.contains("faults.fallback_dense"),
+        "stderr was: {stderr}"
+    );
+}
+
+/// `dota faults --out` writes a report that `dota report diff` accepts and
+/// finds identical to a rerun with the same seed.
+#[test]
+fn cli_campaign_report_roundtrips_through_report_diff() {
+    let dir = scratch_dir("campaign");
+    let a = dir.join("a.json");
+    let b = dir.join("b.json");
+    for path in [&a, &b] {
+        let out = Command::new(env!("CARGO_BIN_EXE_dota"))
+            .args([
+                "faults",
+                "--seed",
+                "3",
+                "--sites",
+                "sram.bitflip,detector.corrupt",
+                "--rates",
+                "0,1",
+                "--out",
+                &path.display().to_string(),
+            ])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    assert_eq!(
+        std::fs::read(&a).unwrap(),
+        std::fs::read(&b).unwrap(),
+        "same-seed campaign reports differ"
+    );
+    let out = Command::new(env!("CARGO_BIN_EXE_dota"))
+        .args(["report", "diff"])
+        .args([a.display().to_string(), b.display().to_string()])
+        .output()
+        .unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(
+        out.status.success(),
+        "report diff rejected the campaign report: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+/// Malformed environment is rejected up front with a clear message.
+#[test]
+fn cli_rejects_malformed_dota_threads() {
+    let out = Command::new(env!("CARGO_BIN_EXE_dota"))
+        .args(["table2"])
+        .env("DOTA_THREADS", "many")
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("DOTA_THREADS"), "stderr was: {stderr}");
+}
