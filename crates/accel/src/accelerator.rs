@@ -332,6 +332,7 @@ impl Accelerator {
         profile: &SelectionProfile,
         faults: bool,
     ) -> Result<PerfReport, SimFault> {
+        let _prof = dota_prof::span("accel.simulate_shape");
         assert!(
             retention > 0.0 && retention <= 1.0,
             "retention {retention} out of range"
@@ -450,6 +451,7 @@ impl Accelerator {
         trace: &ForwardTrace,
         faults: bool,
     ) -> Result<PerfReport, SimFault> {
+        let _prof = dota_prof::span("accel.simulate_trace");
         let exec = self.degraded(faults)?;
         let mut total = PerfReport::default();
         let n = trace.layers[0].heads[0].q.rows();

@@ -62,6 +62,7 @@ pub fn simulate_decode(
     retention: f64,
     sigma: f64,
 ) -> DecodeReport {
+    let _prof = dota_prof::span("accel.simulate_decode");
     assert!(
         retention > 0.0 && retention <= 1.0,
         "retention {retention} out of range"

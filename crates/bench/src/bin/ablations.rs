@@ -31,8 +31,7 @@ struct Results {
 
 fn main() {
     // Honours --trace/--counters/--hists (or the DOTA_* env vars); no-op otherwise.
-    let _obs = dota_bench::Observability::from_env("ablations");
-    let _manifest = dota_bench::run_manifest("ablations");
+    let _obs = dota_bench::obs_init("ablations");
     let mut results = Results::default();
 
     // --- 1. Workload balance constraint (§4.3, "proved in 5.2"). ---

@@ -46,6 +46,18 @@ impl TimingSummary {
     }
 }
 
+/// Heap traffic of one timed kernel, from `dota-prof`'s counting
+/// allocator. All zeros unless built with `--features prof-alloc`.
+#[derive(Serialize)]
+struct AllocSummary {
+    /// Bytes allocated per repetition (mean across the timed reps).
+    alloc_mb_per_rep: f64,
+    /// High-water mark of live heap bytes during the reps.
+    peak_mb: f64,
+}
+
+const MB: f64 = 1024.0 * 1024.0;
+
 #[derive(Serialize)]
 struct GemmRow {
     size: usize,
@@ -58,6 +70,8 @@ struct GemmRow {
     /// Thread pool vs `DOTA_THREADS=1` on p50; ~1.0 without the
     /// `parallel` feature or on a single-core host.
     pool_speedup: f64,
+    /// Heap traffic of the serial optimized kernel.
+    optimized_alloc: AllocSummary,
 }
 
 #[derive(Serialize)]
@@ -69,6 +83,8 @@ struct AttnRow {
     dota: TimingSummary,
     /// Dense vs DOTA-sparse on median (p50) wall-clock.
     speedup: f64,
+    /// Heap traffic of the DOTA-sparse kernel.
+    dota_alloc: AllocSummary,
 }
 
 #[derive(Serialize)]
@@ -82,6 +98,7 @@ struct Report {
     parallel_feature: bool,
     pool_threads: usize,
     host_note: &'static str,
+    alloc_note: &'static str,
     gemm: Vec<GemmRow>,
     attention: Vec<AttnRow>,
     /// Deterministic hardware-counter snapshots (see `dota-trace`): the
@@ -91,8 +108,12 @@ struct Report {
 }
 
 /// Wall-clock milliseconds of `reps` runs, as a streaming histogram the
-/// report summarizes into p50/p95/p99 (instead of a single best-of mean).
-fn time_hist<R>(reps: usize, mut f: impl FnMut() -> R) -> Histogram {
+/// report summarizes into p50/p95/p99 (instead of a single best-of mean),
+/// plus the heap traffic of the reps (requires an open `dota-prof`
+/// session and the `prof-alloc` feature to be nonzero).
+fn time_hist<R>(reps: usize, mut f: impl FnMut() -> R) -> (Histogram, AllocSummary) {
+    let before = dota_prof::alloc_stats();
+    dota_prof::reset_peak();
     let mut h = Histogram::new();
     for _ in 0..reps {
         let t = Instant::now();
@@ -100,7 +121,14 @@ fn time_hist<R>(reps: usize, mut f: impl FnMut() -> R) -> Histogram {
         h.record(t.elapsed().as_secs_f64() * 1e3);
         std::hint::black_box(out);
     }
-    h
+    let after = dota_prof::alloc_stats();
+    let alloc = AllocSummary {
+        alloc_mb_per_rep: after.allocated_bytes.saturating_sub(before.allocated_bytes) as f64
+            / reps.max(1) as f64
+            / MB,
+        peak_mb: after.peak_bytes as f64 / MB,
+    };
+    (h, alloc)
 }
 
 fn with_one_thread<R>(f: impl FnOnce() -> R) -> R {
@@ -123,9 +151,10 @@ fn gemm_rows() -> Vec<GemmRow> {
         // Naive cost grows as size^3; a couple of repetitions suffice for
         // a stable median at the large sizes.
         let (opt_reps, naive_reps) = if size >= 1024 { (3, 2) } else { (7, 3) };
-        let naive = time_hist(naive_reps, || reference::matmul(&a, &b));
-        let serial = with_one_thread(|| time_hist(opt_reps, || a.matmul(&b).expect("shape")));
-        let pool = time_hist(opt_reps, || a.matmul(&b).expect("shape"));
+        let (naive, _) = time_hist(naive_reps, || reference::matmul(&a, &b));
+        let (serial, serial_alloc) =
+            with_one_thread(|| time_hist(opt_reps, || a.matmul(&b).expect("shape")));
+        let (pool, _) = time_hist(opt_reps, || a.matmul(&b).expect("shape"));
         let p50 = |h: &Histogram| h.quantile(0.5).unwrap_or(f64::NAN);
         let row = GemmRow {
             size,
@@ -134,6 +163,7 @@ fn gemm_rows() -> Vec<GemmRow> {
             naive: TimingSummary::from_hist(&naive),
             optimized_serial: TimingSummary::from_hist(&serial),
             optimized_pool: TimingSummary::from_hist(&pool),
+            optimized_alloc: serial_alloc,
         };
         println!(
             "{:>5}  naive p50 {:>9.2} ms  serial p50 {:>8.2} ms (p99 {:>8.2})  pool p50 {:>8.2} ms  {:>5.1}x vs naive  {:>4.2}x pool",
@@ -162,11 +192,12 @@ fn attention_rows() -> Vec<AttnRow> {
         let kept = ((retention * n as f64).round() as usize).clamp(1, n);
         let sel_row: Vec<u32> = (0..kept).map(|j| (j * n / kept) as u32).collect();
         let selected = vec![sel_row; n];
-        let dense = time_hist(3, || {
+        let (dense, _) = time_hist(3, || {
             let scores = q.matmul_nt(&k).expect("shape").scale(scale);
             ops::softmax_rows(&scores).matmul(&v).expect("shape")
         });
-        let dota = time_hist(3, || ops::sparse_attention(&q, &k, &v, &selected, scale));
+        let (dota, dota_alloc) =
+            time_hist(3, || ops::sparse_attention(&q, &k, &v, &selected, scale));
         let p50 = |h: &Histogram| h.quantile(0.5).unwrap_or(f64::NAN);
         let row = AttnRow {
             benchmark: b.name().to_owned(),
@@ -175,6 +206,7 @@ fn attention_rows() -> Vec<AttnRow> {
             speedup: p50(&dense) / p50(&dota).max(1e-9),
             dense: TimingSummary::from_hist(&dense),
             dota: TimingSummary::from_hist(&dota),
+            dota_alloc,
         };
         println!(
             "{:>10}  n {:>5}  dense p50 {:>9.2} ms  DOTA p50 {:>8.2} ms (p99 {:>8.2})  {:>5.1}x",
@@ -193,8 +225,12 @@ fn attention_rows() -> Vec<AttnRow> {
 fn main() {
     // No `Observability` here: `counter_scenarios` opens its own exclusive
     // trace sessions, which would deadlock against an outer one. The
-    // provenance manifest is still written.
+    // provenance manifest is still written. The profiler gate is
+    // independent of the trace gate, so a prof session is safe — it feeds
+    // the allocation columns and, when `--profile`/`DOTA_PROF` is set, the
+    // profile files written at the end.
     let _manifest = dota_bench::run_manifest("bench_report");
+    let prof = dota_prof::session("bench_report");
     println!(
         "Kernel report (parallel feature: {}, pool threads: {})\n",
         cfg!(feature = "parallel"),
@@ -233,6 +269,7 @@ fn main() {
         parallel_feature: cfg!(feature = "parallel"),
         pool_threads: dota_parallel::num_threads(),
         host_note: "pool_speedup is host-dependent; ~1.0 on single-core runners",
+        alloc_note: "allocation columns need --features prof-alloc; zeros otherwise",
         gemm,
         attention,
         counters,
@@ -244,4 +281,12 @@ fn main() {
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
     std::fs::write(&path, json).expect("write BENCH_kernels.json");
     println!("\n[report written to {}]", path.display());
+
+    if let Some(dir) = dota_bench::profile_request() {
+        std::fs::create_dir_all(&dir).expect("create profile dir");
+        prof.write_folded(&dir.join("profile.folded"))
+            .and_then(|()| prof.write_profile(&dir.join("profile.json")))
+            .expect("write profile");
+        eprintln!("[profile written to {}]", dir.display());
+    }
 }

@@ -53,10 +53,38 @@ fn baseline_path() -> std::path::PathBuf {
     p
 }
 
-/// Prints every difference between the committed and current counters.
-/// Returns the number of differences.
+/// One drifted counter, for the mismatch table.
+struct DiffRow {
+    scenario: String,
+    key: String,
+    expected: Option<u64>,
+    actual: Option<u64>,
+}
+
+impl DiffRow {
+    /// Signed relative error of `actual` vs `expected`, rendered as a
+    /// percentage; "n/a" when either side is absent or the baseline is 0.
+    fn rel_error(&self) -> String {
+        match (self.expected, self.actual) {
+            (Some(e), Some(a)) if e != 0 => {
+                let rel = (a as f64 - e as f64) / e as f64;
+                format!("{:+.4}%", rel * 100.0)
+            }
+            _ => "n/a".to_owned(),
+        }
+    }
+}
+
+fn fmt_opt(v: Option<u64>) -> String {
+    v.map_or_else(|| "<absent>".to_owned(), |v| v.to_string())
+}
+
+/// Prints every difference between the committed and current counters as
+/// an aligned table (scenario, counter, expected, actual, relative
+/// error). Returns the number of differences.
 fn diff(committed: &Baseline, now: &Baseline) -> usize {
-    let mut diffs = 0;
+    let mut rows: Vec<DiffRow> = Vec::new();
+    let mut structural = 0usize;
     let committed_by_name: BTreeMap<&str, &Scenario> = committed
         .scenarios
         .iter()
@@ -65,7 +93,7 @@ fn diff(committed: &Baseline, now: &Baseline) -> usize {
     for cur in &now.scenarios {
         let Some(base) = committed_by_name.get(cur.scenario.as_str()) else {
             println!("  {}: missing from committed baseline", cur.scenario);
-            diffs += 1;
+            structural += 1;
             continue;
         };
         let keys: std::collections::BTreeSet<&String> =
@@ -73,28 +101,69 @@ fn diff(committed: &Baseline, now: &Baseline) -> usize {
         for key in keys {
             let (b, c) = (base.counters.get(key), cur.counters.get(key));
             if b != c {
-                let fmt = |v: Option<&u64>| v.map_or_else(|| "<absent>".to_owned(), u64::to_string);
-                println!(
-                    "  {}/{key}: baseline {} vs current {}",
-                    cur.scenario,
-                    fmt(b),
-                    fmt(c)
-                );
-                diffs += 1;
+                rows.push(DiffRow {
+                    scenario: cur.scenario.clone(),
+                    key: key.clone(),
+                    expected: b.copied(),
+                    actual: c.copied(),
+                });
             }
         }
     }
     for base in &committed.scenarios {
         if !now.scenarios.iter().any(|s| s.scenario == base.scenario) {
             println!("  {}: no longer produced", base.scenario);
-            diffs += 1;
+            structural += 1;
         }
     }
-    diffs
+    if !rows.is_empty() {
+        let mut widths = [
+            "scenario".len(),
+            "counter".len(),
+            "expected".len(),
+            "actual".len(),
+        ];
+        for r in &rows {
+            widths[0] = widths[0].max(r.scenario.len());
+            widths[1] = widths[1].max(r.key.len());
+            widths[2] = widths[2].max(fmt_opt(r.expected).len());
+            widths[3] = widths[3].max(fmt_opt(r.actual).len());
+        }
+        println!(
+            "  {:<w0$}  {:<w1$}  {:>w2$}  {:>w3$}  {:>10}",
+            "scenario",
+            "counter",
+            "expected",
+            "actual",
+            "rel error",
+            w0 = widths[0],
+            w1 = widths[1],
+            w2 = widths[2],
+            w3 = widths[3],
+        );
+        for r in &rows {
+            println!(
+                "  {:<w0$}  {:<w1$}  {:>w2$}  {:>w3$}  {:>10}",
+                r.scenario,
+                r.key,
+                fmt_opt(r.expected),
+                fmt_opt(r.actual),
+                r.rel_error(),
+                w0 = widths[0],
+                w1 = widths[1],
+                w2 = widths[2],
+                w3 = widths[3],
+            );
+        }
+    }
+    rows.len() + structural
 }
 
 fn main() {
     let check = std::env::args().any(|a| a == "--check");
+    // Profiler gate is independent of the trace gate, so the scenarios'
+    // internal trace sessions coexist with `--profile`/`DOTA_PROF` here.
+    let _prof = dota_bench::Observability::profile_only("counters_baseline");
     let now = current();
     let path = baseline_path();
 

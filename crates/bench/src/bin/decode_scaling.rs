@@ -20,8 +20,7 @@ struct Row {
 
 fn main() {
     // Honours --trace/--counters (or DOTA_TRACE/DOTA_COUNTERS); no-op otherwise.
-    let _obs = dota_bench::Observability::from_env("decode_scaling");
-    let _manifest = dota_bench::run_manifest("decode_scaling");
+    let _obs = dota_bench::obs_init("decode_scaling");
     let cfg = AccelConfig::default();
     let model = TransformerConfig::gpt2(16_384);
     let gen = 32;

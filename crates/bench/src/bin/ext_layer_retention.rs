@@ -24,8 +24,7 @@ struct Row {
 
 fn main() {
     // Honours --trace/--counters/--hists (or the DOTA_* env vars); no-op otherwise.
-    let _obs = dota_bench::Observability::from_env("ext_layer_retention");
-    let _manifest = dota_bench::run_manifest("ext_layer_retention");
+    let _obs = dota_bench::obs_init("ext_layer_retention");
     let mean_retention = 0.25;
     let schedules: Vec<(&str, Vec<f64>)> = vec![
         ("uniform", vec![0.25, 0.25]),

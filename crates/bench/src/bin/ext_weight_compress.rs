@@ -32,8 +32,7 @@ struct Results {
 
 fn main() {
     // Honours --trace/--counters/--hists (or the DOTA_* env vars); no-op otherwise.
-    let _obs = dota_bench::Observability::from_env("ext_weight_compress");
-    let _manifest = dota_bench::run_manifest("ext_weight_compress");
+    let _obs = dota_bench::obs_init("ext_weight_compress");
     // --- Part 1: accuracy of the transplants. ---
     // QA's lookup structure is sensitive enough to expose the accuracy
     // cliff of over-aggressive compression (Text saturates at 100%).

@@ -16,8 +16,7 @@ struct Row {
 
 fn main() {
     // Honours --trace/--counters/--hists (or the DOTA_* env vars); no-op otherwise.
-    let _obs = dota_bench::Observability::from_env("fig03_flops");
-    let _manifest = dota_bench::run_manifest("fig03_flops");
+    let _obs = dota_bench::obs_init("fig03_flops");
     let cfg = TransformerConfig::bert_large(16_384);
     let seq_lens = [384usize, 512, 1024, 2048, 4096, 8192, 16_384];
     let rows: Vec<Row> = flops::fig3_sweep(&cfg, &seq_lens)

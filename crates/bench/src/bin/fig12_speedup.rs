@@ -14,8 +14,7 @@ fn geomean(xs: &[f64]) -> f64 {
 
 fn main() {
     // Honours --trace/--counters (or DOTA_TRACE/DOTA_COUNTERS); no-op otherwise.
-    let _obs = dota_bench::Observability::from_env("fig12_speedup");
-    let _manifest = dota_bench::run_manifest("fig12_speedup");
+    let _obs = dota_bench::obs_init("fig12_speedup");
     let system = DotaSystem::paper_default();
 
     // One sweep over the full benchmark x operating-point grid; the 12a/12b

@@ -8,8 +8,7 @@ use dota_workloads::Benchmark;
 
 fn main() {
     // Honours --trace/--counters (or DOTA_TRACE/DOTA_COUNTERS); no-op otherwise.
-    let _obs = dota_bench::Observability::from_env("fig13_energy");
-    let _manifest = dota_bench::run_manifest("fig13_energy");
+    let _obs = dota_bench::obs_init("fig13_energy");
     let system = DotaSystem::paper_default();
 
     let grid: Vec<(Benchmark, OperatingPoint)> = Benchmark::ALL

@@ -33,8 +33,7 @@ struct Results {
 
 fn main() {
     // Honours --trace/--counters/--hists (or the DOTA_* env vars); no-op otherwise.
-    let _obs = dota_bench::Observability::from_env("fig14_dse");
-    let _manifest = dota_bench::run_manifest("fig14_dse");
+    let _obs = dota_bench::obs_init("fig14_dse");
     let retention = 0.25; // fixed, like the paper's 10% at full scale
     let spec = TaskSpec::tiny(Benchmark::Text, 32, 99);
     let (train, test) = spec.generate_split(150, 100);

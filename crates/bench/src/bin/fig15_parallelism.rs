@@ -24,8 +24,7 @@ struct Row {
 
 fn main() {
     // Honours --trace/--counters (or DOTA_TRACE/DOTA_COUNTERS); no-op otherwise.
-    let _obs = dota_bench::Observability::from_env("fig15_parallelism");
-    let _manifest = dota_bench::run_manifest("fig15_parallelism");
+    let _obs = dota_bench::obs_init("fig15_parallelism");
     // Header: the paper's worked examples.
     let fig8 = vec![vec![1u32, 2], vec![0, 1, 4], vec![1, 2], vec![0, 2, 4]];
     let fig9 = vec![

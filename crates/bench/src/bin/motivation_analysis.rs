@@ -30,8 +30,7 @@ struct Row {
 
 fn main() {
     // Honours --trace/--counters/--hists (or the DOTA_* env vars); no-op otherwise.
-    let _obs = dota_bench::Observability::from_env("motivation_analysis");
-    let _manifest = dota_bench::run_manifest("motivation_analysis");
+    let _obs = dota_bench::obs_init("motivation_analysis");
     let spec = TaskSpec::tiny(Benchmark::Qa, 24, 2024);
     let (train, test) = spec.generate_split(500, 20);
     let (model, mut params) = experiments::build_model(&spec, 2024);

@@ -24,8 +24,7 @@ struct Row {
 
 fn main() {
     // Honours --trace/--counters/--hists (or the DOTA_* env vars); no-op otherwise.
-    let _obs = dota_bench::Observability::from_env("table1_retention");
-    let _manifest = dota_bench::run_manifest("table1_retention");
+    let _obs = dota_bench::obs_init("table1_retention");
     let spec = TaskSpec::tiny(Benchmark::Qa, 24, 1234);
     let (train, test) = spec.generate_split(600, 200);
     let (model, mut params) = experiments::build_model(&spec, 1234);

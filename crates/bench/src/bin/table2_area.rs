@@ -15,8 +15,7 @@ struct Row {
 
 fn main() {
     // Honours --trace/--counters/--hists (or the DOTA_* env vars); no-op otherwise.
-    let _obs = dota_bench::Observability::from_env("table2_area");
-    let _manifest = dota_bench::run_manifest("table2_area");
+    let _obs = dota_bench::obs_init("table2_area");
     println!("Table 2: DOTA configuration, power and area (22nm, 1 GHz)\n");
     println!(
         "{:<18} {:<34} {:>10} {:>10}",

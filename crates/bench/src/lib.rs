@@ -56,58 +56,101 @@ where
 }
 
 /// Observability binding for a figure binary: honours `--trace <path>` /
-/// `--counters <path>` / `--hists <path>` CLI flags (or the `DOTA_TRACE` /
-/// `DOTA_COUNTERS` / `DOTA_HISTS` environment variables), opening an
-/// exclusive [`dota_trace`] session (and, for `--hists`, a
-/// [`dota_metrics`] histogram session) when requested and writing the
+/// `--counters <path>` / `--hists <path>` / `--profile <dir>` CLI flags
+/// (or the `DOTA_TRACE` / `DOTA_COUNTERS` / `DOTA_HISTS` / `DOTA_PROF`
+/// environment variables), opening an exclusive [`dota_trace`] session
+/// (and, for `--hists`, a [`dota_metrics`] histogram session; for
+/// `--profile`, a [`dota_prof`] session) when requested and writing the
 /// files when dropped.
 ///
 /// Hold the returned value for the whole `main`; when neither flag nor
 /// variable is set this is a no-op and tracing stays disabled. Binaries
 /// that open their own internal `dota_trace` sessions (e.g. the counter
-/// scenarios) must **not** also hold an `Observability` — sessions are
-/// exclusive and the inner `session()` call would deadlock.
+/// scenarios) must **not** also hold a trace-session `Observability` —
+/// sessions are exclusive and the inner `session()` call would deadlock.
+/// Profiling sessions live on an independent gate, so those binaries can
+/// still use [`Observability::profile_only`].
 pub struct Observability {
     guard: Option<dota_trace::TraceGuard>,
     hist_guard: Option<dota_metrics::HistGuard>,
+    prof_guard: Option<dota_prof::ProfGuard>,
     trace: Option<PathBuf>,
     counters: Option<PathBuf>,
     hists: Option<PathBuf>,
+    profile: Option<PathBuf>,
+}
+
+/// The `--profile` flag or `DOTA_PROF` variable, if set. Public for
+/// binaries that manage their own [`dota_prof`] session (e.g.
+/// `bench_report`, which profiles unconditionally for its allocation
+/// columns) and only need to know where to write the files.
+pub fn profile_request() -> Option<PathBuf> {
+    env_or_flag("--profile", "DOTA_PROF")
+}
+
+/// A CLI `--flag value` pair, falling back to an environment variable.
+fn env_or_flag(flag_name: &str, var: &str) -> Option<PathBuf> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag_name)
+        .and_then(|i| args.get(i + 1).cloned())
+        .or_else(|| std::env::var(var).ok())
+        .map(PathBuf::from)
 }
 
 impl Observability {
     /// Reads the flags/environment and, if observability was requested,
     /// starts a trace session labelled `label`.
     pub fn from_env(label: &str) -> Self {
-        let args: Vec<String> = std::env::args().collect();
-        let flag = |name: &str| -> Option<String> {
-            args.iter()
-                .position(|a| a == name)
-                .and_then(|i| args.get(i + 1).cloned())
-        };
-        let trace = flag("--trace")
-            .or_else(|| std::env::var("DOTA_TRACE").ok())
-            .map(PathBuf::from);
-        let counters = flag("--counters")
-            .or_else(|| std::env::var("DOTA_COUNTERS").ok())
-            .map(PathBuf::from);
-        let hists = flag("--hists")
-            .or_else(|| std::env::var("DOTA_HISTS").ok())
-            .map(PathBuf::from);
+        let trace = env_or_flag("--trace", "DOTA_TRACE");
+        let counters = env_or_flag("--counters", "DOTA_COUNTERS");
+        let hists = env_or_flag("--hists", "DOTA_HISTS");
+        let profile = profile_request();
         let guard = (trace.is_some() || counters.is_some()).then(|| dota_trace::session(label));
         let hist_guard = hists.is_some().then(|| dota_metrics::hist_session(label));
+        let prof_guard = profile.is_some().then(|| dota_prof::session(label));
         Self {
             guard,
             hist_guard,
+            prof_guard,
             trace,
             counters,
             hists,
+            profile,
+        }
+    }
+
+    /// Profiling-only binding for binaries that run their own exclusive
+    /// trace sessions internally ([`counter_scenarios`]) and therefore
+    /// must not hold a trace-session `Observability`. Honours only
+    /// `--profile` / `DOTA_PROF` — the profiling gate is independent of
+    /// the trace gate, so the internal sessions still open fine.
+    pub fn profile_only(label: &str) -> Self {
+        let profile = profile_request();
+        let prof_guard = profile.is_some().then(|| dota_prof::session(label));
+        Self {
+            guard: None,
+            hist_guard: None,
+            prof_guard,
+            trace: None,
+            counters: None,
+            hists: None,
+            profile,
         }
     }
 }
 
 impl Drop for Observability {
     fn drop(&mut self) {
+        if let (Some(guard), Some(dir)) = (self.prof_guard.take(), &self.profile) {
+            let write = std::fs::create_dir_all(dir)
+                .and_then(|()| guard.write_folded(&dir.join("profile.folded")))
+                .and_then(|()| guard.write_profile(&dir.join("profile.json")));
+            match write {
+                Ok(()) => eprintln!("[profile written to {}]", dir.display()),
+                Err(e) => eprintln!("[profile write to {} failed: {e}]", dir.display()),
+            }
+        }
         if let (Some(guard), Some(p)) = (self.hist_guard.take(), &self.hists) {
             match guard.write_summary(p) {
                 Ok(()) => eprintln!("[histograms written to {}]", p.display()),
@@ -129,6 +172,50 @@ impl Drop for Observability {
                 Err(e) => eprintln!("[counters write to {} failed: {e}]", p.display()),
             }
         }
+    }
+}
+
+/// Combined observability + provenance initialization for a figure binary:
+/// one call replaces the copy-pasted
+/// `Observability::from_env` + `run_manifest` pair. Hold the returned
+/// value for the whole `main`:
+///
+/// ```no_run
+/// let mut obs = dota_bench::obs_init("fig03_flops");
+/// obs.seed(7);
+/// // ... the run ...
+/// ```
+///
+/// Binaries that open internal trace sessions must keep using
+/// [`run_manifest`] (plus [`Observability::profile_only`]) instead.
+pub struct ObsInit {
+    // Field order is load-bearing: fields drop in declaration order, so
+    // the manifest finalizes first — capturing the counter snapshot while
+    // the trace session is still live — and the Observability writes its
+    // files after.
+    manifest: ManifestGuard,
+    _obs: Observability,
+}
+
+/// Starts sessions (from flags/environment) and the provenance manifest
+/// for one bench binary — see [`ObsInit`].
+pub fn obs_init(label: &str) -> ObsInit {
+    let obs = Observability::from_env(label);
+    ObsInit {
+        manifest: run_manifest(label),
+        _obs: obs,
+    }
+}
+
+impl ObsInit {
+    /// Records the run's top-level RNG seed in the manifest.
+    pub fn seed(&mut self, seed: u64) {
+        self.manifest.seed(seed);
+    }
+
+    /// Records one manifest configuration knob.
+    pub fn config(&mut self, key: &str, value: impl ToString) {
+        self.manifest.config(key, value);
     }
 }
 

@@ -8,20 +8,24 @@
 //! dota decode --context N --tokens T  # decoder-mode analysis
 //! dota train BENCH [--retention R] [--seq N]   # tiny-model accuracy run
 //! dota infer BENCH [--retention R] [--seq N]   # one traced inference
+//! dota analyze BENCH [--out FILE]              # cycle-vs-time bottleneck report
 //! dota faults --seed S --rates 0,0.05,1       # fault-injection campaign
 //! ```
 //!
 //! Every command accepts the global observability flags `--trace <path>`
-//! (Chrome-trace JSON, open in `chrome://tracing` or Perfetto) and
-//! `--counters <path>` (flat hardware-counter JSON), plus
-//! `--faults site=rate[,...]` / `--fault-seed S` to run under
-//! deterministic fault injection (see the README's Robustness section).
+//! (Chrome-trace JSON, open in `chrome://tracing` or Perfetto),
+//! `--counters <path>` (flat hardware-counter JSON) and `--profile <dir>`
+//! (host wall-clock/allocation profile: flamegraph-ready collapsed stacks
+//! plus profile JSON), plus `--faults site=rate[,...]` / `--fault-seed S`
+//! to run under deterministic fault injection (see the README's
+//! Robustness section).
 //!
 //! Build/run: `cargo run --release -p dota-core --bin dota -- <command>`.
 
 use dota_accel::decode::simulate_decode;
 use dota_accel::synth::SelectionProfile;
 use dota_accel::{energy, AccelConfig, Accelerator};
+use dota_core::analyze;
 use dota_core::campaign;
 use dota_core::experiments::{self, BenchmarkRun, Method, TrainOptions};
 use dota_core::presets::{self, OperatingPoint};
@@ -57,6 +61,13 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let profile_dir = match take_flag(&mut args, "--profile") {
+        Ok(p) => p.or_else(|| env_path("DOTA_PROF")),
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let Some(command) = args.first().cloned() else {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
@@ -69,6 +80,9 @@ fn main() -> ExitCode {
     let hist_session = hists_path
         .is_some()
         .then(|| dota_metrics::hist_session(&command));
+    // And one profiling session for host wall-clock/allocation spans
+    // (`dota analyze` opens its own when this one is absent).
+    let prof_session = profile_dir.is_some().then(|| dota_prof::session(&command));
     // A fault session makes any command run under deterministic injection
     // (`dota faults` manages its own sessions instead).
     let fault_session = match fault_session(&command, fault_spec, fault_seed) {
@@ -87,6 +101,7 @@ fn main() -> ExitCode {
         "decode" => cmd_decode(rest),
         "train" => cmd_train(rest),
         "infer" => cmd_infer(rest),
+        "analyze" => cmd_analyze(rest),
         "report" => cmd_report(rest),
         "faults" => cmd_faults(rest),
         "help" | "--help" | "-h" => {
@@ -108,6 +123,16 @@ fn main() -> ExitCode {
     }
     drop(fault_session);
     let result = result.and_then(|()| {
+        if let (Some(prof), Some(dir)) = (&prof_session, &profile_dir) {
+            let dir = std::path::Path::new(dir);
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("creating profile dir {}: {e}", dir.display()))?;
+            prof.write_folded(&dir.join("profile.folded"))
+                .map_err(|e| format!("writing profile.folded: {e}"))?;
+            prof.write_profile(&dir.join("profile.json"))
+                .map_err(|e| format!("writing profile.json: {e}"))?;
+            eprintln!("[profile written to {}]", dir.display());
+        }
         if let (Some(hists), Some(p)) = (&hist_session, &hists_path) {
             hists
                 .write_summary(std::path::Path::new(p))
@@ -154,7 +179,7 @@ fn validate_env() -> Result<(), String> {
             }
         }
     }
-    for name in ["DOTA_TRACE", "DOTA_COUNTERS", "DOTA_HISTS"] {
+    for name in ["DOTA_TRACE", "DOTA_COUNTERS", "DOTA_HISTS", "DOTA_PROF"] {
         if let Ok(v) = std::env::var(name) {
             if v.trim().is_empty() {
                 return Err(format!(
@@ -315,6 +340,16 @@ commands:
                                   run one detector-filtered inference on a
                                   tiny preset and replay it on the
                                   simulator (pairs well with --trace)
+  analyze BENCH [--retention R] [--seq N] [--seed S] [--top N] [--out FILE]
+                                  run an instrumented inference and join
+                                  host wall-clock/allocation profiles with
+                                  the simulated counters into a bottleneck
+                                  report: per-stage cycles and utilization,
+                                  roofline classification, Amdahl
+                                  attribution, top-N host hotspots; the
+                                  JSON isolates volatile host data under
+                                  \"host\" so two reports diff clean via
+                                  `report diff` across machines/threads
   report diff A B [--tol T] [--ignore K1,K2]
                                   compare two runs (result files or run
                                   directories) value-by-value at relative
@@ -333,6 +368,9 @@ global options (any command):
   --counters FILE                 write the hardware-counter totals as JSON
   --hists FILE                    write attention/detector score histogram
                                   summaries (p50/p95/p99) as JSON
+  --profile DIR                   profile host wall-clock/allocations and
+                                  write DIR/profile.folded (flamegraph
+                                  collapsed stacks) + DIR/profile.json
   --faults SITE=RATE[,...]        run the command under deterministic
                                   fault injection (sites: sram.bitflip,
                                   dram.read, lane.stuck, detector.corrupt,
@@ -711,6 +749,53 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// One detector-filtered inference on a tiny preset, replayed on the
+/// simulator. Shared by `dota infer` and `dota analyze`; the build,
+/// forward and replay stages are profiled spans, so they show up both on
+/// the Chrome-trace host track and in `--profile` flamegraphs.
+struct InferRun {
+    seq: usize,
+    trace: dota_transformer::ForwardTrace,
+    report: dota_accel::PerfReport,
+}
+
+fn run_infer_workload(
+    bench: Benchmark,
+    retention: f64,
+    seq: usize,
+    seed: u64,
+) -> Result<InferRun, String> {
+    let build = dota_prof::span("infer.build");
+    let spec = TaskSpec::tiny(bench, seq, seed);
+    let (_, test) = spec.generate_split(1, 1);
+    let ids = test.samples()[0].ids.clone();
+    let (model, mut params) = experiments::build_model(&spec, seed);
+    let hook = DotaHook::init(
+        DetectorConfig::new(retention).with_sigma(0.5),
+        model.config(),
+        &mut params,
+    );
+    drop(build);
+
+    let trace = {
+        let _span = dota_prof::span("infer.forward");
+        model
+            .try_infer(&params, &ids, &hook.inference(&params))
+            .map_err(|e| format!("inference failed: {e}"))?
+    };
+    let report = {
+        let _span = dota_prof::span("infer.replay");
+        let acc = Accelerator::new(AccelConfig::default());
+        acc.try_simulate_trace(model.config(), &trace)
+            .map_err(|e| format!("simulation failed: {e}"))?
+    };
+    Ok(InferRun {
+        seq: ids.len(),
+        trace,
+        report,
+    })
+}
+
 fn cmd_infer(args: &[String]) -> Result<(), String> {
     let (positional, flags) = parse_flags(args)?;
     let bench = positional
@@ -721,50 +806,118 @@ fn cmd_infer(args: &[String]) -> Result<(), String> {
     let seq = flag_usize(&flags, "seq")?.unwrap_or(16);
     let seed = flag_usize(&flags, "seed")?.unwrap_or(7) as u64;
 
-    let _span = dota_trace::host_span("infer.build");
-    let spec = TaskSpec::tiny(bench, seq, seed);
-    let (_, test) = spec.generate_split(1, 1);
-    let ids = test.samples()[0].ids.clone();
-    let (model, mut params) = experiments::build_model(&spec, seed);
-    let hook = DotaHook::init(
-        DetectorConfig::new(retention).with_sigma(0.5),
-        model.config(),
-        &mut params,
-    );
-    drop(_span);
-
-    let trace = {
-        let _span = dota_trace::host_span("infer.forward");
-        model
-            .try_infer(&params, &ids, &hook.inference(&params))
-            .map_err(|e| format!("inference failed: {e}"))?
-    };
-    let rep = {
-        let _span = dota_trace::host_span("infer.replay");
-        let acc = Accelerator::new(AccelConfig::default());
-        acc.try_simulate_trace(model.config(), &trace)
-            .map_err(|e| format!("simulation failed: {e}"))?
-    };
-    if trace.fallback_dense > 0 {
+    let run = run_infer_workload(bench, retention, seq, seed)?;
+    if run.trace.fallback_dense > 0 {
         eprintln!(
             "[{} head(s) fell back to dense attention]",
-            trace.fallback_dense
+            run.trace.fallback_dense
         );
     }
     println!(
         "infer {} (seq {}, seed {seed}): retention {:.1}% (configured {:.1}%)",
         bench.name(),
-        ids.len(),
-        trace.retention() * 100.0,
+        run.seq,
+        run.trace.retention() * 100.0,
         retention * 100.0
     );
     println!(
         "replayed on simulator: {} cycles, {} K/V loads ({} row-by-row), {:.3} uJ",
-        rep.cycles.total(),
-        rep.key_loads,
-        rep.key_loads_row_by_row,
-        rep.energy.total_pj() * 1e-6
+        run.report.cycles.total(),
+        run.report.key_loads,
+        run.report.key_loads_row_by_row,
+        run.report.energy.total_pj() * 1e-6
     );
+    Ok(())
+}
+
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = parse_flags(args)?;
+    let bench = positional
+        .first()
+        .ok_or("analyze needs a benchmark".to_owned())
+        .and_then(|s| parse_benchmark(s))?;
+    let retention = flag_f64(&flags, "retention")?.unwrap_or(0.25);
+    let seq = flag_usize(&flags, "seq")?.unwrap_or(16);
+    let seed = flag_usize(&flags, "seed")?.unwrap_or(7) as u64;
+    let top = flag_usize(&flags, "top")?.unwrap_or(10);
+    let out_path = flags.get("out").cloned();
+
+    // Reuse the global sessions when `--trace`/`--profile` opened them;
+    // open private ones otherwise so the joined report always has both
+    // counters and host spans to work from. (Opening a second session on
+    // the same gate would deadlock, hence the `enabled()` checks.)
+    let own_trace = (!dota_trace::enabled()).then(|| dota_trace::session("analyze"));
+    let own_prof = (!dota_prof::enabled()).then(|| dota_prof::session("analyze"));
+
+    let run = run_infer_workload(bench, retention, seq, seed)?;
+    let counters = dota_trace::counters_snapshot();
+    let spans = dota_prof::spans_snapshot();
+    let alloc = dota_prof::alloc_stats();
+    drop(own_prof);
+    drop(own_trace);
+
+    #[cfg(feature = "parallel")]
+    let threads = dota_parallel::num_threads();
+    #[cfg(not(feature = "parallel"))]
+    let threads = 1;
+
+    let config = AccelConfig::default();
+    let inputs = analyze::AnalyzeInputs {
+        label: &format!("analyze.{}", bench.name()),
+        counters: &counters,
+        spans: &spans,
+        alloc,
+        config: &config,
+        threads,
+        top_hotspots: top,
+    };
+    let json = analyze::render(&inputs);
+
+    println!(
+        "analyze {} (seq {}, seed {seed}, retention {:.1}%): {} simulated cycles",
+        bench.name(),
+        run.seq,
+        run.trace.retention() * 100.0,
+        run.report.cycles.total()
+    );
+    let total = run.report.cycles.total().max(1);
+    println!("{:<12} {:>12} {:>8}", "stage", "cycles", "share");
+    for (name, cycles) in [
+        ("linear", run.report.cycles.linear),
+        ("detection", run.report.cycles.detection),
+        ("attention", run.report.cycles.attention),
+        ("ffn", run.report.cycles.ffn),
+    ] {
+        println!(
+            "{:<12} {:>12} {:>7.1}%",
+            name,
+            cycles,
+            cycles as f64 / total as f64 * 100.0
+        );
+    }
+    let hot = analyze::hotspots(&spans, top);
+    if !hot.is_empty() {
+        println!(
+            "host hotspots (threads {threads}, parallel fraction {:.2}):",
+            analyze::parallel_fraction(&spans)
+        );
+        println!(
+            "{:<40} {:>8} {:>10} {:>10}",
+            "span", "count", "self ms", "total ms"
+        );
+        for h in &hot {
+            println!(
+                "{:<40} {:>8} {:>10.3} {:>10.3}",
+                h.path, h.count, h.self_ms, h.total_ms
+            );
+        }
+    }
+    if let Some(p) = out_path {
+        std::fs::write(&p, &json).map_err(|e| format!("writing analyze report {p}: {e}"))?;
+        eprintln!("[analyze report written to {p}]");
+    } else {
+        print!("{json}");
+    }
     Ok(())
 }
 
@@ -823,6 +976,19 @@ mod tests {
             assert!(err.contains("DOTA_HISTS"), "{err}");
         });
         with_env("DOTA_HISTS", None, || validate_env().unwrap());
+    }
+
+    #[test]
+    fn empty_dota_prof_is_rejected() {
+        with_env("DOTA_PROF", Some(" "), || {
+            let err = validate_env().unwrap_err();
+            assert!(err.contains("DOTA_PROF"), "{err}");
+        });
+        with_env("DOTA_PROF", Some("/tmp/prof"), || {
+            validate_env().unwrap();
+            assert_eq!(env_path("DOTA_PROF").as_deref(), Some("/tmp/prof"));
+        });
+        with_env("DOTA_PROF", None, || validate_env().unwrap());
     }
 
     #[test]

@@ -101,6 +101,7 @@ pub fn train_dense_logged(
     opts: &TrainOptions,
     sink: &mut MetricsSink,
 ) -> Vec<f32> {
+    let _prof = dota_prof::span("train.dense");
     let mut opt = Adam::new(opts.lr).clip_norm(5.0);
     let mut losses = Vec::with_capacity(opts.epochs);
     let mut step = 0usize;
@@ -194,6 +195,7 @@ pub fn train_joint_logged(
     opts: &TrainOptions,
     sink: &mut MetricsSink,
 ) -> Result<Vec<f32>, ShapeError> {
+    let _prof = dota_prof::span("train.joint");
     let mut losses = Vec::with_capacity(opts.epochs);
 
     // --- Phase 1: detector-only estimation pretraining. ---
@@ -341,6 +343,7 @@ fn eval_pairs(
     data: &Dataset,
     hook: &dyn InferenceHook,
 ) -> Vec<(usize, usize)> {
+    let _prof = dota_prof::span("eval.classify");
     map_samples(data, |s| {
         let trace = model.infer(params, &s.ids, hook);
         (trace.predicted_class(), s.label)
@@ -386,6 +389,7 @@ pub fn eval_lm(
     data: &Dataset,
     hook: &dyn InferenceHook,
 ) -> LmEval {
+    let _prof = dota_prof::span("eval.lm");
     // (nll contribution, predicted positions, recall hit at the planted
     // copy position — None when the sequence has no recall position).
     let stats: Vec<(f64, usize, Option<bool>)> = map_samples(data, |s| {

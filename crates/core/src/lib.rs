@@ -29,6 +29,7 @@
 
 #![deny(missing_docs)]
 
+pub mod analyze;
 pub mod campaign;
 pub mod checkpoint;
 pub mod compress;

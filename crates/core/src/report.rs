@@ -51,6 +51,10 @@ pub struct Finding {
     pub path: String,
     /// Human-readable description of the divergence.
     pub detail: String,
+    /// Run A's value, when the divergence is numeric.
+    pub expected: Option<f64>,
+    /// Run B's value, when the divergence is numeric.
+    pub actual: Option<f64>,
 }
 
 /// Outcome of a diff: what was compared and every divergence found.
@@ -70,11 +74,61 @@ impl DiffReport {
         !self.findings.is_empty()
     }
 
-    /// Multi-line human-readable summary.
+    /// Multi-line human-readable summary: one `REGRESSION` line per
+    /// finding, an aligned key/expected/actual/relative-error table for
+    /// the numeric ones, and a closing tally.
     pub fn render(&self) -> String {
         let mut out = String::new();
         for f in &self.findings {
             out.push_str(&format!("REGRESSION {}: {}\n", f.path, f.detail));
+        }
+        let numeric: Vec<(&Finding, f64, f64)> = self
+            .findings
+            .iter()
+            .filter_map(|f| Some((f, f.expected?, f.actual?)))
+            .collect();
+        if !numeric.is_empty() {
+            let rows: Vec<[String; 4]> = numeric
+                .iter()
+                .map(|(f, e, a)| {
+                    let rel = relative_difference(*e, *a)
+                        .map_or_else(|| "n/a".to_owned(), |r| format!("{r:.3e}"));
+                    [f.path.clone(), e.to_string(), a.to_string(), rel]
+                })
+                .collect();
+            let header = ["key", "expected", "actual", "rel error"];
+            let mut widths = header.map(str::len);
+            for row in &rows {
+                for (w, cell) in widths.iter_mut().zip(row) {
+                    *w = (*w).max(cell.len());
+                }
+            }
+            out.push('\n');
+            out.push_str(&format!(
+                "{:<w0$}  {:>w1$}  {:>w2$}  {:>w3$}\n",
+                header[0],
+                header[1],
+                header[2],
+                header[3],
+                w0 = widths[0],
+                w1 = widths[1],
+                w2 = widths[2],
+                w3 = widths[3],
+            ));
+            for row in &rows {
+                out.push_str(&format!(
+                    "{:<w0$}  {:>w1$}  {:>w2$}  {:>w3$}\n",
+                    row[0],
+                    row[1],
+                    row[2],
+                    row[3],
+                    w0 = widths[0],
+                    w1 = widths[1],
+                    w2 = widths[2],
+                    w3 = widths[3],
+                ));
+            }
+            out.push('\n');
         }
         out.push_str(&format!(
             "{} file(s), {} value(s) compared: {}\n",
@@ -93,6 +147,17 @@ impl DiffReport {
         self.findings.push(Finding {
             path: path.to_owned(),
             detail,
+            expected: None,
+            actual: None,
+        });
+    }
+
+    fn numeric_finding(&mut self, path: &str, expected: f64, actual: f64, detail: String) {
+        self.findings.push(Finding {
+            path: path.to_owned(),
+            detail,
+            expected: Some(expected),
+            actual: Some(actual),
         });
     }
 }
@@ -244,8 +309,10 @@ fn diff_values(path: &str, a: &Value, b: &Value, opts: &DiffOptions, report: &mu
                 report.compared_values += 1;
                 if let Some(rel) = relative_difference(na, nb) {
                     if rel > opts.tolerance {
-                        report.finding(
+                        report.numeric_finding(
                             path,
+                            na,
+                            nb,
                             format!("{na} vs {nb} (relative difference {rel:.3e})"),
                         );
                     }
@@ -383,6 +450,31 @@ mod tests {
         );
         assert_eq!(r.findings.len(), 1);
         assert!(r.findings[0].detail.contains("dota"));
+    }
+
+    #[test]
+    fn render_prints_numeric_mismatch_table() {
+        let r = diff_strs(
+            r#"{"x": 1.0, "m": "a"}"#,
+            r#"{"x": 2.0, "m": "b"}"#,
+            &DiffOptions::default(),
+        );
+        let text = r.render();
+        // REGRESSION lines for both findings, but the table only covers
+        // the numeric one, with all four columns present.
+        assert_eq!(text.matches("REGRESSION").count(), 2, "{text}");
+        for col in ["key", "expected", "actual", "rel error"] {
+            assert!(text.contains(col), "missing column {col}:\n{text}");
+        }
+        let table_row = text
+            .lines()
+            .find(|l| l.starts_with("t.x"))
+            .unwrap_or_else(|| panic!("no table row for t.x:\n{text}"));
+        assert!(
+            table_row.contains('1') && table_row.contains('2'),
+            "{table_row}"
+        );
+        assert!(table_row.contains("5.000e-1"), "{table_row}");
     }
 
     #[test]

@@ -196,6 +196,7 @@ impl DotaInferenceHook<'_> {
 
 impl InferenceHook for DotaInferenceHook<'_> {
     fn select(&self, layer: usize, head: usize, x: &Matrix) -> Option<Vec<Vec<u32>>> {
+        let _prof = dota_prof::span("detector.select");
         if dota_faults::enabled() {
             let coords = [layer as u64, head as u64];
             let n = x.rows();

@@ -189,6 +189,7 @@ impl Matrix {
         if self.cols() != other.rows() {
             return Err(ShapeError::new("matmul", self.shape(), other.shape()));
         }
+        let _prof = dota_prof::span("gemm.matmul");
         let (m, k, n) = (self.rows(), self.cols(), other.cols());
         let mut out = Matrix::zeros(m, n);
         row_dispatch(&mut out, m * k * n, |first, span| {
@@ -209,6 +210,7 @@ impl Matrix {
         if self.cols() != other.cols() {
             return Err(ShapeError::new("matmul_nt", self.shape(), other.shape()));
         }
+        let _prof = dota_prof::span("gemm.matmul_nt");
         let (m, k, n) = (self.rows(), self.cols(), other.rows());
         let mut out = Matrix::zeros(m, n);
         row_dispatch(&mut out, m * k * n, |first, span| {
@@ -226,6 +228,7 @@ impl Matrix {
         if self.rows() != other.rows() {
             return Err(ShapeError::new("matmul_tn", self.shape(), other.shape()));
         }
+        let _prof = dota_prof::span("gemm.matmul_tn");
         let (m, k, n) = (self.cols(), self.rows(), other.cols());
         let mut out = Matrix::zeros(m, n);
         row_dispatch(&mut out, m * k * n, |first, span| {

@@ -101,6 +101,7 @@ impl Model {
         token: usize,
         selector: &dyn DecodeSelector,
     ) -> (Matrix, u64) {
+        let _prof = dota_prof::span("model.decode_step");
         let cfg = self.config();
         assert!(cfg.causal, "decode_step requires a causal model");
         assert!(token < cfg.vocab_size, "token {token} out of vocabulary");

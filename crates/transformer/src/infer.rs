@@ -192,6 +192,7 @@ impl crate::Model {
         hook: &dyn InferenceHook,
         strict: bool,
     ) -> Result<ForwardTrace, InferError> {
+        let _prof = dota_prof::span("model.infer");
         let cfg = self.config();
         let tp: &TransformerParams = self.params();
         let n = ids.len();
@@ -236,6 +237,7 @@ impl crate::Model {
             // `dota_parallel::par_map` (order-preserving, so the trace and
             // the concatenation order match serial execution exactly).
             let compute_head = |h: usize| -> (Matrix, HeadTrace, bool) {
+                let _prof = dota_prof::span("attn.head");
                 let (c0, c1) = (h * hd, (h + 1) * hd);
                 let qh = q.slice_cols(c0, c1);
                 let kh = k.slice_cols(c0, c1);

@@ -91,12 +91,15 @@ fn check_trace(path: &PathBuf) {
     let mut tracks: std::collections::BTreeMap<(u64, u64), Vec<(f64, f64)>> =
         std::collections::BTreeMap::new();
     let mut complete = 0usize;
+    let mut names = std::collections::BTreeSet::new();
     for ev in events {
         let ph = as_str(ev.get("ph").expect("event phase"));
-        assert!(!as_str(ev.get("name").expect("event name")).is_empty());
+        let name = as_str(ev.get("name").expect("event name"));
+        assert!(!name.is_empty());
         match ph {
             "X" => {
                 complete += 1;
+                names.insert(name.to_owned());
                 let pid = as_u64(ev.get("pid").expect("pid"));
                 let tid = as_u64(ev.get("tid").expect("tid"));
                 let ts = as_f64(ev.get("ts").expect("ts"));
@@ -109,6 +112,15 @@ fn check_trace(path: &PathBuf) {
         }
     }
     assert!(complete > 0, "no complete events in trace");
+
+    // The dota-prof instrumentation mirrors its spans into the host
+    // tracks of the Chrome trace; the layers it covers must be visible.
+    for expected in ["gemm.matmul", "attn.head", "detector.select", "model.infer"] {
+        assert!(
+            names.contains(expected),
+            "host span {expected} missing from trace; got {names:?}"
+        );
+    }
 
     for ((pid, tid), mut spans) in tracks {
         // Sort by start, longest first on ties, then sweep with a stack:

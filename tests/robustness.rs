@@ -210,3 +210,17 @@ fn cli_rejects_malformed_dota_threads() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("DOTA_THREADS"), "stderr was: {stderr}");
 }
+
+/// An empty `DOTA_PROF` (profile output directory) is caught by the
+/// environment validation, not silently ignored.
+#[test]
+fn cli_rejects_empty_dota_prof() {
+    let out = Command::new(env!("CARGO_BIN_EXE_dota"))
+        .args(["table2"])
+        .env("DOTA_PROF", "")
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("DOTA_PROF"), "stderr was: {stderr}");
+}
