@@ -1,20 +1,30 @@
 //! Kernel benchmark report: wall-clock timings of the GEMM kernels
-//! (naive reference vs the blocked/unrolled kernels, serial vs the
-//! `parallel` thread pool) and of dense vs DOTA-sparse attention at the
-//! five paper sequence lengths (§5.1). Writes `BENCH_kernels.json` at the
+//! (naive reference vs the packed/blocked kernels, serial vs the
+//! `parallel` thread pool, fp32 kernel families vs the quantized INT8 and
+//! INT4 host kernels) and of dense vs DOTA-sparse attention at the five
+//! paper sequence lengths (§5.1). Writes `BENCH_kernels.json` at the
 //! repository root.
 //!
 //! Run with:
 //! `cargo run --release -p dota-bench --features parallel --bin bench_report`
 //!
-//! Thread-pool speedups depend on the machine: on a single-core container
-//! the pool rows time the same as serial (the kernels are bitwise
-//! identical either way); the optimized-vs-naive and dense-vs-DOTA ratios
-//! hold on one core.
+//! `--quick` runs a reduced smoke instead: small sizes, few reps, no
+//! counter scenarios, no report file — and, when built with
+//! `--features prof-alloc`, asserts that the packed GEMM path stays
+//! within a fixed steady-state allocation budget (the pooled pack
+//! buffers and `matmul_into` outputs make repeated products allocation-
+//! free). CI runs this leg.
+//!
+//! Thread-pool speedups depend on the machine: the report records the
+//! actual pool width, physical core count and detected CPU features so
+//! `pool_speedup` is interpretable across hosts — expect ~1.0 on a
+//! single-core container and >3x at 2048² on a real multi-core host.
 
 use dota_metrics::Histogram;
+use dota_quant::{Int4Packed, Int8Matrix, Precision};
 use dota_tensor::rng::SeededRng;
-use dota_tensor::{ops, reference};
+use dota_tensor::simd::{self, KernelFamily};
+use dota_tensor::{ops, reference, Matrix};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -61,17 +71,39 @@ const MB: f64 = 1024.0 * 1024.0;
 #[derive(Serialize)]
 struct GemmRow {
     size: usize,
+    /// Worker threads actually dispatched for the pool run.
+    pool_threads: usize,
     naive: TimingSummary,
     optimized_serial: TimingSummary,
     optimized_pool: TimingSummary,
-    /// Blocked/unrolled kernel vs the textbook triple loop, both serial,
-    /// on median (p50) wall-clock.
+    /// Active-family kernel vs the textbook triple loop, both serial, on
+    /// median (p50) wall-clock.
     speedup_vs_naive: f64,
     /// Thread pool vs `DOTA_THREADS=1` on p50; ~1.0 without the
     /// `parallel` feature or on a single-core host.
     pool_speedup: f64,
-    /// Heap traffic of the serial optimized kernel.
+    /// Heap traffic of the serial optimized kernel (timed through
+    /// `matmul_into` with a reused output, so the packed path's steady
+    /// state is ~0 regardless of size).
     optimized_alloc: AllocSummary,
+}
+
+/// One kernel family timed at a fixed square size — the fp32 families
+/// next to the quantized host kernels, so fp32-vs-int8 throughput sits in
+/// one table beside the RMMU cycle model.
+#[derive(Serialize)]
+struct FamilyRow {
+    /// `fp32/scalar`, `fp32/simd`, `fp32/fma`, `int8`, `int4`.
+    kernel: String,
+    /// Whether this host can run the family (rows for unavailable
+    /// families are omitted, so this is always true in the JSON; kept for
+    /// readers scanning across hosts' reports).
+    available: bool,
+    p50_ms: f64,
+    /// `2·n³` multiply-adds over p50 wall-clock.
+    gflops: f64,
+    /// p50 speedup vs the `fp32/scalar` row of the same size.
+    speedup_vs_scalar: f64,
 }
 
 #[derive(Serialize)]
@@ -97,9 +129,18 @@ struct CounterScenario {
 struct Report {
     parallel_feature: bool,
     pool_threads: usize,
+    /// Physical core count of the producing host (distinct core ids).
+    physical_cores: usize,
+    /// Detected SIMD capabilities (`avx2`/`fma`/`avx512f`/`neon`/`none`).
+    cpu_features: Vec<&'static str>,
+    /// Kernel family the fp32 GEMM rows ran with (`DOTA_GEMM` resolution).
+    gemm_family: &'static str,
     host_note: &'static str,
     alloc_note: &'static str,
     gemm: Vec<GemmRow>,
+    /// Family comparison at one fixed size (see [`FamilyRow`]).
+    kernel_family_size: usize,
+    kernel_families: Vec<FamilyRow>,
     attention: Vec<AttnRow>,
     /// Deterministic hardware-counter snapshots (see `dota-trace`): the
     /// same scenarios `counters_baseline` regression-checks. Unlike the
@@ -142,22 +183,45 @@ fn with_one_thread<R>(f: impl FnOnce() -> R) -> R {
     out
 }
 
-fn gemm_rows() -> Vec<GemmRow> {
+/// Runs `f` with `DOTA_GEMM` forced to `family`, restoring afterwards.
+/// Safe here because the bench binary is single-threaded at the top level
+/// (kernel workers never read the variable mid-product — the family is
+/// resolved once per dispatch on the calling thread).
+fn with_family<R>(family: &str, f: impl FnOnce() -> R) -> R {
+    let prev = std::env::var(simd::GEMM_ENV).ok();
+    std::env::set_var(simd::GEMM_ENV, family);
+    let out = f();
+    match prev {
+        Some(v) => std::env::set_var(simd::GEMM_ENV, v),
+        None => std::env::remove_var(simd::GEMM_ENV),
+    }
+    out
+}
+
+fn p50(h: &Histogram) -> f64 {
+    h.quantile(0.5).unwrap_or(f64::NAN)
+}
+
+fn gemm_rows(sizes: &[usize]) -> Vec<GemmRow> {
     let mut rows = Vec::new();
     let mut rng = SeededRng::new(7);
-    for &size in &[128usize, 256, 512, 1024, 2048] {
+    for &size in sizes {
         let a = rng.normal_matrix(size, size, 1.0);
         let b = rng.normal_matrix(size, size, 1.0);
+        let mut out = Matrix::zeros(size, size);
         // Naive cost grows as size^3; a couple of repetitions suffice for
         // a stable median at the large sizes.
         let (opt_reps, naive_reps) = if size >= 1024 { (3, 2) } else { (7, 3) };
         let (naive, _) = time_hist(naive_reps, || reference::matmul(&a, &b));
+        // Warm the pack-buffer pool so the timed reps see the steady
+        // state the alloc column is meant to capture.
+        a.matmul_into(&b, &mut out).expect("shape");
         let (serial, serial_alloc) =
-            with_one_thread(|| time_hist(opt_reps, || a.matmul(&b).expect("shape")));
-        let (pool, _) = time_hist(opt_reps, || a.matmul(&b).expect("shape"));
-        let p50 = |h: &Histogram| h.quantile(0.5).unwrap_or(f64::NAN);
+            with_one_thread(|| time_hist(opt_reps, || a.matmul_into(&b, &mut out).expect("shape")));
+        let (pool, _) = time_hist(opt_reps, || a.matmul_into(&b, &mut out).expect("shape"));
         let row = GemmRow {
             size,
+            pool_threads: dota_parallel::num_threads(),
             speedup_vs_naive: p50(&naive) / p50(&serial).max(1e-9),
             pool_speedup: p50(&serial) / p50(&pool).max(1e-9),
             naive: TimingSummary::from_hist(&naive),
@@ -171,6 +235,77 @@ fn gemm_rows() -> Vec<GemmRow> {
             row.optimized_pool.p50_ms, row.speedup_vs_naive, row.pool_speedup
         );
         rows.push(row);
+    }
+    rows
+}
+
+/// Times each available kernel family — fp32 scalar/simd/fma and the
+/// quantized int8/int4 host kernels — on one `size`² product.
+fn family_rows(size: usize, reps: usize) -> Vec<FamilyRow> {
+    let mut rng = SeededRng::new(9);
+    let a = rng.normal_matrix(size, size, 1.0);
+    let b = rng.normal_matrix(size, size, 1.0);
+    let mut out = Matrix::zeros(size, size);
+    let flops = 2.0 * (size as f64).powi(3);
+    let gflops = |ms: f64| flops / (ms.max(1e-9) * 1e-3) / 1e9;
+
+    let mut rows = Vec::new();
+    let mut scalar_p50 = f64::NAN;
+    for fam in [KernelFamily::Scalar, KernelFamily::Simd, KernelFamily::Fma] {
+        let available = match fam {
+            KernelFamily::Scalar => true,
+            KernelFamily::Simd => simd::simd_available(),
+            KernelFamily::Fma => simd::fma_available(),
+        };
+        if !available {
+            continue;
+        }
+        a.matmul_into(&b, &mut out).expect("shape"); // warm pools
+        let (h, _) = with_family(fam.name(), || {
+            time_hist(reps, || a.matmul_into(&b, &mut out).expect("shape"))
+        });
+        let ms = p50(&h);
+        if fam == KernelFamily::Scalar {
+            scalar_p50 = ms;
+        }
+        rows.push(FamilyRow {
+            kernel: format!("fp32/{}", fam.name()),
+            available: true,
+            p50_ms: ms,
+            gflops: gflops(ms),
+            speedup_vs_scalar: scalar_p50 / ms.max(1e-9),
+        });
+    }
+
+    // Quantized host kernels (layout is A·Bᵀ — same flop count). The i8
+    // kernel uses AVX2 `madd` lanes when present; int4 adds nibble
+    // unpacking on top of the same kernel.
+    let q8a = Int8Matrix::quantize(&a, Precision::Int8);
+    let q8b = Int8Matrix::quantize(&b, Precision::Int8);
+    let (h8, _) = time_hist(reps, || q8a.matmul_nt_dequant(&q8b).expect("shape"));
+    rows.push(FamilyRow {
+        kernel: "int8".to_owned(),
+        available: true,
+        p50_ms: p50(&h8),
+        gflops: gflops(p50(&h8)),
+        speedup_vs_scalar: scalar_p50 / p50(&h8).max(1e-9),
+    });
+    let q4a = Int4Packed::quantize(&a, Precision::Int4);
+    let q4b = Int4Packed::quantize(&b, Precision::Int4);
+    let (h4, _) = time_hist(reps, || q4a.matmul_nt_dequant(&q4b).expect("shape"));
+    rows.push(FamilyRow {
+        kernel: "int4".to_owned(),
+        available: true,
+        p50_ms: p50(&h4),
+        gflops: gflops(p50(&h4)),
+        speedup_vs_scalar: scalar_p50 / p50(&h4).max(1e-9),
+    });
+
+    for r in &rows {
+        println!(
+            "  {:<12} p50 {:>8.2} ms  {:>7.2} GFLOP/s  {:>5.2}x vs fp32/scalar",
+            r.kernel, r.p50_ms, r.gflops, r.speedup_vs_scalar
+        );
     }
     rows
 }
@@ -198,7 +333,6 @@ fn attention_rows() -> Vec<AttnRow> {
         });
         let (dota, dota_alloc) =
             time_hist(3, || ops::sparse_attention(&q, &k, &v, &selected, scale));
-        let p50 = |h: &Histogram| h.quantile(0.5).unwrap_or(f64::NAN);
         let row = AttnRow {
             benchmark: b.name().to_owned(),
             seq_len: n,
@@ -222,22 +356,105 @@ fn attention_rows() -> Vec<AttnRow> {
     rows
 }
 
+/// Steady-state allocation budget for the `--quick` smoke, in bytes
+/// across all timed reps combined: after warmup, the packed path
+/// (`matmul_into` + pooled pack buffers) should allocate nothing; the
+/// budget only leaves room for allocator bookkeeping noise. Deliberately
+/// independent of matrix size — that is the property being asserted.
+const QUICK_ALLOC_BUDGET_BYTES: u64 = 1 << 20;
+
+/// `--quick`: a CI-sized smoke. Returns process success.
+fn run_quick() -> bool {
+    let mut manifest = dota_bench::run_manifest("bench_report_quick");
+    manifest.config("mode", "quick");
+    manifest.config("gemm_family", KernelFamily::active().name());
+    let _prof = dota_prof::session("bench_report_quick");
+    println!(
+        "Quick kernel smoke (family {}, features {})\n",
+        KernelFamily::active().name(),
+        simd::cpu_features().join("+")
+    );
+    println!("GEMM (square, f32)");
+    let gemm = gemm_rows(&[128, 256]);
+    println!("\nKernel families at 256² (fp32 vs quantized)");
+    let families = family_rows(256, 3);
+    // Sanity: the quantized kernels must have produced sane speed numbers.
+    assert!(
+        families.iter().all(|r| r.p50_ms.is_finite()),
+        "non-finite family timing"
+    );
+    assert!(!gemm.is_empty());
+
+    // Detect whether the counting allocator is live: a deliberate 1 MiB
+    // allocation must move the counter. Without prof-alloc the budget
+    // assert is vacuous and is skipped (CI builds the smoke with it).
+    let before = dota_prof::alloc_stats();
+    let probe = vec![0u8; 1 << 20];
+    std::hint::black_box(&probe);
+    drop(probe);
+    let counting = dota_prof::alloc_stats().allocated_bytes > before.allocated_bytes;
+    if !counting {
+        println!("\n[prof-alloc not active: steady-state budget assert skipped]");
+        return true;
+    }
+
+    // The budget assert proper: warm the pools, then measure allocation
+    // across repeated packed products into a reused output.
+    let mut rng = SeededRng::new(21);
+    let a = rng.normal_matrix(256, 256, 1.0);
+    let b = rng.normal_matrix(256, 256, 1.0);
+    let mut out = Matrix::zeros(256, 256);
+    for _ in 0..2 {
+        a.matmul_into(&b, &mut out).expect("shape");
+    }
+    let before = dota_prof::alloc_stats().allocated_bytes;
+    for _ in 0..10 {
+        a.matmul_into(&b, &mut out).expect("shape");
+        std::hint::black_box(&out);
+    }
+    let spent = dota_prof::alloc_stats()
+        .allocated_bytes
+        .saturating_sub(before);
+    println!(
+        "\nsteady-state alloc across 10 packed 256² products: {spent} bytes (budget {QUICK_ALLOC_BUDGET_BYTES})"
+    );
+    if spent > QUICK_ALLOC_BUDGET_BYTES {
+        eprintln!("FAIL: packed GEMM steady state exceeded the allocation budget");
+        return false;
+    }
+    println!("steady-state allocation budget: OK");
+    true
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--quick") {
+        if !run_quick() {
+            std::process::exit(1);
+        }
+        return;
+    }
     // No `Observability` here: `counter_scenarios` opens its own exclusive
     // trace sessions, which would deadlock against an outer one. The
     // provenance manifest is still written. The profiler gate is
     // independent of the trace gate, so a prof session is safe — it feeds
     // the allocation columns and, when `--profile`/`DOTA_PROF` is set, the
     // profile files written at the end.
-    let _manifest = dota_bench::run_manifest("bench_report");
+    let mut manifest = dota_bench::run_manifest("bench_report");
+    manifest.config("gemm_family", KernelFamily::active().name());
     let prof = dota_prof::session("bench_report");
     println!(
-        "Kernel report (parallel feature: {}, pool threads: {})\n",
+        "Kernel report (parallel feature: {}, pool threads: {}, physical cores: {}, cpu: {}, family: {})\n",
         cfg!(feature = "parallel"),
-        dota_parallel::num_threads()
+        dota_parallel::num_threads(),
+        dota_parallel::num_physical_cores(),
+        simd::cpu_features().join("+"),
+        KernelFamily::active().name(),
     );
-    println!("GEMM (square, f32): blocked/unrolled kernel vs naive reference");
-    let gemm = gemm_rows();
+    println!("GEMM (square, f32): packed/blocked kernels vs naive reference");
+    let gemm = gemm_rows(&[128, 256, 512, 1024, 2048]);
+    const FAMILY_SIZE: usize = 512;
+    println!("\nKernel families at {FAMILY_SIZE}² (fp32 scalar/simd/fma vs quantized int8/int4)");
+    let kernel_families = family_rows(FAMILY_SIZE, 5);
     println!("\nAttention (head_dim 64, retention 10%): dense vs DOTA-sparse");
     let attention = attention_rows();
 
@@ -268,9 +485,14 @@ fn main() {
     let report = Report {
         parallel_feature: cfg!(feature = "parallel"),
         pool_threads: dota_parallel::num_threads(),
+        physical_cores: dota_parallel::num_physical_cores(),
+        cpu_features: simd::cpu_features(),
+        gemm_family: KernelFamily::active().name(),
         host_note: "pool_speedup is host-dependent; ~1.0 on single-core runners",
         alloc_note: "allocation columns need --features prof-alloc; zeros otherwise",
         gemm,
+        kernel_family_size: FAMILY_SIZE,
+        kernel_families,
         attention,
         counters,
     };

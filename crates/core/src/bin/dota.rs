@@ -188,7 +188,10 @@ fn validate_env() -> Result<(), String> {
             }
         }
     }
-    Ok(())
+    // A typo'd kernel family (or one this CPU cannot run) would silently
+    // fall back and invalidate a benchmark, exactly like a bad
+    // DOTA_THREADS; surface it here instead.
+    dota_tensor::simd::family_from_env_checked().map(|_| ())
 }
 
 /// A non-empty environment variable as a path fallback for the matching
@@ -997,6 +1000,18 @@ mod tests {
             let err = validate_env().unwrap_err();
             assert!(err.contains("DOTA_COUNTERS"), "{err}");
         });
+    }
+
+    #[test]
+    fn invalid_dota_gemm_is_rejected() {
+        with_env("DOTA_GEMM", Some("fast"), || {
+            let err = validate_env().unwrap_err();
+            assert!(err.contains("DOTA_GEMM"), "{err}");
+        });
+        for ok in ["auto", "scalar"] {
+            with_env("DOTA_GEMM", Some(ok), || validate_env().unwrap());
+        }
+        with_env("DOTA_GEMM", None, || validate_env().unwrap());
     }
 
     #[test]

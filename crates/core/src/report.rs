@@ -35,10 +35,18 @@ impl Default for DiffOptions {
     fn default() -> Self {
         Self {
             tolerance: 1e-6,
-            ignore_keys: ["git_sha", "wall_clock_secs", "hostname", "host", "threads"]
-                .iter()
-                .map(|s| (*s).to_owned())
-                .collect(),
+            ignore_keys: [
+                "git_sha",
+                "wall_clock_secs",
+                "hostname",
+                "host",
+                "threads",
+                "physical_cores",
+                "cpu_features",
+            ]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect(),
         }
     }
 }

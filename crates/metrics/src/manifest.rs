@@ -27,6 +27,15 @@ pub struct Manifest {
     /// Worker-thread budget (the `DOTA_THREADS` cap, else the host's
     /// available parallelism).
     pub threads: usize,
+    /// Physical core count (distinct `(physical id, core id)` pairs from
+    /// `/proc/cpuinfo`, falling back to available parallelism). The
+    /// denominator that makes `pool_speedup` numbers interpretable: a
+    /// 1.0x pool speedup is expected on one core, a failure on eight.
+    pub physical_cores: usize,
+    /// SIMD capabilities detected on the producing host (`avx2`, `fma`,
+    /// `avx512f`, `neon`, or `none`), so kernel-family timings can be
+    /// compared across machines.
+    pub cpu_features: Vec<String>,
     /// Active cargo feature flags relevant to the run (e.g. `parallel`).
     pub features: Vec<String>,
     /// Top-level RNG seed, when the run has a single one.
@@ -51,6 +60,8 @@ impl Manifest {
             host: format!("{}/{}", std::env::consts::OS, std::env::consts::ARCH),
             hostname: std::env::var("HOSTNAME").unwrap_or_else(|_| "unknown".to_owned()),
             threads: thread_budget(),
+            physical_cores: physical_cores(),
+            cpu_features: cpu_features(),
             features: Vec::new(),
             seed: None,
             config: BTreeMap::new(),
@@ -89,6 +100,15 @@ impl Manifest {
         out.push_str(",\n  \"hostname\": ");
         crate::write_json_string(&mut out, &self.hostname);
         out.push_str(&format!(",\n  \"threads\": {}", self.threads));
+        out.push_str(&format!(",\n  \"physical_cores\": {}", self.physical_cores));
+        out.push_str(",\n  \"cpu_features\": [");
+        for (i, f) in self.cpu_features.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            crate::write_json_string(&mut out, f);
+        }
+        out.push(']');
         out.push_str(",\n  \"features\": [");
         for (i, f) in self.features.iter().enumerate() {
             if i > 0 {
@@ -160,6 +180,68 @@ fn thread_budget() -> usize {
         .unwrap_or(1)
 }
 
+/// Physical core count: distinct `(physical id, core id)` pairs from
+/// `/proc/cpuinfo` where available (Linux), otherwise the host's available
+/// parallelism. Duplicated from `dota-parallel` so this crate keeps its
+/// zero-dependency layering (same idiom as `thread_budget` above).
+fn physical_cores() -> usize {
+    if let Ok(info) = std::fs::read_to_string("/proc/cpuinfo") {
+        let mut cores = std::collections::BTreeSet::new();
+        let (mut phys, mut core) = (None, None);
+        for line in info.lines() {
+            let mut kv = line.splitn(2, ':');
+            let key = kv.next().unwrap_or("").trim();
+            let val = kv.next().unwrap_or("").trim().to_owned();
+            match key {
+                "physical id" => phys = Some(val),
+                "core id" => core = Some(val),
+                "" => {
+                    if let (Some(p), Some(c)) = (phys.take(), core.take()) {
+                        cores.insert((p, c));
+                    }
+                }
+                _ => {}
+            }
+        }
+        if let (Some(p), Some(c)) = (phys, core) {
+            cores.insert((p, c));
+        }
+        if !cores.is_empty() {
+            return cores.len();
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Detected SIMD capabilities (`avx2`/`fma`/`avx512f` on x86-64, `neon`
+/// on aarch64, `none` otherwise). Runtime detection, matching what
+/// `dota_tensor::simd::cpu_features` reports for kernel selection.
+fn cpu_features() -> Vec<String> {
+    let mut f: Vec<String> = Vec::new();
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            f.push("avx2".to_owned());
+        }
+        if std::arch::is_x86_feature_detected!("fma") {
+            f.push("fma".to_owned());
+        }
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            f.push("avx512f".to_owned());
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        f.push("neon".to_owned());
+    }
+    if f.is_empty() {
+        f.push("none".to_owned());
+    }
+    f
+}
+
 /// `git rev-parse HEAD` plus a `-dirty` marker, or `unknown`.
 fn git_sha() -> String {
     let head = std::process::Command::new("git")
@@ -208,6 +290,10 @@ mod tests {
         assert!(json.contains("\"wall_clock_secs\": 1.5"));
         assert!(m.threads >= 1);
         assert!(m.host.contains('/'));
+        assert!(m.physical_cores >= 1);
+        assert!(!m.cpu_features.is_empty());
+        assert!(json.contains("\"physical_cores\":"));
+        assert!(json.contains("\"cpu_features\": ["));
     }
 
     #[test]

@@ -25,10 +25,37 @@
 
 #![deny(missing_docs)]
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Name of the environment variable capping the pool size.
 pub const THREADS_ENV: &str = "DOTA_THREADS";
+
+thread_local! {
+    /// Set while the current thread is a pool worker; nested dispatches
+    /// check it and stay serial instead of forking a second pool.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// `true` when called from inside a [`par_map`] / [`par_partition_mut`] /
+/// [`par_panels_mut`] worker.
+///
+/// Library hot paths that may run both at top level and underneath another
+/// fan-out (e.g. GEMM inside the per-head attention fan-out) use this to
+/// avoid spawning a pool per worker: nested parallelism oversubscribes the
+/// machine — `threads²` runnable threads fighting over the same caches —
+/// and loses to running the inner work serially on the worker that owns it.
+pub fn in_worker() -> bool {
+    IN_WORKER.with(Cell::get)
+}
+
+/// Marks the current thread as a pool worker for the duration of `body`.
+fn as_worker<R>(body: impl FnOnce() -> R) -> R {
+    IN_WORKER.with(|w| w.set(true));
+    let out = body();
+    IN_WORKER.with(|w| w.set(false));
+    out
+}
 
 /// The number of worker threads a dispatch may use: `DOTA_THREADS` if set
 /// to a positive integer, otherwise the machine's available parallelism.
@@ -77,7 +104,11 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
-    let workers = num_threads().min(items.len());
+    let workers = if in_worker() {
+        1
+    } else {
+        num_threads().min(items.len())
+    };
     if workers <= 1 {
         return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
     }
@@ -86,15 +117,17 @@ where
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| {
-                    let mut got = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= items.len() {
-                            break;
+                    as_worker(|| {
+                        let mut got = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= items.len() {
+                                break;
+                            }
+                            got.push((i, f(i, &items[i])));
                         }
-                        got.push((i, f(i, &items[i])));
-                    }
-                    got
+                        got
+                    })
                 })
             })
             .collect();
@@ -135,7 +168,11 @@ where
     if n_units == 0 {
         return;
     }
-    let workers = num_threads().min(n_units);
+    let workers = if in_worker() {
+        1
+    } else {
+        num_threads().min(n_units)
+    };
     if workers <= 1 {
         f(0, data);
         return;
@@ -150,11 +187,134 @@ where
             let (span, tail) = rest.split_at_mut(take);
             let start = first_unit;
             let f = &f;
-            scope.spawn(move || f(start, span));
+            scope.spawn(move || as_worker(|| f(start, span)));
             first_unit += take / unit;
             rest = tail;
         }
     });
+}
+
+/// A raw span of a larger buffer, shareable across worker threads. Each
+/// panel index is claimed by exactly one worker (an atomic ticket), so the
+/// reconstructed `&mut [T]` slices never alias.
+struct PanelPtr<T>(*mut T);
+// SAFETY: the pointer is only dereferenced through disjoint panel ranges,
+// each owned by the single worker that claimed the panel's ticket.
+unsafe impl<T: Send> Send for PanelPtr<T> {}
+unsafe impl<T: Send> Sync for PanelPtr<T> {}
+
+/// Splits `data` into fixed-size panels of `panel_units` units (`unit`
+/// elements each; the last panel may be short) and runs
+/// `f(first_unit_index, panel_span)` over them with **dynamic claiming**:
+/// workers pull the next unclaimed panel from an atomic ticket counter, so
+/// a slow panel (cache-cold rows, NUMA effects, a descheduled worker)
+/// delays only its owner instead of the whole static partition.
+///
+/// This is the GEMM row-panel scheduler: panels are sized to the kernel's
+/// L2 blocking (`MC` rows), claiming is load-balanced, and because every
+/// panel is computed by identical code whichever worker claims it, the
+/// result is bitwise identical to the serial panel loop — which is exactly
+/// what runs when the pool has one thread, the data holds a single panel,
+/// or the caller is itself a pool worker (nested dispatch stays serial,
+/// see [`in_worker`]).
+///
+/// # Panics
+///
+/// Panics if `unit == 0`, `panel_units == 0`, or `data.len()` is not a
+/// multiple of `unit`.
+pub fn par_panels_mut<T, F>(data: &mut [T], unit: usize, panel_units: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(unit > 0, "unit must be positive");
+    assert!(panel_units > 0, "panel_units must be positive");
+    assert_eq!(data.len() % unit, 0, "data must divide into whole units");
+    let n_units = data.len() / unit;
+    if n_units == 0 {
+        return;
+    }
+    let n_panels = n_units.div_ceil(panel_units);
+    let workers = if in_worker() {
+        1
+    } else {
+        num_threads().min(n_panels)
+    };
+    let panel_span = |p: usize| {
+        let first = p * panel_units;
+        let units = panel_units.min(n_units - first);
+        (first, first * unit, units * unit)
+    };
+    if workers <= 1 {
+        for p in 0..n_panels {
+            let (first, lo, len) = panel_span(p);
+            f(first, &mut data[lo..lo + len]);
+        }
+        return;
+    }
+    let base = PanelPtr(data.as_mut_ptr());
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let base = &base;
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || {
+                as_worker(|| loop {
+                    let p = next.fetch_add(1, Ordering::Relaxed);
+                    if p >= n_panels {
+                        break;
+                    }
+                    let (first, lo, len) = panel_span(p);
+                    // SAFETY: panel `p` was claimed by this worker alone
+                    // (fetch_add tickets are unique) and panels cover
+                    // disjoint element ranges of the buffer.
+                    let span = unsafe { std::slice::from_raw_parts_mut(base.0.add(lo), len) };
+                    f(first, span);
+                })
+            });
+        }
+    });
+}
+
+/// Number of **physical** cores, best-effort: parsed from Linux
+/// `/proc/cpuinfo` (distinct `(physical id, core id)` pairs), falling back
+/// to [`available_parallelism`](std::thread::available_parallelism) (which
+/// counts logical CPUs) elsewhere or when the parse yields nothing.
+///
+/// Recorded in bench manifests so `pool_speedup` columns are interpretable:
+/// a 2x ceiling on a 2-core host is expected, the same number on a 16-core
+/// host is a scheduling bug.
+pub fn num_physical_cores() -> usize {
+    #[cfg(target_os = "linux")]
+    {
+        if let Ok(info) = std::fs::read_to_string("/proc/cpuinfo") {
+            let mut cores = std::collections::BTreeSet::new();
+            let (mut phys, mut core) = (None, None);
+            for line in info.lines() {
+                let mut kv = line.splitn(2, ':');
+                let key = kv.next().unwrap_or("").trim();
+                let val = kv.next().unwrap_or("").trim().to_owned();
+                match key {
+                    "physical id" => phys = Some(val),
+                    "core id" => core = Some(val),
+                    "" => {
+                        if let (Some(p), Some(c)) = (phys.take(), core.take()) {
+                            cores.insert((p, c));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            if let (Some(p), Some(c)) = (phys, core) {
+                cores.insert((p, c));
+            }
+            if !cores.is_empty() {
+                return cores.len();
+            }
+        }
+    }
+    available()
 }
 
 #[cfg(test)]
@@ -270,5 +430,58 @@ mod tests {
     fn partition_rejects_ragged_data() {
         let mut data = vec![0.0f32; 7];
         par_partition_mut(&mut data, 4, |_, _| {});
+    }
+
+    #[test]
+    fn panels_cover_every_unit_exactly_once() {
+        for threads in ["1", "3", "16"] {
+            for panel_units in [1usize, 4, 7, 100] {
+                with_threads(Some(threads), || {
+                    let rows = 37;
+                    let cols = 5;
+                    let mut data = vec![0u32; rows * cols];
+                    par_panels_mut(&mut data, cols, panel_units, |first_row, span| {
+                        for (r, row) in span.chunks_mut(cols).enumerate() {
+                            for v in row.iter_mut() {
+                                *v += (first_row + r) as u32 + 1;
+                            }
+                        }
+                    });
+                    for (i, &v) in data.iter().enumerate() {
+                        assert_eq!(v, (i / cols) as u32 + 1, "unit {i} written once");
+                    }
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn panels_handle_empty() {
+        let mut empty: Vec<f32> = Vec::new();
+        par_panels_mut(&mut empty, 4, 2, |_, _| panic!("no units, no calls"));
+    }
+
+    #[test]
+    fn nested_dispatch_stays_serial() {
+        with_threads(Some("4"), || {
+            assert!(!in_worker(), "top level is not a worker");
+            let items: Vec<usize> = (0..16).collect();
+            let nested_flags = par_map(&items, |_, _| {
+                // Inside a worker the flag is set, and a nested map must
+                // not fork again — its own workers would see the flag too.
+                let inner: Vec<bool> = par_map(&[0usize, 1], |_, _| in_worker());
+                (in_worker(), inner)
+            });
+            for (outer, inner) in nested_flags {
+                assert!(outer, "worker flag set during outer dispatch");
+                assert!(inner.iter().all(|&w| w), "nested map ran in-worker");
+            }
+            assert!(!in_worker(), "flag cleared after dispatch");
+        });
+    }
+
+    #[test]
+    fn physical_cores_positive() {
+        assert!(num_physical_cores() >= 1);
     }
 }

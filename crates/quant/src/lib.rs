@@ -42,9 +42,11 @@ pub mod attention;
 pub mod bitfusion;
 mod fixed;
 mod precision;
+pub mod qgemm;
 mod quantizer;
 pub mod rmmu;
 
 pub use fixed::Fx16;
 pub use precision::Precision;
+pub use qgemm::{Int4Packed, Int8Matrix};
 pub use quantizer::{QuantizedMatrix, Quantizer};

@@ -1,0 +1,417 @@
+//! Quantized host GEMM kernels mirroring the RMMU precision modes.
+//!
+//! The RMMU model (`rmmu`) prices low-precision products in *cycles*; this
+//! module makes the same precision modes a real execution path on the
+//! host, so `bench_report` can put measured fp32-vs-int8 throughput next
+//! to the cycle model in `BENCH_kernels.json`:
+//!
+//! * [`Int8Matrix`] — codes narrowed to `i8` (any [`Precision`] of ≤ 8
+//!   bits fits), with an i32-accumulating `A·Bᵀ` kernel that runs AVX2
+//!   `madd` lanes when the host has them.
+//! * [`Int4Packed`] — two INT4 codes per byte (the storage the RMMU's
+//!   bit-fusion blocks assume), unpacked strip-wise into the `i8` kernel.
+//!
+//! Integer addition is associative, so the SIMD and scalar paths are
+//! bitwise identical by construction — no kernel-family knob is needed
+//! here, only availability. Scale handling is exactly
+//! [`QuantizedMatrix`]'s: symmetric, zero-point 0, output scaled by the
+//! product of the operand scales.
+//!
+//! [`QuantizedMatrix::matmul_nt_dequant`] routes through the `i8` kernel
+//! automatically whenever its operands fit, so the detector's estimated
+//! scores (the `S̃ = Q̃·K̃ᵀ` path) get the fast kernel without callers
+//! changing.
+
+use crate::{Precision, QuantizedMatrix, Quantizer};
+use dota_tensor::{Matrix, ShapeError};
+
+/// Largest inner dimension the i32-accumulating kernel accepts: every
+/// partial product is at most `2^14` in magnitude (`(-128)²`), so `k`
+/// summands stay well inside `i32` for any `k < 2^16` with headroom to
+/// spare. Bigger products fall back to the `i64` scalar path.
+pub const I32_SAFE_K: usize = 1 << 16;
+
+/// A quantized matrix with codes narrowed to `i8`.
+///
+/// Any precision of 8 bits or fewer fits; the value range is whatever the
+/// source [`Precision`] allows, the storage is always one byte per code —
+/// a quarter of [`QuantizedMatrix`]'s `i32` codes, which is the point: the
+/// kernel is memory-bound on the operand streams.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Int8Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<i8>,
+    scale: f32,
+    precision: Precision,
+}
+
+impl Int8Matrix {
+    /// Narrows a [`QuantizedMatrix`] to `i8` codes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source precision is wider than 8 bits (`Fx16` codes
+    /// do not fit a byte).
+    pub fn from_quantized(q: &QuantizedMatrix) -> Self {
+        assert!(
+            q.precision().bits() <= 8,
+            "{} codes do not fit i8",
+            q.precision()
+        );
+        let mut data = Vec::with_capacity(q.rows() * q.cols());
+        for r in 0..q.rows() {
+            data.extend(q.code_row(r).iter().map(|&c| c as i8));
+        }
+        Self {
+            rows: q.rows(),
+            cols: q.cols(),
+            data,
+            scale: q.scale(),
+            precision: q.precision(),
+        }
+    }
+
+    /// Quantizes a real matrix at `precision` (≤ 8 bits) and narrows it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `precision` is wider than 8 bits.
+    pub fn quantize(m: &Matrix, precision: Precision) -> Self {
+        Self::from_quantized(&Quantizer::symmetric(precision).quantize(m))
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The quantization scale (real value per integer step).
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// The precision the codes fit in.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Row `r` of `i8` codes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn code_row(&self, r: usize) -> &[i8] {
+        assert!(r < self.rows, "row out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Integer matrix product with transposed right operand,
+    /// `self · otherᵀ`, dequantized by both scales — the low-precision
+    /// score kernel, on host lanes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] when the inner dimensions disagree.
+    pub fn matmul_nt_dequant(&self, other: &Int8Matrix) -> Result<Matrix, ShapeError> {
+        if self.cols != other.cols {
+            return Err(ShapeError::new(
+                "qmatmul_nt_i8",
+                (self.rows, self.cols),
+                (other.rows, other.cols),
+            ));
+        }
+        let _prof = dota_prof::span("gemm.qmatmul_nt_i8");
+        let out_scale = self.scale * other.scale;
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        if self.cols >= I32_SAFE_K {
+            // i64 fallback for pathological depths; never hit by the
+            // paper's sequence lengths.
+            for i in 0..self.rows {
+                let a = self.code_row(i);
+                let row = out.row_mut(i);
+                for (j, o) in row.iter_mut().enumerate() {
+                    let b = other.code_row(j);
+                    let acc: i64 = a.iter().zip(b).map(|(&x, &y)| x as i64 * y as i64).sum();
+                    *o = acc as f32 * out_scale;
+                }
+            }
+            return Ok(out);
+        }
+        for i in 0..self.rows {
+            let a = self.code_row(i);
+            let row = out.row_mut(i);
+            for (j, o) in row.iter_mut().enumerate() {
+                *o = dot_i8(a, other.code_row(j)) as f32 * out_scale;
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// `i8` dot product with `i32` accumulation — AVX2 `madd` lanes when the
+/// host has them, the scalar loop otherwise; both paths produce identical
+/// bits (integer addition is associative).
+///
+/// Caller guarantees `a.len() == b.len() < `[`I32_SAFE_K`].
+fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert!(a.len() < I32_SAFE_K);
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: AVX2 verified; equal lengths asserted.
+        return unsafe { dot_i8_avx2(a, b) };
+    }
+    a.iter().zip(b).map(|(&x, &y)| x as i32 * y as i32).sum()
+}
+
+/// # Safety
+///
+/// Requires AVX2; slices must be equal length with `i32`-safe depth.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn dot_i8_avx2(a: &[i8], b: &[i8]) -> i32 {
+    use std::arch::x86_64::*;
+    let n = a.len();
+    let mut acc = _mm256_setzero_si256();
+    let mut i = 0;
+    while i + 16 <= n {
+        // 16 i8 → 16 i16 lanes, then madd pairs into 8 i32 partial sums.
+        let av = _mm256_cvtepi8_epi16(_mm_loadu_si128(a.as_ptr().add(i) as *const __m128i));
+        let bv = _mm256_cvtepi8_epi16(_mm_loadu_si128(b.as_ptr().add(i) as *const __m128i));
+        acc = _mm256_add_epi32(acc, _mm256_madd_epi16(av, bv));
+        i += 16;
+    }
+    let mut lanes = [0i32; 8];
+    _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, acc);
+    let mut total: i32 = lanes.iter().sum();
+    while i < n {
+        total += a[i] as i32 * b[i] as i32;
+        i += 1;
+    }
+    total
+}
+
+/// An INT4 (or INT2) matrix packed two codes per byte, the density the
+/// RMMU's bit-fusion multiplier blocks assume: column `2c` in the low
+/// nibble, `2c+1` in the high nibble, rows padded to a whole byte.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Int4Packed {
+    rows: usize,
+    cols: usize,
+    data: Vec<u8>,
+    scale: f32,
+    precision: Precision,
+}
+
+impl Int4Packed {
+    /// Packs a [`QuantizedMatrix`] of ≤ 4-bit codes, two per byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source precision is wider than 4 bits.
+    pub fn from_quantized(q: &QuantizedMatrix) -> Self {
+        assert!(
+            q.precision().bits() <= 4,
+            "{} codes do not fit a nibble",
+            q.precision()
+        );
+        let bytes_per_row = q.cols().div_ceil(2);
+        let mut data = Vec::with_capacity(q.rows() * bytes_per_row);
+        for r in 0..q.rows() {
+            let row = q.code_row(r);
+            for pair in row.chunks(2) {
+                let lo = (pair[0] as u8) & 0x0f;
+                let hi = pair.get(1).map_or(0, |&c| (c as u8) & 0x0f);
+                data.push(lo | (hi << 4));
+            }
+        }
+        Self {
+            rows: q.rows(),
+            cols: q.cols(),
+            data,
+            scale: q.scale(),
+            precision: q.precision(),
+        }
+    }
+
+    /// Quantizes a real matrix at `precision` (≤ 4 bits) and packs it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `precision` is wider than 4 bits.
+    pub fn quantize(m: &Matrix, precision: Precision) -> Self {
+        Self::from_quantized(&Quantizer::symmetric(precision).quantize(m))
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (codes, not bytes).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The quantization scale (real value per integer step).
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// The precision the codes fit in.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Packed bytes behind the matrix (half a byte per code).
+    pub fn packed_bytes(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Sign-extends row `r` into `buf` (length ≥ `cols`) as `i8` codes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows` or `buf` is too short.
+    pub fn unpack_row(&self, r: usize, buf: &mut [i8]) {
+        assert!(r < self.rows, "row out of bounds");
+        let bytes_per_row = self.cols.div_ceil(2);
+        let row = &self.data[r * bytes_per_row..(r + 1) * bytes_per_row];
+        for c in 0..self.cols {
+            let byte = row[c / 2];
+            let nibble = if c % 2 == 0 { byte & 0x0f } else { byte >> 4 };
+            // Shift to the top of the byte and back: arithmetic shift
+            // right sign-extends the nibble.
+            buf[c] = ((nibble << 4) as i8) >> 4;
+        }
+    }
+
+    /// Integer matrix product with transposed right operand,
+    /// `self · otherᵀ`, dequantized by both scales. Rows unpack into
+    /// per-call `i8` strips that then run the same kernel as
+    /// [`Int8Matrix::matmul_nt_dequant`] — unpacking is O((m+n)·k)
+    /// against O(m·n·k) arithmetic.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] when the inner dimensions disagree.
+    pub fn matmul_nt_dequant(&self, other: &Int4Packed) -> Result<Matrix, ShapeError> {
+        if self.cols != other.cols {
+            return Err(ShapeError::new(
+                "qmatmul_nt_i4",
+                (self.rows, self.cols),
+                (other.rows, other.cols),
+            ));
+        }
+        let _prof = dota_prof::span("gemm.qmatmul_nt_i4");
+        let out_scale = self.scale * other.scale;
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        // Unpack all of `other` once (it is re-read per output row), and
+        // one row of `self` at a time.
+        let mut b_codes = vec![0i8; other.rows * other.cols];
+        for j in 0..other.rows {
+            other.unpack_row(j, &mut b_codes[j * other.cols..(j + 1) * other.cols]);
+        }
+        let mut a_row = vec![0i8; self.cols];
+        for i in 0..self.rows {
+            self.unpack_row(i, &mut a_row);
+            let row = out.row_mut(i);
+            for (j, o) in row.iter_mut().enumerate() {
+                let b = &b_codes[j * other.cols..(j + 1) * other.cols];
+                *o = dot_i8(&a_row, b) as f32 * out_scale;
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dota_tensor::rng::SeededRng;
+
+    #[test]
+    fn i8_matmul_matches_i32_reference_bitwise() {
+        let mut rng = SeededRng::new(11);
+        for p in [Precision::Int2, Precision::Int4, Precision::Int8] {
+            let a = rng.normal_matrix(9, 37, 1.0);
+            let b = rng.normal_matrix(13, 37, 1.0);
+            let qa = Quantizer::symmetric(p).quantize(&a);
+            let qb = Quantizer::symmetric(p).quantize(&b);
+            let want = qa.matmul_nt_dequant(&qb).unwrap();
+            let got = Int8Matrix::from_quantized(&qa)
+                .matmul_nt_dequant(&Int8Matrix::from_quantized(&qb))
+                .unwrap();
+            // Integer accumulation has one possible answer; the f32
+            // conversion and scaling are identical expressions — so the
+            // fast path must agree bit-for-bit, not just approximately.
+            let want_bits: Vec<u32> = want.iter().map(|x| x.to_bits()).collect();
+            let got_bits: Vec<u32> = got.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(want_bits, got_bits, "{p}");
+        }
+    }
+
+    #[test]
+    fn int4_pack_round_trips() {
+        let mut rng = SeededRng::new(12);
+        for p in [Precision::Int2, Precision::Int4] {
+            // Odd column count exercises the padded last nibble.
+            let m = rng.normal_matrix(5, 7, 1.0);
+            let q = Quantizer::symmetric(p).quantize(&m);
+            let packed = Int4Packed::from_quantized(&q);
+            assert_eq!(packed.packed_bytes(), 5 * 4); // ceil(7/2) bytes per row
+            let mut buf = vec![0i8; 7];
+            for r in 0..5 {
+                packed.unpack_row(r, &mut buf);
+                let want: Vec<i8> = q.code_row(r).iter().map(|&c| c as i8).collect();
+                assert_eq!(buf, want, "{p} row {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn int4_matmul_matches_i32_reference_bitwise() {
+        let mut rng = SeededRng::new(13);
+        let a = rng.normal_matrix(6, 21, 1.0);
+        let b = rng.normal_matrix(8, 21, 1.0);
+        let qa = Quantizer::symmetric(Precision::Int4).quantize(&a);
+        let qb = Quantizer::symmetric(Precision::Int4).quantize(&b);
+        let want = qa.matmul_nt_dequant(&qb).unwrap();
+        let got = Int4Packed::from_quantized(&qa)
+            .matmul_nt_dequant(&Int4Packed::from_quantized(&qb))
+            .unwrap();
+        let want_bits: Vec<u32> = want.iter().map(|x| x.to_bits()).collect();
+        let got_bits: Vec<u32> = got.iter().map(|x| x.to_bits()).collect();
+        assert_eq!(want_bits, got_bits);
+    }
+
+    #[test]
+    fn shape_errors() {
+        let a = Int8Matrix::quantize(&Matrix::zeros(2, 3), Precision::Int8);
+        let b = Int8Matrix::quantize(&Matrix::zeros(2, 4), Precision::Int8);
+        assert!(a.matmul_nt_dequant(&b).is_err());
+        let pa = Int4Packed::quantize(&Matrix::zeros(2, 3), Precision::Int4);
+        let pb = Int4Packed::quantize(&Matrix::zeros(2, 4), Precision::Int4);
+        assert!(pa.matmul_nt_dequant(&pb).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "do not fit i8")]
+    fn fx16_rejected_by_i8() {
+        let q = Quantizer::symmetric(Precision::Fx16).quantize(&Matrix::zeros(2, 2));
+        let _ = Int8Matrix::from_quantized(&q);
+    }
+
+    #[test]
+    #[should_panic(expected = "do not fit a nibble")]
+    fn int8_rejected_by_nibble_packing() {
+        let q = Quantizer::symmetric(Precision::Int8).quantize(&Matrix::zeros(2, 2));
+        let _ = Int4Packed::from_quantized(&q);
+    }
+}

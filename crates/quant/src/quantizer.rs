@@ -140,6 +140,12 @@ impl QuantizedMatrix {
     /// This is the detector's estimated-score kernel `S̃ = Q̃ K̃^T`
     /// executed on low-precision PE rows of the RMMU.
     ///
+    /// When both operands fit `i8` codes and the depth is within the
+    /// `i32`-safe bound, this routes through the SIMD-capable kernel in
+    /// [`crate::qgemm`]; the result is bitwise identical (integer sums
+    /// have one value, and the scaling expression is the same), so callers
+    /// see only the speed.
+    ///
     /// # Errors
     ///
     /// Returns a [`ShapeError`] when inner dimensions disagree.
@@ -150,6 +156,13 @@ impl QuantizedMatrix {
                 (self.rows, self.cols),
                 (other.rows, other.cols),
             ));
+        }
+        if self.precision.bits() <= 8
+            && other.precision.bits() <= 8
+            && self.cols < crate::qgemm::I32_SAFE_K
+        {
+            return crate::qgemm::Int8Matrix::from_quantized(self)
+                .matmul_nt_dequant(&crate::qgemm::Int8Matrix::from_quantized(other));
         }
         let out_scale = self.scale * other.scale;
         let mut out = Matrix::zeros(self.rows, other.rows);

@@ -4,16 +4,29 @@
 //! them: `A*B` (projections and `A*V`), `A*B^T` (`Q*K^T`), and `A^T*B`
 //! (gradient computations in `dota-autograd`).
 //!
-//! Each product is built from one row-range kernel — a function that fills
-//! a contiguous block of output rows, cache-blocked over `i`/`k` with a
-//! 4-wide unrolled inner microkernel. The serial path runs that kernel over
-//! the whole output; with the `parallel` feature, products large enough to
-//! amortize thread dispatch (see [`PAR_CUTOFF_FLOPS`]) run the *same*
-//! kernel over per-worker row blocks via `dota_parallel::par_partition_mut`.
-//! Because every output row is produced by identical code regardless of
-//! which worker owns it, parallel results are bitwise identical to serial,
-//! and `DOTA_THREADS=1` exactly reproduces the no-feature build.
+//! Each layout dispatches over the kernel families in [`crate::simd`]:
+//! products big enough to amortize panel packing run the packed SIMD
+//! microkernel driver ([`crate::simd::packed_gemm`]) when the selected
+//! family has lanes on this host; everything else — small products, the
+//! `scalar` family, hosts without SIMD — runs the legacy blocked kernels
+//! below. The legacy path builds each product from one row-range kernel,
+//! cache-blocked over `i`/`k` with a 4-wide unrolled inner microkernel;
+//! with the `parallel` feature, products past [`PAR_CUTOFF_FLOPS`] run
+//! that kernel over per-worker row blocks via
+//! `dota_parallel::par_partition_mut`.
+//!
+//! Both paths keep the same numerics contract: every output element is one
+//! ascending-`k` accumulation chain, so for the `scalar` and `simd`
+//! families results are bitwise identical to the naive reference — across
+//! paths, across `DOTA_THREADS`, and across the serial/parallel feature
+//! builds. Only the opt-in `fma` family shifts low bits (fused rounding).
+//!
+//! The `*_into` variants write into a caller-owned output matrix; repeated
+//! products of the same shape then run with zero steady-state heap traffic
+//! (pack buffers are pooled, see [`crate::pack`]).
 
+use crate::pack::Layout;
+use crate::simd::{self, KernelFamily};
 use crate::{Matrix, ShapeError};
 
 const BLOCK: usize = 32;
@@ -45,6 +58,31 @@ fn row_dispatch(out: &mut Matrix, flops: usize, kernel: impl Fn(usize, &mut [f32
     #[cfg(not(feature = "parallel"))]
     let _ = flops;
     kernel(0, out.as_mut_slice());
+}
+
+/// Runs one product into the pre-zeroed `out`: the packed SIMD driver when
+/// the active family has lanes and the product is worth packing, the
+/// legacy blocked kernel otherwise. The split is invisible in the bits for
+/// the `scalar`/`simd` families — both paths produce the reference chain —
+/// so the cutoff inside [`simd::packed_kernel`] is purely a perf knob.
+fn gemm_dispatch(
+    layout: Layout,
+    a: &Matrix,
+    b: &Matrix,
+    out: &mut Matrix,
+    legacy: impl Fn(usize, &mut [f32]) + Sync,
+) {
+    let (m, n) = out.shape();
+    let k = match layout {
+        Layout::Nn | Layout::Nt => a.cols(),
+        Layout::Tn => a.rows(),
+    };
+    let flops = m * k * n;
+    if let Some(micro) = simd::packed_kernel(KernelFamily::active(), flops) {
+        simd::packed_gemm(layout, a, b, out, micro);
+        return;
+    }
+    row_dispatch(out, flops, legacy);
 }
 
 /// `out += a * b` over a row, 4-wide unrolled so the optimizer sees
@@ -167,6 +205,15 @@ fn tn_kernel(a: &Matrix, b: &Matrix, first: usize, span: &mut [f32]) {
     }
 }
 
+/// Checks that `out` is shaped `m×n`, zeroes it, and returns `Ok`.
+fn prep_out(op: &'static str, out: &mut Matrix, m: usize, n: usize) -> Result<(), ShapeError> {
+    if out.shape() != (m, n) {
+        return Err(ShapeError::new(op, (m, n), out.shape()));
+    }
+    out.as_mut_slice().fill(0.0);
+    Ok(())
+}
+
 impl Matrix {
     /// Matrix product `self * other`.
     ///
@@ -186,16 +233,31 @@ impl Matrix {
     /// # }
     /// ```
     pub fn matmul(&self, other: &Matrix) -> Result<Matrix, ShapeError> {
+        let mut out = Matrix::zeros(self.rows(), other.cols());
+        self.matmul_into(other, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Matrix::matmul`] writing into a caller-owned output (overwritten,
+    /// must already be shaped `self.rows() × other.cols()`). Reusing one
+    /// output across repeated same-shape products keeps the hot path free
+    /// of heap traffic — pack buffers are pooled too, so the steady state
+    /// allocates nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] when `self.cols() != other.rows()` or
+    /// `out` has the wrong shape.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) -> Result<(), ShapeError> {
         if self.cols() != other.rows() {
             return Err(ShapeError::new("matmul", self.shape(), other.shape()));
         }
+        prep_out("matmul_into", out, self.rows(), other.cols())?;
         let _prof = dota_prof::span("gemm.matmul");
-        let (m, k, n) = (self.rows(), self.cols(), other.cols());
-        let mut out = Matrix::zeros(m, n);
-        row_dispatch(&mut out, m * k * n, |first, span| {
+        gemm_dispatch(Layout::Nn, self, other, out, |first, span| {
             nn_kernel(self, other, first, span);
         });
-        Ok(out)
+        Ok(())
     }
 
     /// Matrix product with transposed right operand: `self * other^T`.
@@ -207,16 +269,28 @@ impl Matrix {
     ///
     /// Returns a [`ShapeError`] when `self.cols() != other.cols()`.
     pub fn matmul_nt(&self, other: &Matrix) -> Result<Matrix, ShapeError> {
+        let mut out = Matrix::zeros(self.rows(), other.rows());
+        self.matmul_nt_into(other, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Matrix::matmul_nt`] writing into a caller-owned output
+    /// (overwritten, must be shaped `self.rows() × other.rows()`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] when `self.cols() != other.cols()` or
+    /// `out` has the wrong shape.
+    pub fn matmul_nt_into(&self, other: &Matrix, out: &mut Matrix) -> Result<(), ShapeError> {
         if self.cols() != other.cols() {
             return Err(ShapeError::new("matmul_nt", self.shape(), other.shape()));
         }
+        prep_out("matmul_nt_into", out, self.rows(), other.rows())?;
         let _prof = dota_prof::span("gemm.matmul_nt");
-        let (m, k, n) = (self.rows(), self.cols(), other.rows());
-        let mut out = Matrix::zeros(m, n);
-        row_dispatch(&mut out, m * k * n, |first, span| {
+        gemm_dispatch(Layout::Nt, self, other, out, |first, span| {
             nt_kernel(self, other, first, span);
         });
-        Ok(out)
+        Ok(())
     }
 
     /// Matrix product with transposed left operand: `self^T * other`.
@@ -225,19 +299,35 @@ impl Matrix {
     ///
     /// Returns a [`ShapeError`] when `self.rows() != other.rows()`.
     pub fn matmul_tn(&self, other: &Matrix) -> Result<Matrix, ShapeError> {
-        if self.rows() != other.rows() {
-            return Err(ShapeError::new("matmul_tn", self.shape(), other.shape()));
-        }
-        let _prof = dota_prof::span("gemm.matmul_tn");
-        let (m, k, n) = (self.cols(), self.rows(), other.cols());
-        let mut out = Matrix::zeros(m, n);
-        row_dispatch(&mut out, m * k * n, |first, span| {
-            tn_kernel(self, other, first, span);
-        });
+        let mut out = Matrix::zeros(self.cols(), other.cols());
+        self.matmul_tn_into(other, &mut out)?;
         Ok(out)
     }
 
+    /// [`Matrix::matmul_tn`] writing into a caller-owned output
+    /// (overwritten, must be shaped `self.cols() × other.cols()`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] when `self.rows() != other.rows()` or
+    /// `out` has the wrong shape.
+    pub fn matmul_tn_into(&self, other: &Matrix, out: &mut Matrix) -> Result<(), ShapeError> {
+        if self.rows() != other.rows() {
+            return Err(ShapeError::new("matmul_tn", self.shape(), other.shape()));
+        }
+        prep_out("matmul_tn_into", out, self.cols(), other.cols())?;
+        let _prof = dota_prof::span("gemm.matmul_tn");
+        gemm_dispatch(Layout::Tn, self, other, out, |first, span| {
+            tn_kernel(self, other, first, span);
+        });
+        Ok(())
+    }
+
     /// Matrix-vector product `self * v`.
+    ///
+    /// The `scalar` and `simd` families use the exact sequential chain;
+    /// the opt-in `fma` family uses a reassociated multi-chain SIMD dot
+    /// (same documented numerics shift as its GEMM kernels).
     ///
     /// # Errors
     ///
@@ -246,10 +336,28 @@ impl Matrix {
         if self.cols() != v.len() {
             return Err(ShapeError::new("matvec", self.shape(), (v.len(), 1)));
         }
+        if KernelFamily::active() == KernelFamily::Fma {
+            if let Some(first) = self
+                .rows_iter()
+                .next()
+                .and_then(|row| simd::fma_dot(row, v))
+            {
+                let mut out = Vec::with_capacity(self.rows());
+                out.push(first);
+                for row in self.rows_iter().skip(1) {
+                    out.push(simd::fma_dot(row, v).expect("fma support checked above"));
+                }
+                return Ok(out);
+            }
+        }
         Ok(self.rows_iter().map(|row| dot_chain(0.0, row, v)).collect())
     }
 
     /// Dot product of two equal-length slices.
+    ///
+    /// Always the exact sequential chain, regardless of kernel family: the
+    /// sparse-attention scorer and the detector compare these values
+    /// against recorded thresholds, so they must not drift.
     ///
     /// # Panics
     ///
@@ -264,6 +372,7 @@ impl Matrix {
 mod tests {
     use crate::reference;
     use crate::rng::SeededRng;
+    use crate::simd::with_gemm_env;
     use crate::Matrix;
 
     #[test]
@@ -371,6 +480,70 @@ mod tests {
                 "tn bits differ at {m}x{k}x{n}"
             );
         }
+    }
+
+    #[test]
+    fn packed_path_is_bitwise_equal_to_reference() {
+        // Sizes past the packing cutoff with awkward edges: the packed
+        // SIMD driver (when this host has lanes) must reproduce the
+        // reference chain exactly, like the legacy kernels do. Runs under
+        // both `simd` and `scalar` so the dispatch seam itself is pinned.
+        let mut rng = SeededRng::new(7);
+        for family in ["simd", "scalar"] {
+            for &(m, k, n) in &[(37, 41, 43), (64, 64, 64), (70, 33, 130)] {
+                let a = rng.normal_matrix(m, k, 1.0);
+                let b = rng.normal_matrix(k, n, 1.0);
+                let bt = rng.normal_matrix(n, k, 1.0);
+                let at = rng.normal_matrix(k, m, 1.0);
+                let (nn, nt, tn) = with_gemm_env(Some(family), || {
+                    (
+                        a.matmul(&b).unwrap(),
+                        a.matmul_nt(&bt).unwrap(),
+                        at.matmul_tn(&b).unwrap(),
+                    )
+                });
+                assert_eq!(
+                    nn.as_slice(),
+                    reference::matmul(&a, &b).as_slice(),
+                    "{family} nn bits differ at {m}x{k}x{n}"
+                );
+                assert_eq!(
+                    nt.as_slice(),
+                    reference::matmul_nt(&a, &bt).as_slice(),
+                    "{family} nt bits differ at {m}x{k}x{n}"
+                );
+                assert_eq!(
+                    tn.as_slice(),
+                    reference::matmul_tn(&at, &b).as_slice(),
+                    "{family} tn bits differ at {m}x{k}x{n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn into_variants_match_and_reuse_output() {
+        let mut rng = SeededRng::new(8);
+        let a = rng.normal_matrix(33, 20, 1.0);
+        let b = rng.normal_matrix(20, 17, 1.0);
+        let mut out = Matrix::filled(33, 17, f32::NAN); // overwritten, not accumulated
+        a.matmul_into(&b, &mut out).unwrap();
+        assert_eq!(out.as_slice(), a.matmul(&b).unwrap().as_slice());
+        // Second product into the same buffer: same bits again.
+        a.matmul_into(&b, &mut out).unwrap();
+        assert_eq!(out.as_slice(), a.matmul(&b).unwrap().as_slice());
+
+        let mut wrong = Matrix::zeros(4, 4);
+        assert!(a.matmul_into(&b, &mut wrong).is_err());
+        assert!(a.matmul_nt_into(&b, &mut wrong).is_err());
+        let bt = b.transpose();
+        let mut out_nt = Matrix::zeros(33, 17);
+        a.matmul_nt_into(&bt, &mut out_nt).unwrap();
+        assert_eq!(out_nt.as_slice(), out.as_slice());
+        let at = a.transpose();
+        let mut out_tn = Matrix::zeros(33, 17);
+        at.matmul_tn_into(&b, &mut out_tn).unwrap();
+        assert_eq!(out_tn.as_slice(), out.as_slice());
     }
 
     #[test]

@@ -32,11 +32,13 @@
 mod error;
 mod gemm;
 mod matrix;
+mod pack;
 
 pub mod flops;
 pub mod ops;
 pub mod reference;
 pub mod rng;
+pub mod simd;
 pub mod topk;
 
 pub use error::ShapeError;

@@ -154,12 +154,30 @@ impl Matrix {
 
     /// Column `c` collected into a new `Vec`.
     ///
+    /// Allocates per call — hot paths should use [`Matrix::col_iter`]
+    /// (a strided view over the row-major storage) instead.
+    ///
     /// # Panics
     ///
     /// Panics if `c >= self.cols()`.
     pub fn col(&self, c: usize) -> Vec<f32> {
+        self.col_iter(c).collect()
+    }
+
+    /// Iterator over column `c` without allocating: a stride-`cols` walk
+    /// of the row-major storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= self.cols()`.
+    pub fn col_iter(&self, c: usize) -> impl Iterator<Item = f32> + '_ {
         assert!(c < self.cols, "col index {c} out of bounds ({})", self.cols);
-        (0..self.rows).map(|r| self[(r, c)]).collect()
+        self.data
+            .get(c..)
+            .unwrap_or(&[]) // rows == 0: nothing to walk
+            .iter()
+            .step_by(self.cols)
+            .copied()
     }
 
     /// The underlying row-major data slice.
@@ -193,11 +211,22 @@ impl Matrix {
     }
 
     /// Returns the transpose as a new matrix.
+    ///
+    /// Tiled so both the row reads and the strided writes stay within one
+    /// cache-sized block at a time.
     pub fn transpose(&self) -> Matrix {
+        const TB: usize = 32;
         let mut out = Matrix::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out[(c, r)] = self[(r, c)];
+        for rb in (0..self.rows).step_by(TB) {
+            let re = (rb + TB).min(self.rows);
+            for cb in (0..self.cols).step_by(TB) {
+                let ce = (cb + TB).min(self.cols);
+                for r in rb..re {
+                    let row = &self.data[r * self.cols..(r + 1) * self.cols];
+                    for c in cb..ce {
+                        out.data[c * self.rows + r] = row[c];
+                    }
+                }
             }
         }
         out
@@ -306,7 +335,16 @@ impl Matrix {
     /// Panics if `c0 > c1` or `c1 > self.cols()`.
     pub fn slice_cols(&self, c0: usize, c1: usize) -> Matrix {
         assert!(c0 <= c1 && c1 <= self.cols, "invalid col range {c0}..{c1}");
-        Matrix::from_fn(self.rows, c1 - c0, |r, c| self[(r, c0 + c)])
+        let width = c1 - c0;
+        let mut data = Vec::with_capacity(self.rows * width);
+        for r in 0..self.rows {
+            data.extend_from_slice(&self.data[r * self.cols + c0..r * self.cols + c1]);
+        }
+        Matrix {
+            rows: self.rows,
+            cols: width,
+            data,
+        }
     }
 
     /// Concatenates matrices horizontally (same row count).
@@ -489,6 +527,17 @@ mod tests {
         assert_eq!(m[(1, 2)], 5.0);
         assert_eq!(m.row(1), &[3.0, 4.0, 5.0]);
         assert_eq!(m.col(2), vec![2.0, 5.0]);
+    }
+
+    #[test]
+    fn col_iter_matches_col() {
+        let m = Matrix::from_fn(4, 3, |r, c| (r * 3 + c) as f32);
+        for c in 0..3 {
+            let viewed: Vec<f32> = m.col_iter(c).collect();
+            assert_eq!(viewed, m.col(c));
+        }
+        let empty = Matrix::from_vec(0, 3, vec![]).unwrap();
+        assert_eq!(empty.col_iter(2).count(), 0);
     }
 
     #[test]

@@ -215,6 +215,12 @@ impl crate::Model {
 
         let mut layers = Vec::with_capacity(cfg.n_layers);
         let mut fallback_dense = 0u64;
+        // Q/K/V projections have the same shape at every layer: reuse one
+        // output buffer per projection across the loop (`matmul_into`)
+        // so the steady-state layer body allocates nothing for them.
+        let mut q = Matrix::zeros(n, cfg.d_model);
+        let mut k = Matrix::zeros(n, cfg.d_model);
+        let mut v = Matrix::zeros(n, cfg.d_model);
         for (l, layer) in tp.layers.iter().enumerate() {
             if strict {
                 if dota_faults::enabled()
@@ -227,15 +233,21 @@ impl crate::Model {
                     return Err(InferError::NonFiniteInput { layer: l });
                 }
             }
-            let q = x.matmul(params.value(layer.wq)).expect("shape");
-            let k = x.matmul(params.value(layer.wk)).expect("shape");
-            let v = x.matmul(params.value(layer.wv)).expect("shape");
+            x.matmul_into(params.value(layer.wq), &mut q)
+                .expect("shape");
+            x.matmul_into(params.value(layer.wk), &mut k)
+                .expect("shape");
+            x.matmul_into(params.value(layer.wv), &mut v)
+                .expect("shape");
 
             // Each head is independent given the shared Q/K/V projections:
             // the closure below computes one head's output and trace, and
             // with the `parallel` feature the heads of a layer fan out over
             // `dota_parallel::par_map` (order-preserving, so the trace and
             // the concatenation order match serial execution exactly).
+            // GEMMs inside a head run serially on that worker — nested
+            // dispatch is suppressed (`dota_parallel::in_worker`) so the
+            // head fan-out and the GEMM pool never oversubscribe cores.
             let compute_head = |h: usize| -> (Matrix, HeadTrace, bool) {
                 let _prof = dota_prof::span("attn.head");
                 let (c0, c1) = (h * hd, (h + 1) * hd);
