@@ -198,4 +198,77 @@ mod tests {
     fn rejects_bad_retention() {
         let _ = simulate_decode(&AccelConfig::default(), &gpt2_small(), 10, 1, 0.0, 0.0);
     }
+
+    /// `kv_stream_cycles` follows its closed form exactly: per generated
+    /// token, each layer/head fetches `max(1, ceil(retention * context))`
+    /// K and V vectors of `head_dim` FX16 values, rounded up to whole
+    /// DRAM-bandwidth cycles per step. The serving layer's cost model
+    /// builds on this accounting, so it is pinned, not approximated.
+    #[test]
+    fn kv_stream_cycles_match_closed_form() {
+        let cfg = AccelConfig::default();
+        let model = TransformerConfig::tiny_causal(64, 16);
+        let (layers, heads, hd) = (
+            model.n_layers as u64,
+            model.n_heads as u64,
+            model.head_dim() as u64,
+        );
+        let (prompt, gen) = (11usize, 7usize);
+        for retention in [1.0, 0.5, 0.25, 0.125] {
+            let rep = simulate_decode(&cfg, &model, prompt, gen, retention, 0.0);
+            let mut expect_kv = 0u64;
+            for t in 0..gen {
+                let context = (prompt + t) as u64;
+                let kept = ((retention * context as f64).ceil() as u64).max(1);
+                let kv_bytes = layers * heads * kept * 2 * hd * 2;
+                expect_kv += (kv_bytes as f64 / cfg.dram_gbps).ceil() as u64;
+            }
+            assert_eq!(
+                rep.kv_stream_cycles, expect_kv,
+                "retention {retention}: kv accounting drifted from closed form"
+            );
+        }
+    }
+
+    /// Weight streaming is exactly one full weight read per generated
+    /// token, and total cycles decompose as weights + K/V with nothing
+    /// hidden in between.
+    #[test]
+    fn cycles_decompose_into_weight_plus_kv() {
+        let cfg = AccelConfig::default();
+        for (model, prompt, gen) in [
+            (TransformerConfig::tiny_causal(64, 16), 9usize, 5usize),
+            (gpt2_small(), 1024, 16),
+        ] {
+            let d = model.d_model as u64;
+            let weight_bytes = model.n_layers as u64 * (4 * d * d + 2 * d * model.d_ff as u64) * 2;
+            let per_token = (weight_bytes as f64 / cfg.dram_gbps).ceil() as u64;
+            for retention in [1.0, 0.25] {
+                let rep = simulate_decode(&cfg, &model, prompt, gen, retention, 0.0);
+                assert_eq!(rep.weight_stream_cycles, per_token * gen as u64);
+                assert_eq!(rep.cycles, rep.weight_stream_cycles + rep.kv_stream_cycles);
+            }
+        }
+    }
+
+    /// K/V traffic scales (almost) linearly with retention: the ceil per
+    /// step adds at most one kept vector, so at long context the ratio
+    /// brackets the retention tightly and is monotone down the ladder.
+    #[test]
+    fn kv_cycles_scale_linearly_with_retention() {
+        let cfg = AccelConfig::default();
+        let model = gpt2_small();
+        let dense = simulate_decode(&cfg, &model, 2048, 16, 1.0, 0.0);
+        let mut prev = dense.kv_stream_cycles;
+        for retention in [0.5, 0.25, 0.125] {
+            let rep = simulate_decode(&cfg, &model, 2048, 16, retention, 0.0);
+            let ratio = rep.kv_stream_cycles as f64 / dense.kv_stream_cycles as f64;
+            assert!(
+                (ratio - retention).abs() < 0.01,
+                "retention {retention}: kv ratio {ratio}"
+            );
+            assert!(rep.kv_stream_cycles < prev, "ladder must be monotone");
+            prev = rep.kv_stream_cycles;
+        }
+    }
 }

@@ -10,6 +10,7 @@
 //! dota infer BENCH [--retention R] [--seq N]   # one traced inference
 //! dota analyze BENCH [--out FILE]              # cycle-vs-time bottleneck report
 //! dota faults --seed S --rates 0,0.05,1       # fault-injection campaign
+//! dota serve [--bench] [--out FILE]           # continuous-batching load test
 //! ```
 //!
 //! Every command accepts the global observability flags `--trace <path>`
@@ -104,6 +105,7 @@ fn main() -> ExitCode {
         "analyze" => cmd_analyze(rest),
         "report" => cmd_report(rest),
         "faults" => cmd_faults(rest),
+        "serve" => cmd_serve(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -185,6 +187,39 @@ fn validate_env() -> Result<(), String> {
                 return Err(format!(
                     "{name} is set but empty; set it to an output path or unset it"
                 ));
+            }
+        }
+    }
+    // Serving knobs: a typo'd batch size or shed policy silently falling
+    // back to defaults would make one load test incomparable with the
+    // next, so reject malformed values up front like the knobs above.
+    if let Ok(v) = std::env::var("DOTA_SERVE_BATCH") {
+        match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => {}
+            _ => {
+                return Err(format!(
+                    "DOTA_SERVE_BATCH must be a positive integer, got `{v}`"
+                ))
+            }
+        }
+    }
+    if let Ok(v) = std::env::var("DOTA_SERVE_DEADLINE") {
+        match v.trim().parse::<f64>() {
+            Ok(x) if x > 0.0 && x.is_finite() => {}
+            _ => {
+                return Err(format!(
+                    "DOTA_SERVE_DEADLINE must be a positive number of microseconds, got `{v}`"
+                ))
+            }
+        }
+    }
+    if let Ok(v) = std::env::var("DOTA_SERVE_SHED") {
+        match v.trim().to_ascii_lowercase().as_str() {
+            "queue" | "queue-only" | "retention" | "shed" | "both" => {}
+            _ => {
+                return Err(format!(
+                    "DOTA_SERVE_SHED must be queue|retention|both, got `{v}`"
+                ))
             }
         }
     }
@@ -304,6 +339,136 @@ fn cmd_faults(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let bench = take_bool_flag(&mut args, "--bench");
+    let (positional, flags) = parse_flags(&args)?;
+    if let Some(extra) = positional.first() {
+        return Err(format!(
+            "serve takes no positional arguments, got `{extra}`"
+        ));
+    }
+    let mut opts = dota_serve::BenchOptions::default();
+    if let Some(n) = flag_usize(&flags, "requests")? {
+        opts.requests = n;
+    }
+    if let Some(s) = flag_usize(&flags, "seed")? {
+        opts.seed = s as u64;
+    }
+    // Flag wins over environment wins over default ([`validate_env`] has
+    // already rejected malformed DOTA_SERVE_* values).
+    if let Some(c) = flag_usize(&flags, "capacity")?
+        .or_else(|| std::env::var("DOTA_SERVE_BATCH").ok()?.trim().parse().ok())
+    {
+        opts.capacity = c;
+    }
+    if let Some(q) = flag_usize(&flags, "queue")? {
+        opts.queue_capacity = q;
+    }
+    if let Some(s) = flag_usize(&flags, "seq")? {
+        opts.seq = s;
+    }
+    if let Some(d) = flag_f64(&flags, "deadline-interactive")?.or_else(|| {
+        std::env::var("DOTA_SERVE_DEADLINE")
+            .ok()?
+            .trim()
+            .parse()
+            .ok()
+    }) {
+        opts.interactive_deadline_us = d;
+    }
+    if let Some(d) = flag_f64(&flags, "deadline-batch")? {
+        opts.batch_deadline_us = d;
+    }
+    let shed_spec = flags
+        .get("shed")
+        .cloned()
+        .or_else(|| env_path("DOTA_SERVE_SHED"));
+    if let Some(spec) = shed_spec {
+        opts.sheds = match spec.trim().to_ascii_lowercase().as_str() {
+            "both" => vec![
+                dota_serve::ShedPolicy::QueueOnly,
+                dota_serve::ShedPolicy::Retention,
+            ],
+            other => vec![dota_serve::ShedPolicy::parse(other)?],
+        };
+    }
+    if let Some(list) = flags.get("loads") {
+        opts.loads = list
+            .split(',')
+            .filter(|s| !s.trim().is_empty())
+            .map(|s| {
+                s.trim()
+                    .parse::<f64>()
+                    .map_err(|_| format!("--loads entries must be numbers, got `{s}`"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+    } else if !bench {
+        // Without --bench: one load point (default 2x capacity) instead of
+        // the full sweep grid.
+        opts.loads = vec![flag_f64(&flags, "load")?.unwrap_or(2.0)];
+    } else if let Some(l) = flag_f64(&flags, "load")? {
+        opts.loads = vec![l];
+    }
+    let report = dota_serve::run_bench(opts)?;
+    let o = &report.options;
+    println!(
+        "serve load test: seed {}, {} requests/cell, capacity {}, queue {}, seq {}",
+        o.seed, o.requests, o.capacity, o.queue_capacity, o.seq
+    );
+    println!(
+        "{:>9} {:>6} {:>7} {:>8} {:>8} {:>9} {:>9} {:>10} {:>10} {:>6}",
+        "shed",
+        "load",
+        "served",
+        "evicted",
+        "expired",
+        "rejected",
+        "degraded",
+        "p50 e2e",
+        "p99 e2e",
+        "occ"
+    );
+    let us = |v: Option<f64>| match v {
+        Some(x) => format!("{x:.1}us"),
+        None => "-".to_owned(),
+    };
+    for c in &report.cells {
+        println!(
+            "{:>9} {:>5.1}x {:>7} {:>8} {:>8} {:>9} {:>9} {:>10} {:>10} {:>6.2}",
+            c.shed.name(),
+            c.load,
+            c.served(),
+            c.deadline_evicted,
+            c.queue_expired,
+            c.rejected,
+            c.degraded,
+            us(c.e2e_us.quantile(0.5)),
+            us(c.e2e_us.quantile(0.99)),
+            c.mean_occupancy
+        );
+    }
+    if let Some(out) = flags.get("out") {
+        report
+            .write(std::path::Path::new(out))
+            .map_err(|e| format!("writing serve report {out}: {e}"))?;
+        eprintln!("[serve report written to {out}]");
+    }
+    Ok(())
+}
+
+/// Removes a valueless `--name` switch from `args`, returning whether it
+/// was present ([`parse_flags`] treats every `--flag` as taking a value,
+/// so boolean switches must be extracted first).
+fn take_bool_flag(args: &mut Vec<String>, name: &str) -> bool {
+    if let Some(i) = args.iter().position(|a| a == name) {
+        args.remove(i);
+        true
+    } else {
+        false
+    }
+}
+
 /// Removes `--name <value>` from `args` wherever it appears, returning the
 /// value.
 fn take_flag(args: &mut Vec<String>, name: &str) -> Result<Option<String>, String> {
@@ -358,6 +523,22 @@ commands:
                                   directories) value-by-value at relative
                                   tolerance T (default 1e-6); exits
                                   nonzero when regressions are found
+  serve [--bench] [--requests N] [--seed S] [--capacity C] [--queue N]
+        [--seq N] [--load L | --loads L1,L2] [--shed queue|retention|both]
+        [--deadline-interactive US] [--deadline-batch US] [--out FILE]
+                                  continuous-batching inference load test
+                                  on the simulated cycle clock: seeded
+                                  heavy-tailed traffic, per-cell SLO
+                                  histograms (queue wait, TTFT, inter-token,
+                                  e2e); under overload, shed by admitting
+                                  at sparser attention retention (DOTA's
+                                  knob as a quality-for-latency trade) or
+                                  queue at full quality; --bench sweeps
+                                  load x policy and --out writes a
+                                  byte-stable JSON report (diffable with
+                                  report diff); env fallbacks:
+                                  DOTA_SERVE_BATCH, DOTA_SERVE_DEADLINE,
+                                  DOTA_SERVE_SHED
   faults [--seed S] [--sites a,b] [--rates r1,r2] [--seq N] [--out FILE]
                                   deterministic fault-injection campaign:
                                   sweep (site, rate) cells, report whether
@@ -1012,6 +1193,44 @@ mod tests {
             with_env("DOTA_GEMM", Some(ok), || validate_env().unwrap());
         }
         with_env("DOTA_GEMM", None, || validate_env().unwrap());
+    }
+
+    #[test]
+    fn invalid_dota_serve_batch_is_rejected() {
+        for bad in ["0", "-2", "many", "1.5"] {
+            with_env("DOTA_SERVE_BATCH", Some(bad), || {
+                let err = validate_env().unwrap_err();
+                assert!(err.contains("DOTA_SERVE_BATCH"), "{err}");
+            });
+        }
+        with_env("DOTA_SERVE_BATCH", Some("16"), || validate_env().unwrap());
+        with_env("DOTA_SERVE_BATCH", None, || validate_env().unwrap());
+    }
+
+    #[test]
+    fn invalid_dota_serve_deadline_is_rejected() {
+        for bad in ["0", "-50", "soon", "inf"] {
+            with_env("DOTA_SERVE_DEADLINE", Some(bad), || {
+                let err = validate_env().unwrap_err();
+                assert!(err.contains("DOTA_SERVE_DEADLINE"), "{err}");
+            });
+        }
+        with_env("DOTA_SERVE_DEADLINE", Some("75.5"), || {
+            validate_env().unwrap()
+        });
+    }
+
+    #[test]
+    fn invalid_dota_serve_shed_is_rejected() {
+        for bad in ["drop", "none", ""] {
+            with_env("DOTA_SERVE_SHED", Some(bad), || {
+                let err = validate_env().unwrap_err();
+                assert!(err.contains("DOTA_SERVE_SHED"), "{err}");
+            });
+        }
+        for ok in ["queue", "retention", "both", "Queue-Only"] {
+            with_env("DOTA_SERVE_SHED", Some(ok), || validate_env().unwrap());
+        }
     }
 
     #[test]

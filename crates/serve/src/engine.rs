@@ -1,0 +1,765 @@
+//! The continuous-batching scheduler.
+//!
+//! [`ServeEngine`] drives the real incremental decode path
+//! ([`Model::decode_step`]) for a whole population of requests at once.
+//! Time is the accelerator's 1 GHz cycle clock, advanced by the
+//! [`CostModel`] after every step, so the run — admission decisions,
+//! latencies, the serialized report — is a pure function of the request
+//! trace and the configuration: byte-identical across `DOTA_THREADS` and
+//! serial vs `parallel` builds (the scheduler loop is serial; only the
+//! independent per-slot decodes fan out).
+//!
+//! Each scheduler step:
+//!
+//! 1. **ingest** — arrivals up to `now` join their class queue (FIFO
+//!    within class; the queue rejects above `queue_capacity`);
+//! 2. **expire** — queued requests whose deadline already passed leave as
+//!    [`FinishReason::QueueExpired`];
+//! 3. **admit** — free batch slots fill from the queues (interactive
+//!    before batch, FIFO within each). Under [`ShedPolicy::Retention`]
+//!    the backlog picks a rung of the retention ladder: the deeper the
+//!    queue, the sparser the attention the new request runs at —
+//!    *shedding load by degrading accuracy instead of waiting*;
+//! 4. **decode** — every in-flight request advances one token (prompt
+//!    tokens first, then greedy generation); the step costs one shared
+//!    weight stream plus each member's measured K/V traffic;
+//! 5. **evict** — requests that finished (`max_new` tokens or EOS) or
+//!    overran their deadline leave the batch at step boundaries.
+
+use crate::cost::CostModel;
+use crate::request::{Completion, DeadlineClass, FinishReason, Request};
+use crate::selector::WindowSelector;
+use dota_accel::AccelConfig;
+use dota_autograd::ParamSet;
+use dota_tensor::ops;
+use dota_transformer::{KvCache, Model};
+use std::collections::VecDeque;
+
+/// What the scheduler does when demand outruns capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedPolicy {
+    /// Classic behaviour: requests wait in the queue at full retention
+    /// until a slot frees or their deadline expires.
+    QueueOnly,
+    /// DOTA's knob in reverse: admission proceeds, but the deeper the
+    /// backlog, the lower the retention new requests are admitted at
+    /// (`ladder[min(backlog / capacity, last rung)]`). Requests keep
+    /// their admitted retention for life, so output remains a pure
+    /// function of the admission decision.
+    Retention,
+}
+
+impl ShedPolicy {
+    /// Stable lower-case name used in reports and on the CLI.
+    pub fn name(self) -> &'static str {
+        match self {
+            ShedPolicy::QueueOnly => "queue",
+            ShedPolicy::Retention => "retention",
+        }
+    }
+
+    /// Parses a CLI/env spelling.
+    ///
+    /// # Errors
+    ///
+    /// Describes the accepted spellings when `s` is neither.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "queue" | "queue-only" => Ok(ShedPolicy::QueueOnly),
+            "retention" | "shed" => Ok(ShedPolicy::Retention),
+            other => Err(format!(
+                "unknown shed policy `{other}` (use queue|retention)"
+            )),
+        }
+    }
+}
+
+/// Scheduler configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Maximum in-flight requests per step (batch slots).
+    pub capacity: usize,
+    /// Maximum pending requests across both class queues; arrivals beyond
+    /// it are rejected outright.
+    pub queue_capacity: usize,
+    /// Overload behaviour.
+    pub shed: ShedPolicy,
+    /// Retention ladder, best first. `ladder[0]` is the undegraded service
+    /// level; deeper backlog walks down the ladder (under
+    /// [`ShedPolicy::Retention`] only).
+    pub ladder: Vec<f64>,
+    /// Deadline budget for [`DeadlineClass::Interactive`], microseconds.
+    pub interactive_deadline_us: f64,
+    /// Deadline budget for [`DeadlineClass::Batch`], microseconds.
+    pub batch_deadline_us: f64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            capacity: 8,
+            queue_capacity: 256,
+            shed: ShedPolicy::Retention,
+            ladder: vec![1.0, 0.5, 0.25, 0.125],
+            interactive_deadline_us: 50.0,
+            batch_deadline_us: 500.0,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.capacity == 0 {
+            return Err("capacity must be at least 1".into());
+        }
+        if self.queue_capacity == 0 {
+            return Err("queue_capacity must be at least 1".into());
+        }
+        if self.ladder.is_empty() {
+            return Err("retention ladder must not be empty".into());
+        }
+        for w in self.ladder.windows(2) {
+            if w[1] > w[0] {
+                return Err("retention ladder must be non-increasing".into());
+            }
+        }
+        for &r in &self.ladder {
+            if !(r > 0.0 && r <= 1.0) {
+                return Err(format!("ladder retention {r} out of range (0, 1]"));
+            }
+        }
+        for us in [self.interactive_deadline_us, self.batch_deadline_us] {
+            // NaN must fail too, so test for the one acceptable state.
+            if !(us > 0.0 && us.is_finite()) {
+                return Err("deadline budgets must be positive and finite".into());
+            }
+        }
+        Ok(())
+    }
+
+    /// Deadline budget of a class in cycles (1 GHz clock: 1000/µs).
+    pub fn deadline_cycles(&self, class: DeadlineClass) -> u64 {
+        let us = match class {
+            DeadlineClass::Interactive => self.interactive_deadline_us,
+            DeadlineClass::Batch => self.batch_deadline_us,
+        };
+        (us * 1e3).round() as u64
+    }
+}
+
+/// A queued request with its precomputed deadline.
+#[derive(Debug)]
+struct Queued {
+    req: Request,
+    deadline: u64,
+}
+
+/// One in-flight batch slot.
+#[derive(Debug)]
+struct Slot {
+    req: Request,
+    deadline: u64,
+    retention: f64,
+    cache: KvCache,
+    selector: WindowSelector,
+    /// Prompt+generated tokens consumed by `decode_step` so far.
+    consumed: usize,
+    /// Generated tokens.
+    tokens: Vec<usize>,
+    /// Next generation input (argmax of the last step's logits).
+    next_token: Option<usize>,
+    eos_hit: bool,
+    admit: u64,
+    admit_seq: u64,
+    first_token: Option<u64>,
+    /// Connections the last decode step attended (drives K/V cost).
+    attended_last: u64,
+    emitted_this_step: bool,
+}
+
+/// Aggregate result of one [`ServeEngine::run`].
+#[derive(Debug)]
+pub struct ServeOutcome {
+    /// Terminal record per offered request, in completion order.
+    pub completions: Vec<Completion>,
+    /// Scheduler steps executed.
+    pub steps: u64,
+    /// Total simulated cycles from first arrival to last exit.
+    pub total_cycles: u64,
+    /// Largest batch occupancy observed (never exceeds capacity).
+    pub max_occupancy: usize,
+    /// Sum of per-step occupancies (mean = `occupancy_sum / steps`).
+    pub occupancy_sum: u64,
+    /// Requests admitted below `ladder[0]`.
+    pub degraded: u64,
+    /// Tokens generated across all requests.
+    pub tokens: u64,
+}
+
+impl ServeOutcome {
+    /// Mean batch occupancy over all steps.
+    pub fn mean_occupancy(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.occupancy_sum as f64 / self.steps as f64
+        }
+    }
+
+    /// Completions that produced their full requested output.
+    pub fn served(&self) -> usize {
+        self.completions
+            .iter()
+            .filter(|c| c.reason.is_served())
+            .count()
+    }
+}
+
+/// The continuous-batching scheduler (see the module docs for the step
+/// anatomy).
+#[derive(Debug)]
+pub struct ServeEngine<'m> {
+    model: &'m Model,
+    params: &'m ParamSet,
+    cfg: ServeConfig,
+    cost: CostModel,
+    now: u64,
+    /// Pending queues: `[interactive, batch]`, each FIFO.
+    queues: [VecDeque<Queued>; 2],
+    slots: Vec<Slot>,
+    completions: Vec<Completion>,
+    admit_seq: u64,
+    steps: u64,
+    total_cycles: u64,
+    max_occupancy: usize,
+    occupancy_sum: u64,
+    degraded: u64,
+    tokens: u64,
+}
+
+impl<'m> ServeEngine<'m> {
+    /// Builds an engine over a causal model.
+    ///
+    /// # Errors
+    ///
+    /// Rejects invalid configurations ([`ServeConfig::validate`]) and
+    /// non-causal models.
+    pub fn new(
+        model: &'m Model,
+        params: &'m ParamSet,
+        cfg: ServeConfig,
+        accel: &AccelConfig,
+    ) -> Result<Self, String> {
+        cfg.validate()?;
+        if !model.config().causal {
+            return Err("serving requires a causal (decoder) model".into());
+        }
+        let cost = CostModel::new(accel, model.config());
+        Ok(Self {
+            model,
+            params,
+            cfg,
+            cost,
+            now: 0,
+            queues: [VecDeque::new(), VecDeque::new()],
+            slots: Vec::new(),
+            completions: Vec::new(),
+            admit_seq: 0,
+            steps: 0,
+            total_cycles: 0,
+            max_occupancy: 0,
+            occupancy_sum: 0,
+            degraded: 0,
+            tokens: 0,
+        })
+    }
+
+    /// The engine's cost model (shared with traffic calibration).
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Runs the trace to completion: every offered request terminates
+    /// (served, evicted, expired or rejected) before this returns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requests` is not sorted by arrival, a prompt is empty,
+    /// `max_new` is zero, or a request does not fit the model's `seq_len`.
+    pub fn run(mut self, requests: Vec<Request>) -> ServeOutcome {
+        let _sp = dota_prof::span("serve.run");
+        for w in requests.windows(2) {
+            assert!(
+                w[0].arrival <= w[1].arrival,
+                "requests must be sorted by arrival"
+            );
+        }
+        let mut arrivals = requests.into_iter().peekable();
+        loop {
+            while arrivals.peek().is_some_and(|r| r.arrival <= self.now) {
+                self.enqueue(arrivals.next().expect("peeked"));
+            }
+            self.expire_queued();
+            self.admit();
+            if self.slots.is_empty() {
+                if let Some(next) = arrivals.peek().map(|r| r.arrival) {
+                    // Idle: jump to the next arrival.
+                    self.now = self.now.max(next);
+                    continue;
+                }
+                assert!(
+                    self.pending_len() == 0,
+                    "pending requests with free capacity"
+                );
+                break;
+            }
+            self.step();
+        }
+        if dota_trace::enabled() {
+            dota_trace::count("serve.steps", self.steps);
+            dota_trace::count("serve.cycles", self.total_cycles);
+            dota_trace::count("serve.tokens", self.tokens);
+            dota_trace::count("serve.admitted", self.admit_seq);
+            dota_trace::count("serve.degraded", self.degraded);
+            let served = self
+                .completions
+                .iter()
+                .filter(|c| c.reason.is_served())
+                .count() as u64;
+            dota_trace::count("serve.served", served);
+            dota_trace::count("serve.dropped", self.completions.len() as u64 - served);
+        }
+        ServeOutcome {
+            completions: self.completions,
+            steps: self.steps,
+            total_cycles: self.total_cycles,
+            max_occupancy: self.max_occupancy,
+            occupancy_sum: self.occupancy_sum,
+            degraded: self.degraded,
+            tokens: self.tokens,
+        }
+    }
+
+    fn pending_len(&self) -> usize {
+        self.queues[0].len() + self.queues[1].len()
+    }
+
+    fn class_queue(&mut self, class: DeadlineClass) -> &mut VecDeque<Queued> {
+        match class {
+            DeadlineClass::Interactive => &mut self.queues[0],
+            DeadlineClass::Batch => &mut self.queues[1],
+        }
+    }
+
+    fn enqueue(&mut self, req: Request) {
+        assert!(
+            !req.prompt.is_empty(),
+            "request {} has an empty prompt",
+            req.id
+        );
+        assert!(req.max_new >= 1, "request {} asks for zero tokens", req.id);
+        assert!(
+            req.total_positions() <= self.model.config().seq_len,
+            "request {} needs {} positions but seq_len is {}",
+            req.id,
+            req.total_positions(),
+            self.model.config().seq_len
+        );
+        if self.pending_len() >= self.cfg.queue_capacity {
+            let base = self.cfg.ladder[0];
+            self.completions.push(Completion {
+                id: req.id,
+                class: req.class,
+                reason: FinishReason::Rejected,
+                retention: base,
+                tokens: Vec::new(),
+                arrival: req.arrival,
+                admit: None,
+                first_token: None,
+                finish: self.now,
+                admit_seq: None,
+            });
+            return;
+        }
+        let deadline = req.arrival + self.cfg.deadline_cycles(req.class);
+        let class = req.class;
+        self.class_queue(class).push_back(Queued { req, deadline });
+    }
+
+    fn expire_queued(&mut self) {
+        let now = self.now;
+        let base = self.cfg.ladder[0];
+        for qi in 0..2 {
+            // Deadlines are arrival + a per-class constant and the queue is
+            // FIFO by arrival, so expired entries form a prefix.
+            while self.queues[qi].front().is_some_and(|q| q.deadline <= now) {
+                let q = self.queues[qi].pop_front().expect("checked front");
+                self.completions.push(Completion {
+                    id: q.req.id,
+                    class: q.req.class,
+                    reason: FinishReason::QueueExpired,
+                    retention: base,
+                    tokens: Vec::new(),
+                    arrival: q.req.arrival,
+                    admit: None,
+                    first_token: None,
+                    finish: q.deadline,
+                    admit_seq: None,
+                });
+            }
+        }
+    }
+
+    fn admit(&mut self) {
+        let _sp = dota_prof::span("serve.admit");
+        while self.slots.len() < self.cfg.capacity {
+            // Backlog behind the request being admitted sets the shed
+            // pressure (an empty queue admits at full service).
+            let backlog = self.pending_len().saturating_sub(1);
+            let Some(q) = self.queues[0]
+                .pop_front()
+                .or_else(|| self.queues[1].pop_front())
+            else {
+                break;
+            };
+            let level = match self.cfg.shed {
+                ShedPolicy::QueueOnly => 0,
+                ShedPolicy::Retention => {
+                    (backlog / self.cfg.capacity).min(self.cfg.ladder.len() - 1)
+                }
+            };
+            let retention = self.cfg.ladder[level];
+            if level > 0 {
+                self.degraded += 1;
+            }
+            let seq = self.admit_seq;
+            self.admit_seq += 1;
+            let mcfg = self.model.config();
+            self.slots.push(Slot {
+                deadline: q.deadline,
+                retention,
+                cache: KvCache::new(mcfg.n_layers, mcfg.d_model),
+                selector: WindowSelector::new(retention),
+                consumed: 0,
+                tokens: Vec::new(),
+                next_token: None,
+                eos_hit: false,
+                admit: self.now,
+                admit_seq: seq,
+                first_token: None,
+                attended_last: 0,
+                emitted_this_step: false,
+                req: q.req,
+            });
+        }
+        debug_assert!(self.slots.len() <= self.cfg.capacity);
+    }
+
+    /// One decode step for one slot; independent of every other slot, so
+    /// the parallel fan-out below is bitwise equivalent to the serial loop.
+    fn decode_slot(model: &Model, params: &ParamSet, slot: &mut Slot) {
+        let input = if slot.consumed < slot.req.prompt.len() {
+            slot.req.prompt[slot.consumed]
+        } else {
+            slot.next_token.expect("generation input available")
+        };
+        let (logits, attended) = model.decode_step(params, &mut slot.cache, input, &slot.selector);
+        slot.consumed += 1;
+        slot.attended_last = attended;
+        if slot.consumed >= slot.req.prompt.len() {
+            let next = ops::argmax_rows(&logits)[0];
+            slot.tokens.push(next);
+            slot.next_token = Some(next);
+            slot.emitted_this_step = true;
+            if slot.req.eos == Some(next) {
+                slot.eos_hit = true;
+            }
+        }
+    }
+
+    fn decode_all(&mut self) {
+        let (model, params) = (self.model, self.params);
+        #[cfg(feature = "parallel")]
+        dota_parallel::par_partition_mut(&mut self.slots, 1, |_, span| {
+            for slot in span {
+                Self::decode_slot(model, params, slot);
+            }
+        });
+        #[cfg(not(feature = "parallel"))]
+        for slot in &mut self.slots {
+            Self::decode_slot(model, params, slot);
+        }
+    }
+
+    fn step(&mut self) {
+        let _sp = dota_prof::span("serve.step");
+        self.decode_all();
+        let cycles = self
+            .cost
+            .step_cycles(self.slots.iter().map(|s| s.attended_last));
+        self.now += cycles;
+        self.total_cycles += cycles;
+        self.steps += 1;
+        self.max_occupancy = self.max_occupancy.max(self.slots.len());
+        self.occupancy_sum += self.slots.len() as u64;
+
+        let now = self.now;
+        let mut i = 0;
+        while i < self.slots.len() {
+            let slot = &mut self.slots[i];
+            if slot.emitted_this_step {
+                self.tokens += 1;
+                if slot.first_token.is_none() {
+                    slot.first_token = Some(now);
+                }
+                slot.emitted_this_step = false;
+            }
+            let done = slot.eos_hit || slot.tokens.len() >= slot.req.max_new;
+            let expired = !done && now > slot.deadline;
+            if done || expired {
+                let slot = self.slots.remove(i);
+                let reason = if slot.eos_hit {
+                    FinishReason::Eos
+                } else if done {
+                    FinishReason::Completed
+                } else {
+                    FinishReason::DeadlineEvicted
+                };
+                self.completions.push(Completion {
+                    id: slot.req.id,
+                    class: slot.req.class,
+                    reason,
+                    retention: slot.retention,
+                    tokens: slot.tokens,
+                    arrival: slot.req.arrival,
+                    admit: Some(slot.admit),
+                    first_token: slot.first_token,
+                    finish: now,
+                    admit_seq: Some(slot.admit_seq),
+                });
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dota_transformer::TransformerConfig;
+
+    fn tiny_model(seq: usize) -> (Model, ParamSet) {
+        let mut params = ParamSet::new();
+        let model = Model::init(TransformerConfig::tiny_causal(seq, 8), &mut params, 17);
+        (model, params)
+    }
+
+    fn req(id: u64, arrival: u64, prompt: &[usize], max_new: usize) -> Request {
+        Request {
+            id,
+            arrival,
+            prompt: prompt.to_vec(),
+            max_new,
+            eos: None,
+            class: DeadlineClass::Interactive,
+        }
+    }
+
+    fn engine<'m>(model: &'m Model, params: &'m ParamSet, cfg: ServeConfig) -> ServeEngine<'m> {
+        ServeEngine::new(model, params, cfg, &AccelConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn single_request_is_served_with_full_timestamps() {
+        let (model, params) = tiny_model(24);
+        let cfg = ServeConfig::default();
+        let out = engine(&model, &params, cfg).run(vec![req(1, 0, &[1, 2, 3], 4)]);
+        assert_eq!(out.completions.len(), 1);
+        let c = &out.completions[0];
+        assert_eq!(c.reason, FinishReason::Completed);
+        assert_eq!(c.tokens.len(), 4);
+        assert_eq!(c.admit, Some(0));
+        // Prompt takes 3 steps; the first token lands at the end of step 3.
+        assert!(c.first_token.unwrap() > 0);
+        assert!(c.finish > c.first_token.unwrap());
+        assert_eq!(out.steps, 3 + 4 - 1); // one decode per prompt token, last prompt step emits
+        assert_eq!(out.tokens, 4);
+    }
+
+    #[test]
+    fn engine_output_matches_offline_generate() {
+        let (model, params) = tiny_model(24);
+        let prompt = [1usize, 4, 2, 7];
+        let offline = model.generate(&params, &prompt, 5, &dota_transformer::DenseDecode);
+        let cfg = ServeConfig {
+            shed: ShedPolicy::QueueOnly,
+            ..Default::default()
+        };
+        let out = engine(&model, &params, cfg).run(vec![req(9, 0, &prompt, 5)]);
+        assert_eq!(out.completions[0].tokens, offline.tokens);
+    }
+
+    #[test]
+    fn eos_stops_generation_early() {
+        let (model, params) = tiny_model(32);
+        let prompt = [1usize, 2, 3];
+        // First run to learn what the model emits, then use that token as EOS.
+        let cfg = ServeConfig::default();
+        let out = engine(&model, &params, cfg.clone()).run(vec![req(1, 0, &prompt, 6)]);
+        let first = out.completions[0].tokens[0];
+        let mut r = req(1, 0, &prompt, 6);
+        r.eos = Some(first);
+        let out = engine(&model, &params, cfg).run(vec![r]);
+        let c = &out.completions[0];
+        assert_eq!(c.reason, FinishReason::Eos);
+        assert_eq!(c.tokens, vec![first]);
+    }
+
+    #[test]
+    fn occupancy_is_bounded_and_queue_rejects_overflow() {
+        let (model, params) = tiny_model(24);
+        let cfg = ServeConfig {
+            capacity: 2,
+            queue_capacity: 3,
+            shed: ShedPolicy::QueueOnly,
+            interactive_deadline_us: 1e6,
+            batch_deadline_us: 1e6,
+            ..Default::default()
+        };
+        let requests: Vec<Request> = (0..12).map(|i| req(i, 0, &[1, 2], 3)).collect();
+        let out = engine(&model, &params, cfg).run(requests);
+        assert_eq!(out.completions.len(), 12);
+        assert!(out.max_occupancy <= 2);
+        let rejected = out
+            .completions
+            .iter()
+            .filter(|c| c.reason == FinishReason::Rejected)
+            .count();
+        // The queue is the single entry point, so a simultaneous burst is
+        // capped at queue_capacity: 3 accepted, the other 9 bounce.
+        assert_eq!(rejected, 9);
+        assert_eq!(out.served(), 3);
+    }
+
+    #[test]
+    fn queued_requests_expire_at_their_deadline() {
+        let (model, params) = tiny_model(24);
+        let cfg = ServeConfig {
+            capacity: 1,
+            queue_capacity: 64,
+            shed: ShedPolicy::QueueOnly,
+            interactive_deadline_us: 0.5, // 500 cycles: far below one service
+            batch_deadline_us: 1e6,
+            ..Default::default()
+        };
+        let requests: Vec<Request> = (0..4).map(|i| req(i, 0, &[1, 2, 3], 8)).collect();
+        let out = engine(&model, &params, cfg).run(requests);
+        let expired = out
+            .completions
+            .iter()
+            .filter(|c| c.reason == FinishReason::QueueExpired)
+            .count();
+        assert!(expired >= 2, "expected queue expiries, got {out:?}");
+        for c in &out.completions {
+            if c.reason == FinishReason::QueueExpired {
+                assert_eq!(c.e2e(), 500);
+                assert!(c.tokens.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn retention_shed_degrades_under_backlog() {
+        let (model, params) = tiny_model(24);
+        let cfg = ServeConfig {
+            capacity: 2,
+            queue_capacity: 64,
+            shed: ShedPolicy::Retention,
+            ladder: vec![1.0, 0.5, 0.25],
+            interactive_deadline_us: 1e6,
+            batch_deadline_us: 1e6,
+        };
+        let requests: Vec<Request> = (0..10).map(|i| req(i, 0, &[1, 2], 4)).collect();
+        let out = engine(&model, &params, cfg).run(requests);
+        assert!(out.degraded > 0, "backlog should push down the ladder");
+        assert!(
+            out.completions
+                .iter()
+                .any(|c| c.retention < 1.0 && c.reason == FinishReason::Completed),
+            "degraded requests still complete"
+        );
+    }
+
+    #[test]
+    fn interactive_admits_before_batch() {
+        let (model, params) = tiny_model(24);
+        let cfg = ServeConfig {
+            capacity: 1,
+            queue_capacity: 64,
+            shed: ShedPolicy::QueueOnly,
+            interactive_deadline_us: 1e6,
+            batch_deadline_us: 1e6,
+            ..Default::default()
+        };
+        let mut batch = req(0, 0, &[1, 2], 2);
+        batch.class = DeadlineClass::Batch;
+        let mut batch2 = req(1, 0, &[1, 2], 2);
+        batch2.class = DeadlineClass::Batch;
+        let inter = req(2, 0, &[1, 2], 2);
+        let out = engine(&model, &params, cfg).run(vec![batch, batch2, inter]);
+        let seq_of = |id: u64| {
+            out.completions
+                .iter()
+                .find(|c| c.id == id)
+                .unwrap()
+                .admit_seq
+                .unwrap()
+        };
+        // All three arrive at t=0; the interactive request jumps both
+        // queued batch ones, which then admit FIFO.
+        assert_eq!(seq_of(2), 0);
+        assert_eq!(seq_of(0), 1);
+        assert_eq!(seq_of(1), 2);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let (model, params) = tiny_model(24);
+        for cfg in [
+            ServeConfig {
+                capacity: 0,
+                ..Default::default()
+            },
+            ServeConfig {
+                ladder: vec![],
+                ..Default::default()
+            },
+            ServeConfig {
+                ladder: vec![0.5, 1.0],
+                ..Default::default()
+            },
+            ServeConfig {
+                ladder: vec![1.0, 0.0],
+                ..Default::default()
+            },
+            ServeConfig {
+                interactive_deadline_us: 0.0,
+                ..Default::default()
+            },
+        ] {
+            assert!(ServeEngine::new(&model, &params, cfg, &AccelConfig::default()).is_err());
+        }
+        // Non-causal models cannot serve.
+        let mut p2 = ParamSet::new();
+        let enc = Model::init(TransformerConfig::tiny(16, 8, 2), &mut p2, 1);
+        assert!(
+            ServeEngine::new(&enc, &p2, ServeConfig::default(), &AccelConfig::default()).is_err()
+        );
+    }
+}

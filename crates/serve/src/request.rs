@@ -1,0 +1,141 @@
+//! Requests, deadline classes and terminal outcomes.
+
+/// SLO class of a request. Admission is FIFO *within* a class;
+/// [`Interactive`](DeadlineClass::Interactive) requests are admitted ahead
+/// of [`Batch`](DeadlineClass::Batch) ones and carry a tighter deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DeadlineClass {
+    /// Latency-sensitive traffic (tight deadline, admitted first).
+    Interactive,
+    /// Throughput traffic (loose deadline).
+    Batch,
+}
+
+impl DeadlineClass {
+    /// Stable lower-case name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            DeadlineClass::Interactive => "interactive",
+            DeadlineClass::Batch => "batch",
+        }
+    }
+}
+
+/// One inference request offered to the service.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Caller-chosen id, echoed in the [`Completion`].
+    pub id: u64,
+    /// Arrival time in accelerator cycles (1 GHz model clock).
+    pub arrival: u64,
+    /// Prompt token ids (non-empty; consumed one per scheduler step).
+    pub prompt: Vec<usize>,
+    /// Number of new tokens to generate (at least 1).
+    pub max_new: usize,
+    /// Generation stops early if this token is produced.
+    pub eos: Option<usize>,
+    /// SLO class (selects the deadline budget and admission order).
+    pub class: DeadlineClass,
+}
+
+impl Request {
+    /// Total cache positions the request needs (`prompt + max_new`).
+    pub fn total_positions(&self) -> usize {
+        self.prompt.len() + self.max_new
+    }
+}
+
+/// Why a request left the system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FinishReason {
+    /// Generated all `max_new` tokens.
+    Completed,
+    /// Generated its EOS token before `max_new`.
+    Eos,
+    /// Deadline passed while decoding; evicted with partial output.
+    DeadlineEvicted,
+    /// Deadline passed while still queued; never admitted.
+    QueueExpired,
+    /// The pending queue was full at arrival.
+    Rejected,
+}
+
+impl FinishReason {
+    /// Stable lower-case name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FinishReason::Completed => "completed",
+            FinishReason::Eos => "eos",
+            FinishReason::DeadlineEvicted => "deadline_evicted",
+            FinishReason::QueueExpired => "queue_expired",
+            FinishReason::Rejected => "rejected",
+        }
+    }
+
+    /// `true` when the request produced its full requested output
+    /// (all tokens, or a natural EOS stop).
+    pub fn is_served(self) -> bool {
+        matches!(self, FinishReason::Completed | FinishReason::Eos)
+    }
+}
+
+/// Terminal record of one request, with the timestamps the SLO histograms
+/// are built from. All times are cycles on the simulated clock.
+#[derive(Debug, Clone)]
+pub struct Completion {
+    /// Request id.
+    pub id: u64,
+    /// SLO class.
+    pub class: DeadlineClass,
+    /// Why the request terminated.
+    pub reason: FinishReason,
+    /// Attention retention the request was admitted at (the shed policy's
+    /// choice; `ladder[0]` when it never reached a slot).
+    pub retention: f64,
+    /// Tokens generated (possibly partial under eviction; includes the EOS
+    /// token when the stop was natural).
+    pub tokens: Vec<usize>,
+    /// Arrival time.
+    pub arrival: u64,
+    /// Admission time (`None` when never admitted).
+    pub admit: Option<u64>,
+    /// Time the first generated token finished (`None` when none was).
+    pub first_token: Option<u64>,
+    /// Time the request left the system.
+    pub finish: u64,
+    /// Global admission sequence number (`None` when never admitted);
+    /// strictly increasing in admission order, so FIFO properties are
+    /// checkable from completions alone.
+    pub admit_seq: Option<u64>,
+}
+
+impl Completion {
+    /// Queue wait in cycles (admission minus arrival; full residence time
+    /// for requests that expired or were rejected in the queue).
+    pub fn queue_wait(&self) -> u64 {
+        self.admit
+            .unwrap_or(self.finish)
+            .saturating_sub(self.arrival)
+    }
+
+    /// Time-to-first-token in cycles (`None` when no token was produced).
+    pub fn ttft(&self) -> Option<u64> {
+        self.first_token.map(|t| t.saturating_sub(self.arrival))
+    }
+
+    /// End-to-end residence time in cycles (arrival to exit, whatever the
+    /// outcome — an expired request *did* wait that long).
+    pub fn e2e(&self) -> u64 {
+        self.finish.saturating_sub(self.arrival)
+    }
+
+    /// Mean inter-token gap in cycles (`None` with fewer than two tokens).
+    pub fn per_token(&self) -> Option<f64> {
+        let first = self.first_token?;
+        if self.tokens.len() < 2 {
+            return None;
+        }
+        let span = self.finish.saturating_sub(first);
+        Some(span as f64 / (self.tokens.len() - 1) as f64)
+    }
+}

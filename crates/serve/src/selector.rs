@@ -1,0 +1,79 @@
+//! Retention-degraded decode selection.
+//!
+//! The serving layer needs a [`DecodeSelector`] whose cost knob is a plain
+//! retention ratio and whose decisions are a pure function of the cache
+//! length — so a shed request's output is bit-identical whatever batch it
+//! shares steps with, and whatever thread decoded it. [`WindowSelector`]
+//! keeps the most recent `ceil(retention · t)` cached positions (recency is
+//! the strongest single prior for causal attention; the DOTA detector's
+//! learned selection plugs in through the same trait via
+//! `dota_detector::DotaDecodeSelector` when accuracy matters more than
+//! isolation).
+
+use dota_tensor::Matrix;
+use dota_transformer::DecodeSelector;
+
+/// Attends to the most recent `ceil(retention · t)` cached positions.
+///
+/// `retention == 1.0` reports dense attention (`None`), so an undegraded
+/// request is indistinguishable from one decoded outside the service.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowSelector {
+    retention: f64,
+}
+
+impl WindowSelector {
+    /// A selector keeping `retention` of the cache per step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `retention` is outside `(0, 1]`.
+    pub fn new(retention: f64) -> Self {
+        assert!(
+            retention > 0.0 && retention <= 1.0,
+            "retention {retention} out of range (0, 1]"
+        );
+        Self { retention }
+    }
+
+    /// The configured retention ratio.
+    pub fn retention(&self) -> f64 {
+        self.retention
+    }
+}
+
+impl DecodeSelector for WindowSelector {
+    fn select(&self, _l: usize, _h: usize, _x: &Matrix, cache_len: usize) -> Option<Vec<u32>> {
+        if self.retention >= 1.0 {
+            return None;
+        }
+        let keep = ((self.retention * cache_len as f64).ceil() as usize).clamp(1, cache_len);
+        Some(((cache_len - keep)..cache_len).map(|i| i as u32).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_retention_is_dense() {
+        let s = WindowSelector::new(1.0);
+        assert_eq!(s.select(0, 0, &Matrix::zeros(1, 4), 10), None);
+    }
+
+    #[test]
+    fn window_keeps_most_recent_share() {
+        let s = WindowSelector::new(0.25);
+        let kept = s.select(1, 0, &Matrix::zeros(1, 4), 8).unwrap();
+        assert_eq!(kept, vec![6, 7]);
+        // Never empty, even for a single cached position.
+        assert_eq!(s.select(0, 0, &Matrix::zeros(1, 4), 1).unwrap(), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_retention_rejected() {
+        let _ = WindowSelector::new(0.0);
+    }
+}

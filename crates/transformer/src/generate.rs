@@ -39,6 +39,25 @@ impl KvCache {
         self.len() == 0
     }
 
+    /// The accumulated `t x d_model` key matrix of `layer` (tests pin its
+    /// rows bitwise against the batch path's per-head key traces).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range.
+    pub fn keys(&self, layer: usize) -> &Matrix {
+        &self.keys[layer]
+    }
+
+    /// The accumulated `t x d_model` value matrix of `layer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range.
+    pub fn values(&self, layer: usize) -> &Matrix {
+        &self.values[layer]
+    }
+
     fn append(&mut self, layer: usize, k_row: &Matrix, v_row: &Matrix) {
         let k = &mut self.keys[layer];
         *k = if k.rows() == 0 {
@@ -259,12 +278,84 @@ mod tests {
             );
             last = logits;
         }
-        // The final step's logits must equal the batch path's final row.
+        // The final step's logits must equal the batch path's final row
+        // **bitwise**: every op involved (GEMM with fixed ascending-k
+        // accumulation, row-wise softmax/layer-norm/GELU) is independent
+        // of how many rows share the matrix, so incremental decode is the
+        // same arithmetic as full recompute, not merely close to it.
         let batch_final = trace.logits.slice_rows(ids.len() - 1, ids.len());
         assert!(
-            last.approx_eq(&batch_final, 1e-4),
+            last == batch_final,
             "incremental {last:?} vs batch {batch_final:?}"
         );
+    }
+
+    /// Backfilling the KV cache token by token reproduces the batch
+    /// path's per-head key/value traces **bitwise**: each K/V row is one
+    /// `1 x d` GEMM whose per-element accumulation order is fixed
+    /// (ascending k, shape-independent), so incremental append and
+    /// full-prompt recompute must agree to the last bit. This is what
+    /// makes a served request's cache state independent of how its prompt
+    /// was chunked across scheduler steps.
+    #[test]
+    fn kv_cache_backfill_matches_batch_trace_bitwise() {
+        let (model, params) = causal_model();
+        let ids = vec![1usize, 4, 2, 7, 3, 5];
+        let trace = model.infer(&params, &ids, &NoHook);
+        let cfg = model.config();
+        let mut cache = KvCache::new(cfg.n_layers, cfg.d_model);
+        for &t in &ids {
+            let _ = model.decode_step(&params, &mut cache, t, &DenseDecode);
+        }
+        let hd = cfg.head_dim();
+        for (l, layer) in trace.layers.iter().enumerate() {
+            assert_eq!(cache.keys(l).rows(), ids.len());
+            assert_eq!(cache.values(l).rows(), ids.len());
+            for (h, head) in layer.heads.iter().enumerate() {
+                let (c0, c1) = (h * hd, (h + 1) * hd);
+                assert!(
+                    cache.keys(l).slice_cols(c0, c1) == head.k,
+                    "layer {l} head {h}: cached keys differ from batch trace"
+                );
+                assert!(
+                    cache.values(l).slice_cols(c0, c1) == head.v,
+                    "layer {l} head {h}: cached values differ from batch trace"
+                );
+            }
+        }
+    }
+
+    /// A cache built by decoding a prompt prefix then continuing with the
+    /// remaining tokens holds exactly the same bits as one built in a
+    /// single pass — append order is all that matters, not call grouping.
+    #[test]
+    fn kv_cache_append_is_chunking_invariant() {
+        let (model, params) = causal_model();
+        let ids = [3usize, 1, 6, 2, 4];
+        let cfg = model.config();
+        let mut one_pass = KvCache::new(cfg.n_layers, cfg.d_model);
+        for &t in &ids {
+            let _ = model.decode_step(&params, &mut one_pass, t, &DenseDecode);
+        }
+        for split in 1..ids.len() {
+            let mut chunked = KvCache::new(cfg.n_layers, cfg.d_model);
+            for &t in &ids[..split] {
+                let _ = model.decode_step(&params, &mut chunked, t, &DenseDecode);
+            }
+            for &t in &ids[split..] {
+                let _ = model.decode_step(&params, &mut chunked, t, &DenseDecode);
+            }
+            for l in 0..cfg.n_layers {
+                assert!(
+                    chunked.keys(l) == one_pass.keys(l),
+                    "split {split}, layer {l}"
+                );
+                assert!(
+                    chunked.values(l) == one_pass.values(l),
+                    "split {split}, layer {l}"
+                );
+            }
+        }
     }
 
     #[test]

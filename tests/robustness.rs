@@ -224,3 +224,71 @@ fn cli_rejects_empty_dota_prof() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("DOTA_PROF"), "stderr was: {stderr}");
 }
+
+/// Malformed serving knobs are rejected up front for *every* command, like
+/// the observability variables above: a typo'd batch size silently falling
+/// back to the default would make load tests incomparable.
+#[test]
+fn cli_rejects_malformed_dota_serve_env() {
+    for (name, bad) in [
+        ("DOTA_SERVE_BATCH", "0"),
+        ("DOTA_SERVE_BATCH", "many"),
+        ("DOTA_SERVE_DEADLINE", "-50"),
+        ("DOTA_SERVE_DEADLINE", "soon"),
+        ("DOTA_SERVE_SHED", "drop"),
+        ("DOTA_SERVE_SHED", ""),
+    ] {
+        let out = Command::new(env!("CARGO_BIN_EXE_dota"))
+            .args(["table2"])
+            .env(name, bad)
+            .output()
+            .unwrap();
+        assert!(!out.status.success(), "{name}={bad} was accepted");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(name), "stderr for {name}={bad}: {stderr}");
+    }
+}
+
+/// Well-formed serving knobs are honored: the configuration line `dota
+/// serve` prints reflects `DOTA_SERVE_BATCH`, and an explicit flag wins
+/// over the environment.
+#[test]
+fn cli_serve_env_knobs_apply_with_flag_precedence() {
+    let out = Command::new(env!("CARGO_BIN_EXE_dota"))
+        .args(["serve", "--requests", "8"])
+        .env("DOTA_SERVE_BATCH", "3")
+        .env("DOTA_SERVE_SHED", "queue")
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("capacity 3"), "stdout was: {stdout}");
+    assert!(!stdout.contains("retention"), "stdout was: {stdout}");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_dota"))
+        .args([
+            "serve",
+            "--requests",
+            "8",
+            "--capacity",
+            "5",
+            "--shed",
+            "retention",
+        ])
+        .env("DOTA_SERVE_BATCH", "3")
+        .env("DOTA_SERVE_SHED", "queue")
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("capacity 5"), "stdout was: {stdout}");
+    assert!(stdout.contains("retention"), "stdout was: {stdout}");
+}

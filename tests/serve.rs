@@ -1,0 +1,185 @@
+//! Load-test suite for `dota serve`: the deterministic continuous-batching
+//! service's headline claims, proven end to end.
+//!
+//! 1. The bench report is **byte-identical** across `DOTA_THREADS`
+//!    settings (and CI additionally `cmp`s serial vs `--features parallel`
+//!    builds): the scheduler is serial, per-slot decodes are independent,
+//!    and the clock is simulated, so thread count cannot leak into bytes.
+//! 2. Under the same offered overload, **retention shedding beats
+//!    queue-only** on tail latency: degrading admission retention trades
+//!    a little per-request attention for a strictly lower p99 e2e.
+//! 3. The canonical JSON **round-trips through `dota report diff`**: two
+//!    same-seed runs diff clean, and a different-seed run is flagged.
+
+use dota_serve::{run_bench, BenchOptions, ShedPolicy};
+use std::path::PathBuf;
+use std::process::Command;
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dota_serve_{name}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn quick_opts() -> BenchOptions {
+    BenchOptions {
+        requests: 60,
+        loads: vec![0.8, 4.0],
+        ..Default::default()
+    }
+}
+
+/// The library-level report is a pure function of its options: rendering
+/// it twice under different `DOTA_THREADS` settings (read per scheduler
+/// call by the thread pool) yields the same bytes.
+#[test]
+fn bench_report_bytes_ignore_thread_count() {
+    let prev = std::env::var("DOTA_THREADS").ok();
+    std::env::set_var("DOTA_THREADS", "1");
+    let serial = run_bench(quick_opts()).unwrap().to_json();
+    std::env::set_var("DOTA_THREADS", "8");
+    let threaded = run_bench(quick_opts()).unwrap().to_json();
+    match prev {
+        Some(v) => std::env::set_var("DOTA_THREADS", v),
+        None => std::env::remove_var("DOTA_THREADS"),
+    }
+    assert_eq!(serial, threaded, "serve report depends on thread count");
+}
+
+/// The CLI writes the same bytes whatever `DOTA_THREADS` says.
+#[test]
+fn cli_serve_report_byte_identical_across_thread_counts() {
+    let dir = scratch_dir("threads");
+    let mut reports = Vec::new();
+    for threads in ["1", "8"] {
+        let path = dir.join(format!("report_t{threads}.json"));
+        let out = Command::new(env!("CARGO_BIN_EXE_dota"))
+            .args(["serve", "--bench", "--requests", "40", "--out"])
+            .arg(&path)
+            .env("DOTA_THREADS", threads)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        reports.push(std::fs::read(&path).unwrap());
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(
+        reports[0], reports[1],
+        "CLI serve report depends on DOTA_THREADS"
+    );
+}
+
+/// At 4x offered overload on identical arrivals, admitting at degraded
+/// retention yields a strictly lower p99 end-to-end latency than queueing
+/// at full quality, without serving fewer requests. This is the service's
+/// reason to exist; if the gap closes, something real regressed.
+#[test]
+fn retention_shedding_beats_queue_only_p99_at_overload() {
+    let opts = BenchOptions {
+        requests: 120,
+        loads: vec![4.0],
+        ..Default::default()
+    };
+    let report = run_bench(opts).unwrap();
+    let queue = report.cell(ShedPolicy::QueueOnly, 4.0).unwrap();
+    let shed = report.cell(ShedPolicy::Retention, 4.0).unwrap();
+    assert!(
+        shed.degraded > 0,
+        "4x overload should push admissions down the ladder"
+    );
+    let qp99 = queue.e2e_us.quantile(0.99).unwrap();
+    let sp99 = shed.e2e_us.quantile(0.99).unwrap();
+    assert!(
+        sp99 < qp99,
+        "retention p99 {sp99}us should be strictly below queue-only p99 {qp99}us"
+    );
+    assert!(
+        shed.served() >= queue.served(),
+        "shedding must not serve fewer requests ({} vs {})",
+        shed.served(),
+        queue.served()
+    );
+    // Every offered request reached a terminal state in both cells.
+    for cell in [queue, shed] {
+        assert_eq!(
+            cell.completed + cell.eos + cell.deadline_evicted + cell.queue_expired + cell.rejected,
+            cell.offered
+        );
+    }
+}
+
+/// Two same-seed CLI runs produce byte-identical reports that `dota
+/// report diff` accepts; a different seed is flagged with a nonzero exit.
+#[test]
+fn cli_serve_report_roundtrips_through_report_diff() {
+    let dir = scratch_dir("diff");
+    let a = dir.join("a.json");
+    let b = dir.join("b.json");
+    let c = dir.join("c.json");
+    for (path, seed) in [(&a, "7"), (&b, "7"), (&c, "8")] {
+        let out = Command::new(env!("CARGO_BIN_EXE_dota"))
+            .args([
+                "serve",
+                "--bench",
+                "--requests",
+                "30",
+                "--seed",
+                seed,
+                "--out",
+            ])
+            .arg(path)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    assert_eq!(
+        std::fs::read(&a).unwrap(),
+        std::fs::read(&b).unwrap(),
+        "same-seed serve reports differ"
+    );
+    let same = Command::new(env!("CARGO_BIN_EXE_dota"))
+        .args(["report", "diff"])
+        .args([a.display().to_string(), b.display().to_string()])
+        .output()
+        .unwrap();
+    assert!(
+        same.status.success(),
+        "report diff rejected identical serve reports: {}",
+        String::from_utf8_lossy(&same.stderr)
+    );
+    let changed = Command::new(env!("CARGO_BIN_EXE_dota"))
+        .args(["report", "diff"])
+        .args([a.display().to_string(), c.display().to_string()])
+        .output()
+        .unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(
+        !changed.status.success(),
+        "report diff missed a seed change in the serve report"
+    );
+}
+
+/// The sweep's underload cell serves everything: deadlines and shedding
+/// only bite when demand outruns capacity.
+#[test]
+fn underload_cell_serves_every_request() {
+    let report = run_bench(quick_opts()).unwrap();
+    for &shed in &[ShedPolicy::QueueOnly, ShedPolicy::Retention] {
+        let cell = report.cell(shed, 0.8).unwrap();
+        assert_eq!(
+            cell.served(),
+            cell.offered,
+            "{} dropped requests at 0.8x load",
+            shed.name()
+        );
+        assert_eq!(cell.rejected, 0);
+    }
+}
