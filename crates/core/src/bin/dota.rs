@@ -223,6 +223,14 @@ fn validate_env() -> Result<(), String> {
             }
         }
     }
+    if let Ok(v) = std::env::var("DOTA_SERVE_TIMELINE") {
+        if v.trim().is_empty() {
+            return Err(
+                "DOTA_SERVE_TIMELINE is set but empty; set it to an output path or unset it"
+                    .to_owned(),
+            );
+        }
+    }
     // A typo'd kernel family (or one this CPU cannot run) would silently
     // fall back and invalidate a benchmark, exactly like a bad
     // DOTA_THREADS; surface it here instead.
@@ -410,6 +418,14 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     } else if let Some(l) = flag_f64(&flags, "load")? {
         opts.loads = vec![l];
     }
+    if let Some(w) = flag_usize(&flags, "slo-window")? {
+        opts.slo_window = w;
+    }
+    let timeline_path = flags
+        .get("timeline")
+        .cloned()
+        .or_else(|| env_path("DOTA_SERVE_TIMELINE"));
+    opts.timeline = timeline_path.is_some();
     let report = dota_serve::run_bench(opts)?;
     let o = &report.options;
     println!(
@@ -453,6 +469,16 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             .write(std::path::Path::new(out))
             .map_err(|e| format!("writing serve report {out}: {e}"))?;
         eprintln!("[serve report written to {out}]");
+    }
+    if let Some(path) = timeline_path {
+        let timeline = report
+            .timeline
+            .as_ref()
+            .expect("timeline recording was enabled");
+        timeline
+            .write(std::path::Path::new(&path))
+            .map_err(|e| format!("writing serve timeline {path}: {e}"))?;
+        eprintln!("[serve timeline written to {path}]");
     }
     Ok(())
 }
@@ -518,6 +544,17 @@ commands:
                                   JSON isolates volatile host data under
                                   \"host\" so two reports diff clean via
                                   `report diff` across machines/threads
+  analyze --serve TIMELINE [--top N] [--out FILE]
+                                  retention-degradation audit of a serve
+                                  timeline (from `serve --timeline`): per
+                                  retention tier, request counts and mean
+                                  attended-position reduction; per request,
+                                  the e2e latency decomposition
+                                  (queue/prefill/decode and weight/KV/
+                                  head-of-line); top-N worst deadline-budget
+                                  burns; re-verifies every decomposition
+                                  and attended count against the cost and
+                                  window models and flags any drift
   report diff A B [--tol T] [--ignore K1,K2]
                                   compare two runs (result files or run
                                   directories) value-by-value at relative
@@ -526,6 +563,7 @@ commands:
   serve [--bench] [--requests N] [--seed S] [--capacity C] [--queue N]
         [--seq N] [--load L | --loads L1,L2] [--shed queue|retention|both]
         [--deadline-interactive US] [--deadline-batch US] [--out FILE]
+        [--timeline FILE] [--slo-window N]
                                   continuous-batching inference load test
                                   on the simulated cycle clock: seeded
                                   heavy-tailed traffic, per-cell SLO
@@ -536,9 +574,18 @@ commands:
                                   queue at full quality; --bench sweeps
                                   load x policy and --out writes a
                                   byte-stable JSON report (diffable with
-                                  report diff); env fallbacks:
+                                  report diff); --timeline records every
+                                  request's cycle-timestamped lifecycle
+                                  (queue/admit/prefill/per-step weight vs
+                                  KV split, attended vs omitted positions)
+                                  to a byte-stable JSON for `analyze
+                                  --serve`, and mirrors it onto per-slot
+                                  tracks of any live --trace session;
+                                  --slo-window sets the rolling SLO
+                                  monitor's window (completions; 0
+                                  disables); env fallbacks:
                                   DOTA_SERVE_BATCH, DOTA_SERVE_DEADLINE,
-                                  DOTA_SERVE_SHED
+                                  DOTA_SERVE_SHED, DOTA_SERVE_TIMELINE
   faults [--seed S] [--sites a,b] [--rates r1,r2] [--seq N] [--out FILE]
                                   deterministic fault-injection campaign:
                                   sweep (site, rate) cells, report whether
@@ -1016,6 +1063,14 @@ fn cmd_infer(args: &[String]) -> Result<(), String> {
 
 fn cmd_analyze(args: &[String]) -> Result<(), String> {
     let (positional, flags) = parse_flags(args)?;
+    if let Some(timeline) = flags.get("serve") {
+        if let Some(extra) = positional.first() {
+            return Err(format!(
+                "analyze --serve takes no benchmark argument, got `{extra}`"
+            ));
+        }
+        return cmd_analyze_serve(timeline, &flags);
+    }
     let bench = positional
         .first()
         .ok_or("analyze needs a benchmark".to_owned())
@@ -1101,6 +1156,38 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
         eprintln!("[analyze report written to {p}]");
     } else {
         print!("{json}");
+    }
+    Ok(())
+}
+
+/// `dota analyze --serve TIMELINE`: the retention-degradation audit —
+/// joins a serve timeline (from `dota serve --timeline`) with the cost
+/// and retention-window models and reports per-tier degradation, latency
+/// decomposition and the worst deadline-budget burns.
+fn cmd_analyze_serve(
+    timeline: &str,
+    flags: &std::collections::BTreeMap<String, String>,
+) -> Result<(), String> {
+    let top = flag_usize(flags, "top")?.unwrap_or(5);
+    let raw = std::fs::read_to_string(timeline)
+        .map_err(|e| format!("reading serve timeline {timeline}: {e}"))?;
+    let doc =
+        serde_json::parse(&raw).map_err(|e| format!("parsing serve timeline {timeline}: {e}"))?;
+    let audit = dota_core::serve_audit::audit(&doc, top)?;
+    print!("{}", audit.render_text());
+    let consistent = audit
+        .cells
+        .iter()
+        .all(|c| c.decomposition_consistent && c.ladder_consistent);
+    if let Some(p) = flags.get("out") {
+        std::fs::write(p, audit.to_json()).map_err(|e| format!("writing serve audit {p}: {e}"))?;
+        eprintln!("[serve audit written to {p}]");
+    }
+    if !consistent {
+        return Err(
+            "serve timeline is inconsistent with the cost/window models (see audit above)"
+                .to_owned(),
+        );
     }
     Ok(())
 }
@@ -1231,6 +1318,24 @@ mod tests {
         for ok in ["queue", "retention", "both", "Queue-Only"] {
             with_env("DOTA_SERVE_SHED", Some(ok), || validate_env().unwrap());
         }
+    }
+
+    #[test]
+    fn empty_dota_serve_timeline_is_rejected() {
+        for bad in ["", "  "] {
+            with_env("DOTA_SERVE_TIMELINE", Some(bad), || {
+                let err = validate_env().unwrap_err();
+                assert!(err.contains("DOTA_SERVE_TIMELINE"), "{err}");
+            });
+        }
+        with_env("DOTA_SERVE_TIMELINE", Some("/tmp/tl.json"), || {
+            validate_env().unwrap();
+            assert_eq!(
+                env_path("DOTA_SERVE_TIMELINE").as_deref(),
+                Some("/tmp/tl.json")
+            );
+        });
+        with_env("DOTA_SERVE_TIMELINE", None, || validate_env().unwrap());
     }
 
     #[test]

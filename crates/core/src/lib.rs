@@ -36,6 +36,7 @@ pub mod compress;
 pub mod experiments;
 pub mod presets;
 pub mod report;
+pub mod serve_audit;
 mod system;
 pub mod watchdog;
 

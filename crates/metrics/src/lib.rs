@@ -42,10 +42,12 @@
 
 mod histogram;
 mod manifest;
+mod rolling;
 mod sink;
 
 pub use histogram::{Histogram, SUB_BUCKETS};
 pub use manifest::Manifest;
+pub use rolling::RollingWindow;
 pub use sink::MetricsSink;
 
 use std::collections::BTreeMap;

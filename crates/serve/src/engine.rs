@@ -29,6 +29,8 @@
 use crate::cost::CostModel;
 use crate::request::{Completion, DeadlineClass, FinishReason, Request};
 use crate::selector::WindowSelector;
+use crate::slo::{SloMonitor, SloWindow};
+use crate::timeline::{RequestTimeline, StepRecord, TimelineRecorder};
 use dota_accel::AccelConfig;
 use dota_autograd::ParamSet;
 use dota_tensor::ops;
@@ -92,6 +94,10 @@ pub struct ServeConfig {
     pub interactive_deadline_us: f64,
     /// Deadline budget for [`DeadlineClass::Batch`], microseconds.
     pub batch_deadline_us: f64,
+    /// Rolling window (in terminal requests) of the SLO monitor; `0`
+    /// disables the monitor entirely. The monitor never feeds back into
+    /// scheduling, so outcomes and reports are identical either way.
+    pub slo_window: usize,
 }
 
 impl Default for ServeConfig {
@@ -103,6 +109,7 @@ impl Default for ServeConfig {
             ladder: vec![1.0, 0.5, 0.25, 0.125],
             interactive_deadline_us: 50.0,
             batch_deadline_us: 500.0,
+            slo_window: 64,
         }
     }
 }
@@ -165,6 +172,9 @@ struct Slot {
     req: Request,
     deadline: u64,
     retention: f64,
+    /// Stable batch-slot lane (smallest index free at admission); lanes
+    /// are reused as slots drain, giving timelines one track per slot.
+    lane: usize,
     cache: KvCache,
     selector: WindowSelector,
     /// Prompt+generated tokens consumed by `decode_step` so far.
@@ -199,6 +209,18 @@ pub struct ServeOutcome {
     pub degraded: u64,
     /// Tokens generated across all requests.
     pub tokens: u64,
+    /// Deepest pending-queue depth sampled at any step boundary.
+    pub queue_depth_max: usize,
+    /// Terminals that met their SLO (full output within deadline); `0`
+    /// when the monitor was off.
+    pub slo_hits: u64,
+    /// Terminals that missed their SLO; `0` when the monitor was off.
+    pub slo_misses: u64,
+    /// Disjoint SLO window summaries (empty when the monitor was off).
+    pub slo_windows: Vec<SloWindow>,
+    /// Per-request lifecycle records, sorted by id (`None` unless
+    /// [`ServeEngine::enable_timeline`] was called).
+    pub timeline: Option<Vec<RequestTimeline>>,
 }
 
 impl ServeOutcome {
@@ -240,6 +262,12 @@ pub struct ServeEngine<'m> {
     occupancy_sum: u64,
     degraded: u64,
     tokens: u64,
+    queue_depth_max: usize,
+    slo: Option<SloMonitor>,
+    timeline: Option<TimelineRecorder>,
+    /// Prefix for Chrome-trace counter/track names, so engines sharing a
+    /// trace session (e.g. bench cells) stay distinguishable.
+    label: String,
 }
 
 impl<'m> ServeEngine<'m> {
@@ -260,6 +288,7 @@ impl<'m> ServeEngine<'m> {
             return Err("serving requires a causal (decoder) model".into());
         }
         let cost = CostModel::new(accel, model.config());
+        let slo = (cfg.slo_window > 0).then(|| SloMonitor::new(cfg.slo_window));
         Ok(Self {
             model,
             params,
@@ -276,12 +305,31 @@ impl<'m> ServeEngine<'m> {
             occupancy_sum: 0,
             degraded: 0,
             tokens: 0,
+            queue_depth_max: 0,
+            slo,
+            timeline: None,
+            label: "serve".to_owned(),
         })
     }
 
     /// The engine's cost model (shared with traffic calibration).
     pub fn cost(&self) -> &CostModel {
         &self.cost
+    }
+
+    /// Sets the prefix of the engine's Chrome-trace counter tracks
+    /// without enabling the timeline, so several engines sharing one
+    /// trace session (e.g. bench cells) stay distinguishable.
+    pub fn set_label(&mut self, label: &str) {
+        self.label = label.to_owned();
+    }
+
+    /// Turns on per-request lifecycle recording. `label` prefixes the
+    /// engine's Chrome-trace tracks (pass a distinct label per engine when
+    /// several share one trace session).
+    pub fn enable_timeline(&mut self, label: &str) {
+        self.label = label.to_owned();
+        self.timeline = Some(TimelineRecorder::new(label));
     }
 
     /// Runs the trace to completion: every offered request terminates
@@ -320,6 +368,9 @@ impl<'m> ServeEngine<'m> {
             }
             self.step();
         }
+        if let Some(slo) = self.slo.as_mut() {
+            slo.finish();
+        }
         if dota_trace::enabled() {
             dota_trace::count("serve.steps", self.steps);
             dota_trace::count("serve.cycles", self.total_cycles);
@@ -333,7 +384,15 @@ impl<'m> ServeEngine<'m> {
                 .count() as u64;
             dota_trace::count("serve.served", served);
             dota_trace::count("serve.dropped", self.completions.len() as u64 - served);
+            dota_trace::count("serve.queue_depth_max", self.queue_depth_max as u64);
+            if let Some(mean_milli) = (self.occupancy_sum * 1000).checked_div(self.steps) {
+                dota_trace::count("serve.occupancy_mean_milli", mean_milli);
+            }
         }
+        let (slo_hits, slo_misses, slo_windows) = match self.slo {
+            Some(slo) => (slo.hits(), slo.misses(), slo.into_windows()),
+            None => (0, 0, Vec::new()),
+        };
         ServeOutcome {
             completions: self.completions,
             steps: self.steps,
@@ -342,6 +401,11 @@ impl<'m> ServeEngine<'m> {
             occupancy_sum: self.occupancy_sum,
             degraded: self.degraded,
             tokens: self.tokens,
+            queue_depth_max: self.queue_depth_max,
+            slo_hits,
+            slo_misses,
+            slo_windows,
+            timeline: self.timeline.map(TimelineRecorder::into_requests),
         }
     }
 
@@ -353,6 +417,29 @@ impl<'m> ServeEngine<'m> {
         match class {
             DeadlineClass::Interactive => &mut self.queues[0],
             DeadlineClass::Batch => &mut self.queues[1],
+        }
+    }
+
+    /// Feeds a terminal event to the SLO monitor and the timeline; every
+    /// exit path (reject, queue expiry, eviction, completion) runs through
+    /// here so neither observer can miss a request.
+    fn observe_terminal(
+        &mut self,
+        id: u64,
+        reason: FinishReason,
+        arrival: u64,
+        deadline: u64,
+        finish: u64,
+        tokens: u64,
+    ) {
+        if let Some(tl) = self.timeline.as_mut() {
+            tl.finished(id, reason, finish, tokens);
+        }
+        if let Some(slo) = self.slo.as_mut() {
+            let hit = reason.is_served() && finish <= deadline;
+            let budget = deadline.saturating_sub(arrival).max(1);
+            let burn = finish.saturating_sub(arrival) as f64 / budget as f64;
+            slo.complete(hit, burn, finish);
         }
     }
 
@@ -370,8 +457,12 @@ impl<'m> ServeEngine<'m> {
             req.total_positions(),
             self.model.config().seq_len
         );
+        let deadline = req.arrival + self.cfg.deadline_cycles(req.class);
+        let base = self.cfg.ladder[0];
+        if let Some(tl) = self.timeline.as_mut() {
+            tl.offered(&req, deadline, base);
+        }
         if self.pending_len() >= self.cfg.queue_capacity {
-            let base = self.cfg.ladder[0];
             self.completions.push(Completion {
                 id: req.id,
                 class: req.class,
@@ -384,9 +475,16 @@ impl<'m> ServeEngine<'m> {
                 finish: self.now,
                 admit_seq: None,
             });
+            self.observe_terminal(
+                req.id,
+                FinishReason::Rejected,
+                req.arrival,
+                deadline,
+                self.now,
+                0,
+            );
             return;
         }
-        let deadline = req.arrival + self.cfg.deadline_cycles(req.class);
         let class = req.class;
         self.class_queue(class).push_back(Queued { req, deadline });
     }
@@ -411,6 +509,14 @@ impl<'m> ServeEngine<'m> {
                     finish: q.deadline,
                     admit_seq: None,
                 });
+                self.observe_terminal(
+                    q.req.id,
+                    FinishReason::QueueExpired,
+                    q.req.arrival,
+                    q.deadline,
+                    q.deadline,
+                    0,
+                );
             }
         }
     }
@@ -439,10 +545,19 @@ impl<'m> ServeEngine<'m> {
             }
             let seq = self.admit_seq;
             self.admit_seq += 1;
+            // Smallest lane no live slot occupies; lanes recycle as slots
+            // drain, so a timeline gets one stable track per batch slot.
+            let lane = (0..self.cfg.capacity)
+                .find(|l| self.slots.iter().all(|s| s.lane != *l))
+                .expect("a free lane exists below capacity");
+            if let Some(tl) = self.timeline.as_mut() {
+                tl.admitted(q.req.id, self.now, retention, level, lane);
+            }
             let mcfg = self.model.config();
             self.slots.push(Slot {
                 deadline: q.deadline,
                 retention,
+                lane,
                 cache: KvCache::new(mcfg.n_layers, mcfg.d_model),
                 selector: WindowSelector::new(retention),
                 consumed: 0,
@@ -498,15 +613,50 @@ impl<'m> ServeEngine<'m> {
 
     fn step(&mut self) {
         let _sp = dota_prof::span("serve.step");
+        let start = self.now;
         self.decode_all();
-        let cycles = self
-            .cost
-            .step_cycles(self.slots.iter().map(|s| s.attended_last));
+        // Equivalent to `cost.step_cycles`, unrolled so each slot's own
+        // K/V share is attributable in its timeline.
+        let weight_cycles = self.cost.weight_cycles();
+        let kv: Vec<u64> = self
+            .slots
+            .iter()
+            .map(|s| self.cost.kv_cycles(s.attended_last))
+            .collect();
+        let cycles = weight_cycles + kv.iter().sum::<u64>();
         self.now += cycles;
         self.total_cycles += cycles;
         self.steps += 1;
         self.max_occupancy = self.max_occupancy.max(self.slots.len());
         self.occupancy_sum += self.slots.len() as u64;
+        let depth = self.pending_len();
+        self.queue_depth_max = self.queue_depth_max.max(depth);
+        if dota_trace::enabled() {
+            dota_trace::sim_counter(&format!("{}.queue_depth", self.label), start, depth as u64);
+            dota_trace::sim_counter(
+                &format!("{}.occupancy", self.label),
+                start,
+                self.slots.len() as u64,
+            );
+        }
+        if let Some(tl) = self.timeline.as_mut() {
+            let lh = (self.model.config().n_layers * self.model.config().n_heads) as u64;
+            for (slot, &kv_cycles) in self.slots.iter().zip(&kv) {
+                let context = slot.consumed as u64;
+                tl.step(
+                    slot.req.id,
+                    StepRecord {
+                        start,
+                        cycles,
+                        weight_cycles,
+                        kv_cycles,
+                        attended: slot.attended_last,
+                        omitted: lh * context - slot.attended_last,
+                        context,
+                    },
+                );
+            }
+        }
 
         let now = self.now;
         let mut i = 0;
@@ -516,9 +666,13 @@ impl<'m> ServeEngine<'m> {
                 self.tokens += 1;
                 if slot.first_token.is_none() {
                     slot.first_token = Some(now);
+                    if let Some(tl) = self.timeline.as_mut() {
+                        tl.first_token(slot.req.id, now);
+                    }
                 }
                 slot.emitted_this_step = false;
             }
+            let slot = &self.slots[i];
             let done = slot.eos_hit || slot.tokens.len() >= slot.req.max_new;
             let expired = !done && now > slot.deadline;
             if done || expired {
@@ -530,6 +684,7 @@ impl<'m> ServeEngine<'m> {
                 } else {
                     FinishReason::DeadlineEvicted
                 };
+                let n_tokens = slot.tokens.len() as u64;
                 self.completions.push(Completion {
                     id: slot.req.id,
                     class: slot.req.class,
@@ -542,8 +697,36 @@ impl<'m> ServeEngine<'m> {
                     finish: now,
                     admit_seq: Some(slot.admit_seq),
                 });
+                self.observe_terminal(
+                    slot.req.id,
+                    reason,
+                    slot.req.arrival,
+                    slot.deadline,
+                    now,
+                    n_tokens,
+                );
             } else {
                 i += 1;
+            }
+        }
+        // Burn of the worst still-in-flight request at this step boundary
+        // (pure observation: histograms and Chrome counter tracks only).
+        if self.slo.is_some() && !self.slots.is_empty() {
+            let max_burn = self
+                .slots
+                .iter()
+                .map(|s| {
+                    let budget = s.deadline.saturating_sub(s.req.arrival).max(1);
+                    (now - s.req.arrival) as f64 / budget as f64
+                })
+                .fold(0.0f64, f64::max);
+            dota_metrics::observe("serve.slo.step_burn_max", max_burn);
+            if dota_trace::enabled() {
+                dota_trace::sim_counter(
+                    &format!("{}.slo.burn_max_milli", self.label),
+                    now,
+                    (max_burn * 1e3).round() as u64,
+                );
             }
         }
     }
@@ -684,6 +867,7 @@ mod tests {
             ladder: vec![1.0, 0.5, 0.25],
             interactive_deadline_us: 1e6,
             batch_deadline_us: 1e6,
+            ..Default::default()
         };
         let requests: Vec<Request> = (0..10).map(|i| req(i, 0, &[1, 2], 4)).collect();
         let out = engine(&model, &params, cfg).run(requests);

@@ -22,6 +22,14 @@
 //! - [`run_bench`] — the `dota serve --bench` sweep: load × policy grid,
 //!   SLO histograms per cell, canonical byte-stable JSON
 //!   ([`BenchReport`]) diffable with `dota report diff`.
+//! - [`TimelineRecorder`] / [`TimelineReport`] — request-scoped
+//!   observability: a cycle-timestamped lifecycle record per request
+//!   (queue → admit → prefill → per-step weight/K-V splits → terminal)
+//!   exported as canonical `timeline.json` and as per-batch-slot Chrome
+//!   tracks, joined with the cost model by `dota analyze --serve`.
+//! - [`SloMonitor`] — rolling deadline-hit-rate and burn-rate at step
+//!   boundaries on the simulated clock ([`ServeConfig::slo_window`]),
+//!   surfaced as `serve.slo.*` counters, histograms and counter tracks.
 //!
 //! Determinism is load-bearing: the scheduler loop is serial, per-slot
 //! decodes are independent (batch-mates never mix state), and histograms
@@ -37,6 +45,8 @@ mod engine;
 mod report;
 mod request;
 mod selector;
+mod slo;
+mod timeline;
 mod traffic;
 
 pub use cost::CostModel;
@@ -44,6 +54,11 @@ pub use engine::{ServeConfig, ServeEngine, ServeOutcome, ShedPolicy};
 pub use report::{run_bench, BenchOptions, BenchReport, CellReport, SERVE_REPORT_VERSION};
 pub use request::{Completion, DeadlineClass, FinishReason, Request};
 pub use selector::WindowSelector;
+pub use slo::{SloMonitor, SloWindow};
+pub use timeline::{
+    CellTimeline, RequestTimeline, StepRecord, TimelineConfig, TimelineRecorder, TimelineReport,
+    TIMELINE_VERSION,
+};
 pub use traffic::TrafficConfig;
 
 #[cfg(test)]
@@ -180,6 +195,60 @@ mod prop_tests {
                         class, w[0].id, w[0].arrival, w[1].id, w[1].arrival
                     );
                 }
+            }
+        }
+
+        /// The timeline's per-step attended counts are exactly the
+        /// retention window's sizes: for every step with post-append
+        /// context `t`, `attended == layers · heads · clamp(ceil(r·t), 1, t)`
+        /// and `omitted` is its dense complement — so `dota analyze
+        /// --serve`'s ladder-consistency audit holds by construction, not
+        /// by luck, and each request's cycle decomposition tiles its
+        /// recorded residence exactly.
+        #[test]
+        fn timeline_attended_counts_match_selector_windows(
+            gaps in proptest::collection::vec(0u64..800, 1..17),
+            capacity in 1usize..4,
+        ) {
+            let requests = trace_from(&gaps);
+            let (model, params) = model();
+            let cfg = generous_cfg(capacity, ShedPolicy::Retention);
+            let ladder = cfg.ladder.clone();
+            let mut engine = ServeEngine::new(
+                &model, &params, cfg, &AccelConfig::default(),
+            ).unwrap();
+            engine.enable_timeline("prop");
+            let out = engine.run(requests);
+            let lh = (model.config().n_layers * model.config().n_heads) as u64;
+            for tl in out.timeline.as_deref().unwrap() {
+                prop_assert!(ladder.contains(&tl.retention), "retention {} off-ladder", tl.retention);
+                for step in &tl.steps {
+                    let t = step.context;
+                    let window = if tl.retention >= 1.0 {
+                        t
+                    } else {
+                        (((tl.retention * t as f64).ceil() as u64).max(1)).min(t)
+                    };
+                    prop_assert_eq!(step.attended, lh * window, "req {} t={}", tl.id, t);
+                    prop_assert_eq!(step.attended + step.omitted, lh * t);
+                    prop_assert!(
+                        step.weight_cycles + step.kv_cycles <= step.cycles,
+                        "req {}: own weight + KV share cannot exceed the step",
+                        tl.id
+                    );
+                }
+                let step_sum: u64 = tl.steps.iter().map(|s| s.attended).sum();
+                prop_assert_eq!(tl.attended_total(), step_sum);
+                prop_assert_eq!(
+                    tl.queue_cycles() + tl.prefill_cycles() + tl.decode_cycles(),
+                    tl.e2e_cycles(),
+                    "req {}: phase decomposition must tile e2e", tl.id
+                );
+                prop_assert_eq!(
+                    tl.weight_cycles() + tl.kv_cycles() + tl.hol_cycles(),
+                    tl.prefill_cycles() + tl.decode_cycles(),
+                    "req {}: service decomposition must tile in-slot time", tl.id
+                );
             }
         }
 

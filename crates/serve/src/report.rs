@@ -12,6 +12,7 @@
 use crate::cost::CostModel;
 use crate::engine::{ServeConfig, ServeEngine, ServeOutcome, ShedPolicy};
 use crate::request::FinishReason;
+use crate::timeline::{CellTimeline, TimelineConfig, TimelineReport};
 use crate::traffic::TrafficConfig;
 use dota_accel::AccelConfig;
 use dota_autograd::ParamSet;
@@ -54,6 +55,13 @@ pub struct BenchOptions {
     pub new_tokens: (usize, usize),
     /// Fraction of interactive-class requests.
     pub interactive_fraction: f64,
+    /// Rolling window of the engine's SLO monitor (0 = monitor off). The
+    /// monitor is observation-only; the bench report is byte-identical at
+    /// any setting.
+    pub slo_window: usize,
+    /// Record per-request lifecycle timelines ([`BenchReport::timeline`]).
+    /// Observation-only: scheduling and the bench report are unchanged.
+    pub timeline: bool,
 }
 
 impl Default for BenchOptions {
@@ -73,6 +81,8 @@ impl Default for BenchOptions {
             prompt_len: (2, 8),
             new_tokens: (2, 8),
             interactive_fraction: 0.5,
+            slo_window: 64,
+            timeline: false,
         }
     }
 }
@@ -115,6 +125,7 @@ impl BenchOptions {
             ladder: self.ladder.clone(),
             interactive_deadline_us: self.interactive_deadline_us,
             batch_deadline_us: self.batch_deadline_us,
+            slo_window: self.slo_window,
         }
     }
 }
@@ -289,6 +300,11 @@ pub struct BenchReport {
     pub options: BenchOptions,
     /// One cell per (load, shed) pair, loads outer, sheds inner.
     pub cells: Vec<CellReport>,
+    /// Per-request lifecycle timelines, present when
+    /// [`BenchOptions::timeline`] was set. Serialized separately
+    /// ([`TimelineReport::to_json`]) so the bench report stays
+    /// byte-identical with recording on or off.
+    pub timeline: Option<TimelineReport>,
 }
 
 impl BenchReport {
@@ -390,6 +406,7 @@ pub fn run_bench(opts: BenchOptions) -> Result<BenchReport, String> {
     let mean_service = mean_positions * per_token;
 
     let mut cells = Vec::with_capacity(opts.loads.len() * opts.sheds.len());
+    let mut timeline_cells = Vec::new();
     for &load in &opts.loads {
         let mean_gap = mean_service / load;
         let mut traffic = traffic_proto.clone();
@@ -397,8 +414,21 @@ pub fn run_bench(opts: BenchOptions) -> Result<BenchReport, String> {
         let requests = traffic.generate();
         for &shed in &opts.sheds {
             let _cell_sp = dota_prof::span("serve.bench.cell");
-            let engine = ServeEngine::new(&model, &params, opts.serve_config(shed), &accel)?;
-            let outcome = engine.run(requests.clone());
+            let mut engine = ServeEngine::new(&model, &params, opts.serve_config(shed), &accel)?;
+            let label = format!("serve[{}@{}x]", shed.name(), fmt_f64(load));
+            engine.set_label(&label);
+            if opts.timeline {
+                engine.enable_timeline(&label);
+            }
+            let mut outcome = engine.run(requests.clone());
+            if let Some(requests) = outcome.timeline.take() {
+                timeline_cells.push(CellTimeline {
+                    shed,
+                    load,
+                    slo_windows: std::mem::take(&mut outcome.slo_windows),
+                    requests,
+                });
+            }
             cells.push(CellReport::from_outcome(
                 shed,
                 load,
@@ -408,9 +438,27 @@ pub fn run_bench(opts: BenchOptions) -> Result<BenchReport, String> {
             ));
         }
     }
+    let timeline = opts.timeline.then(|| TimelineReport {
+        config: TimelineConfig {
+            seed: opts.seed,
+            requests: opts.requests,
+            capacity: opts.capacity,
+            queue_capacity: opts.queue_capacity,
+            seq: opts.seq,
+            vocab: opts.vocab,
+            n_layers: mcfg.n_layers,
+            n_heads: mcfg.n_heads,
+            slo_window: opts.slo_window,
+            ladder: opts.ladder.clone(),
+            interactive_deadline_us: opts.interactive_deadline_us,
+            batch_deadline_us: opts.batch_deadline_us,
+        },
+        cells: timeline_cells,
+    });
     Ok(BenchReport {
         options: opts,
         cells,
+        timeline,
     })
 }
 

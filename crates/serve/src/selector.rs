@@ -76,4 +76,67 @@ mod tests {
     fn zero_retention_rejected() {
         let _ = WindowSelector::new(0.0);
     }
+
+    #[test]
+    fn window_never_exceeds_context() {
+        // A window wider than the cache degenerates to dense coverage of
+        // whatever exists: retention 0.5 of a 1-long cache is 1 position.
+        let s = WindowSelector::new(0.5);
+        for t in 1..=4usize {
+            let kept = s.select(0, 0, &Matrix::zeros(1, 4), t).unwrap();
+            assert!(kept.len() <= t, "t={t}: kept {} positions", kept.len());
+            assert_eq!(
+                kept,
+                ((t - kept.len())..t).map(|i| i as u32).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn ceil_rounding_at_eighth_retention() {
+        // The bottom ladder rung (r = 0.125) stays at one position until
+        // the ninth cached token: ceil(0.125·8) = 1, ceil(0.125·9) = 2.
+        let s = WindowSelector::new(0.125);
+        for t in 1..=8usize {
+            assert_eq!(
+                s.select(0, 0, &Matrix::zeros(1, 4), t).unwrap().len(),
+                1,
+                "t={t}"
+            );
+        }
+        assert_eq!(s.select(0, 0, &Matrix::zeros(1, 4), 9).unwrap(), vec![7, 8]);
+        assert_eq!(s.select(0, 0, &Matrix::zeros(1, 4), 16).unwrap().len(), 2);
+        assert_eq!(s.select(0, 0, &Matrix::zeros(1, 4), 17).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn single_token_context_always_attended() {
+        // Whatever the rung, a 1-token cache is fully attended — the clamp
+        // floor, not the ceil, decides.
+        for r in [0.125, 0.25, 0.5, 0.999] {
+            let s = WindowSelector::new(r);
+            assert_eq!(
+                s.select(0, 0, &Matrix::zeros(1, 4), 1).unwrap(),
+                vec![0],
+                "r={r}"
+            );
+        }
+    }
+
+    #[test]
+    fn ladder_edges_match_closed_form() {
+        // Every ladder rung × context agrees with clamp(ceil(r·t), 1, t) —
+        // the same closed form the timeline audit re-derives.
+        for r in [1.0, 0.5, 0.25, 0.125] {
+            let s = WindowSelector::new(r);
+            for t in 1..=64usize {
+                let expect = ((r * t as f64).ceil() as usize).clamp(1, t);
+                let got = match s.select(0, 0, &Matrix::zeros(1, 4), t) {
+                    None => t, // dense
+                    Some(kept) => kept.len(),
+                };
+                assert_eq!(got, expect, "r={r} t={t}");
+            }
+        }
+    }
 }

@@ -1,0 +1,605 @@
+//! Request-scoped lifecycle timelines for the serving engine.
+//!
+//! The bench report aggregates; the timeline *attributes*. Every request
+//! that enters the engine gets a cycle-timestamped record of its whole
+//! life: enqueued → admitted (or expired/rejected) → prefill → first
+//! token → one [`StepRecord`] per decode step — each carrying the step's
+//! weight-stream vs K/V-stream cycle split from the cost model and the
+//! attended vs omitted position counts its retention produced → terminal
+//! event. Because the scheduler is serial and every timestamp comes off
+//! the simulated clock, the recording is a pure function of the trace and
+//! configuration: the exported `timeline.json` is byte-identical across
+//! `DOTA_THREADS` settings and serial vs `parallel` builds, so
+//! `dota report diff` treats any drift as a behaviour change.
+//!
+//! Two consumers:
+//!
+//! * [`TimelineReport::to_json`] — the canonical document
+//!   `dota analyze --serve` joins with the cost model for the
+//!   degradation audit;
+//! * a Chrome-trace view: when a `dota-trace` session is live, each
+//!   terminal event replays the request onto per-batch-slot tracks
+//!   (`<cell>.slot<lane>`) on the *simulated* clock, merging with
+//!   whatever else the session is recording.
+//!
+//! The per-request latency decomposition is exact by construction: while
+//! a request is queued or in flight the clock only advances through steps
+//! it observes, so `queue + prefill + decode == e2e` and
+//! `weight + kv + head_of_line == prefill + decode` hold cycle-for-cycle
+//! (the audit re-checks both for every request).
+
+use crate::engine::ShedPolicy;
+use crate::request::{DeadlineClass, FinishReason, Request};
+use crate::slo::SloWindow;
+use dota_metrics::fmt_f64;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Timeline format version (bump on any schema change).
+pub const TIMELINE_VERSION: u32 = 1;
+
+/// One decode step as one request experienced it. All cycle counts come
+/// from the engine's cost model at the moment the step ran.
+#[derive(Debug, Clone)]
+pub struct StepRecord {
+    /// Simulated time the step began.
+    pub start: u64,
+    /// Full batch-step duration (shared by every slot in the step).
+    pub cycles: u64,
+    /// Weight-stream share of the step (paid once, batch-amortized).
+    pub weight_cycles: u64,
+    /// This request's own K/V-stream cycles (scales with attended count).
+    pub kv_cycles: u64,
+    /// Connections attended, summed over layers × heads.
+    pub attended: u64,
+    /// Connections omitted by the retention window (dense minus attended).
+    pub omitted: u64,
+    /// Cache positions after the step (the `t` the selector windowed).
+    pub context: u64,
+}
+
+/// Full lifecycle of one request (see module docs for the invariants).
+#[derive(Debug, Clone)]
+pub struct RequestTimeline {
+    /// Request id.
+    pub id: u64,
+    /// SLO class.
+    pub class: DeadlineClass,
+    /// Arrival (enqueue) time.
+    pub arrival: u64,
+    /// Absolute deadline (`arrival + class budget`).
+    pub deadline: u64,
+    /// Retention the request was admitted at (`ladder[0]` if never
+    /// admitted).
+    pub retention: f64,
+    /// Ladder rung index behind `retention`.
+    pub level: usize,
+    /// Batch-slot lane occupied while in flight (`None` if never
+    /// admitted). Lanes are reused as slots free, giving the Chrome view
+    /// one stable track per slot.
+    pub lane: Option<usize>,
+    /// Admission time (`None` if never admitted).
+    pub admit: Option<u64>,
+    /// Time the first generated token finished (`None` if none was).
+    pub first_token: Option<u64>,
+    /// Terminal time.
+    pub finish: u64,
+    /// Terminal reason.
+    pub reason: FinishReason,
+    /// Tokens generated.
+    pub tokens: u64,
+    /// One record per decode step the request participated in.
+    pub steps: Vec<StepRecord>,
+}
+
+impl RequestTimeline {
+    /// End-to-end residence, cycles.
+    pub fn e2e_cycles(&self) -> u64 {
+        self.finish - self.arrival
+    }
+
+    /// Queue phase: arrival to admission (whole residence if never
+    /// admitted).
+    pub fn queue_cycles(&self) -> u64 {
+        self.admit.unwrap_or(self.finish) - self.arrival
+    }
+
+    /// Prefill phase: admission to first token (admission to terminal if
+    /// no token was produced).
+    pub fn prefill_cycles(&self) -> u64 {
+        match (self.admit, self.first_token) {
+            (Some(a), Some(f)) => f - a,
+            (Some(a), None) => self.finish - a,
+            (None, _) => 0,
+        }
+    }
+
+    /// Decode phase: first token to terminal.
+    pub fn decode_cycles(&self) -> u64 {
+        self.first_token.map_or(0, |f| self.finish - f)
+    }
+
+    /// Weight-stream cycles across all steps.
+    pub fn weight_cycles(&self) -> u64 {
+        self.steps.iter().map(|s| s.weight_cycles).sum()
+    }
+
+    /// Own K/V-stream cycles across all steps.
+    pub fn kv_cycles(&self) -> u64 {
+        self.steps.iter().map(|s| s.kv_cycles).sum()
+    }
+
+    /// Head-of-line cycles: time spent inside steps on *other* slots'
+    /// K/V streams (`Σ step − weight − own kv`).
+    pub fn hol_cycles(&self) -> u64 {
+        self.steps
+            .iter()
+            .map(|s| s.cycles - s.weight_cycles - s.kv_cycles)
+            .sum()
+    }
+
+    /// Attended connections summed over all steps.
+    pub fn attended_total(&self) -> u64 {
+        self.steps.iter().map(|s| s.attended).sum()
+    }
+
+    /// Omitted connections summed over all steps.
+    pub fn omitted_total(&self) -> u64 {
+        self.steps.iter().map(|s| s.omitted).sum()
+    }
+
+    /// Fraction of the deadline budget the request consumed (> 1 means it
+    /// blew the budget).
+    pub fn burn(&self) -> f64 {
+        self.e2e_cycles() as f64 / (self.deadline - self.arrival) as f64
+    }
+
+    fn to_json(&self) -> String {
+        let opt = |v: Option<u64>| v.map_or_else(|| "null".into(), |x: u64| x.to_string());
+        let lane = self
+            .lane
+            .map_or_else(|| "null".into(), |x: usize| x.to_string());
+        let mut s = format!(
+            "{{\"id\":{},\"class\":\"{}\",\"reason\":\"{}\",\"retention\":{},\"level\":{},\"lane\":{}",
+            self.id,
+            self.class.name(),
+            self.reason.name(),
+            fmt_f64(self.retention),
+            self.level,
+            lane
+        );
+        s.push_str(&format!(
+            ",\"arrival\":{},\"deadline\":{},\"admit\":{},\"first_token\":{},\"finish\":{},\"tokens\":{}",
+            self.arrival,
+            self.deadline,
+            opt(self.admit),
+            opt(self.first_token),
+            self.finish,
+            self.tokens
+        ));
+        s.push_str(&format!(
+            ",\"attended\":{},\"omitted\":{},\"queue_cycles\":{},\"prefill_cycles\":{},\"decode_cycles\":{}",
+            self.attended_total(),
+            self.omitted_total(),
+            self.queue_cycles(),
+            self.prefill_cycles(),
+            self.decode_cycles()
+        ));
+        s.push_str(&format!(
+            ",\"weight_cycles\":{},\"kv_cycles\":{},\"hol_cycles\":{},\"burn\":{}",
+            self.weight_cycles(),
+            self.kv_cycles(),
+            self.hol_cycles(),
+            fmt_f64(self.burn())
+        ));
+        s.push_str(",\"steps\":[");
+        for (i, st) in self.steps.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "[{},{},{},{},{},{},{}]",
+                st.start,
+                st.cycles,
+                st.weight_cycles,
+                st.kv_cycles,
+                st.attended,
+                st.omitted,
+                st.context
+            ));
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+/// Records lifecycles for one engine run and replays terminals into any
+/// live Chrome-trace session.
+#[derive(Debug)]
+pub struct TimelineRecorder {
+    /// Track-name prefix in the Chrome view (one recorder per cell, so
+    /// cells sharing a session do not collide).
+    label: String,
+    requests: BTreeMap<u64, RequestTimeline>,
+}
+
+impl TimelineRecorder {
+    /// Creates a recorder; `label` prefixes the Chrome-trace track names.
+    pub fn new(label: &str) -> Self {
+        Self {
+            label: label.to_owned(),
+            requests: BTreeMap::new(),
+        }
+    }
+
+    /// A request entered the system (before any admission decision).
+    pub fn offered(&mut self, req: &Request, deadline: u64, base_retention: f64) {
+        self.requests.insert(
+            req.id,
+            RequestTimeline {
+                id: req.id,
+                class: req.class,
+                arrival: req.arrival,
+                deadline,
+                retention: base_retention,
+                level: 0,
+                lane: None,
+                admit: None,
+                first_token: None,
+                finish: req.arrival,
+                reason: FinishReason::Rejected,
+                tokens: 0,
+                steps: Vec::new(),
+            },
+        );
+    }
+
+    /// A request was admitted to batch-slot `lane` at retention
+    /// `ladder[level]`.
+    pub fn admitted(&mut self, id: u64, now: u64, retention: f64, level: usize, lane: usize) {
+        if let Some(r) = self.requests.get_mut(&id) {
+            r.admit = Some(now);
+            r.retention = retention;
+            r.level = level;
+            r.lane = Some(lane);
+        }
+    }
+
+    /// One decode step ran for the request.
+    pub fn step(&mut self, id: u64, record: StepRecord) {
+        if let Some(r) = self.requests.get_mut(&id) {
+            r.steps.push(record);
+        }
+    }
+
+    /// The request's first generated token landed.
+    pub fn first_token(&mut self, id: u64, now: u64) {
+        if let Some(r) = self.requests.get_mut(&id) {
+            if r.first_token.is_none() {
+                r.first_token = Some(now);
+            }
+        }
+    }
+
+    /// The request left the system; replays its spans into any live trace
+    /// session.
+    pub fn finished(&mut self, id: u64, reason: FinishReason, now: u64, tokens: u64) {
+        let Some(r) = self.requests.get_mut(&id) else {
+            return;
+        };
+        r.reason = reason;
+        r.finish = now;
+        r.tokens = tokens;
+        if !dota_trace::enabled() {
+            return;
+        }
+        // Queued phase on the cell's shared queue track (skipped when
+        // admission was immediate — a zero-width span is just noise).
+        let queued_until = r.admit.unwrap_or(r.finish);
+        if queued_until > r.arrival {
+            dota_trace::sim_event_args(
+                &format!("{}.queue", self.label),
+                &format!("req{} queued", r.id),
+                r.arrival,
+                queued_until - r.arrival,
+                &[("deadline", r.deadline)],
+            );
+        }
+        let (Some(lane), Some(admit)) = (r.lane, r.admit) else {
+            return;
+        };
+        let track = format!("{}.slot{}", self.label, lane);
+        dota_trace::sim_event_args(
+            &track,
+            &format!("req{} {}", r.id, reason.name()),
+            admit,
+            r.finish - admit,
+            &[
+                ("retention_milli", (r.retention * 1e3).round() as u64),
+                ("level", r.level as u64),
+                ("tokens", r.tokens),
+                ("attended", r.attended_total()),
+                ("omitted", r.omitted_total()),
+            ],
+        );
+        for (i, st) in r.steps.iter().enumerate() {
+            dota_trace::sim_event_args(
+                &track,
+                &format!("req{}[{}]", r.id, i),
+                st.start,
+                st.cycles,
+                &[
+                    ("weight_cycles", st.weight_cycles),
+                    ("kv_cycles", st.kv_cycles),
+                    ("attended", st.attended),
+                    ("omitted", st.omitted),
+                    ("context", st.context),
+                ],
+            );
+        }
+    }
+
+    /// Consumes the recorder, returning the records sorted by request id.
+    pub fn into_requests(self) -> Vec<RequestTimeline> {
+        self.requests.into_values().collect()
+    }
+}
+
+/// Timelines of one (shed policy, load) bench cell.
+#[derive(Debug)]
+pub struct CellTimeline {
+    /// Shed policy the cell ran under.
+    pub shed: ShedPolicy,
+    /// Offered load multiple.
+    pub load: f64,
+    /// SLO monitor window summaries (empty when the monitor was off).
+    pub slo_windows: Vec<SloWindow>,
+    /// Per-request lifecycles, sorted by id.
+    pub requests: Vec<RequestTimeline>,
+}
+
+impl CellTimeline {
+    fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"shed\":\"{}\",\"load\":{},\"slo_windows\":[",
+            self.shed.name(),
+            fmt_f64(self.load)
+        );
+        for (i, w) in self.slo_windows.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"completions\":{},\"end_cycle\":{},\"hits\":{},\"hit_rate\":{},\"mean_burn\":{}}}",
+                w.completions,
+                w.end_cycle,
+                w.hits,
+                fmt_f64(w.hit_rate),
+                fmt_f64(w.mean_burn)
+            ));
+        }
+        s.push_str("],\"requests\":[");
+        for (i, r) in self.requests.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&r.to_json());
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+/// The model/engine parameters the audit needs to re-derive expected
+/// attention counts from the timelines.
+#[derive(Debug, Clone)]
+pub struct TimelineConfig {
+    /// Seed for weights and traffic.
+    pub seed: u64,
+    /// Requests offered per cell.
+    pub requests: usize,
+    /// Batch slots.
+    pub capacity: usize,
+    /// Pending-queue bound.
+    pub queue_capacity: usize,
+    /// Model sequence length.
+    pub seq: usize,
+    /// Model vocabulary.
+    pub vocab: usize,
+    /// Transformer layers.
+    pub n_layers: usize,
+    /// Attention heads per layer.
+    pub n_heads: usize,
+    /// SLO monitor window (0 = monitor off).
+    pub slo_window: usize,
+    /// Retention ladder, best first.
+    pub ladder: Vec<f64>,
+    /// Interactive deadline budget, microseconds.
+    pub interactive_deadline_us: f64,
+    /// Batch deadline budget, microseconds.
+    pub batch_deadline_us: f64,
+}
+
+/// The full canonical timeline document of one bench sweep.
+#[derive(Debug)]
+pub struct TimelineReport {
+    /// Engine/model parameters shared by every cell.
+    pub config: TimelineConfig,
+    /// One entry per (load, shed) cell, loads outer, sheds inner.
+    pub cells: Vec<CellTimeline>,
+}
+
+impl TimelineReport {
+    /// Canonical JSON serialization (stable key order, [`fmt_f64`] number
+    /// formatting; byte-identical for identical runs).
+    pub fn to_json(&self) -> String {
+        let c = &self.config;
+        let mut s = format!("{{\"version\":{TIMELINE_VERSION}");
+        s.push_str(&format!(
+            ",\"config\":{{\"seed\":{},\"requests\":{},\"capacity\":{},\"queue_capacity\":{},\"seq\":{},\"vocab\":{}",
+            c.seed, c.requests, c.capacity, c.queue_capacity, c.seq, c.vocab
+        ));
+        s.push_str(&format!(
+            ",\"n_layers\":{},\"n_heads\":{},\"slo_window\":{}",
+            c.n_layers, c.n_heads, c.slo_window
+        ));
+        s.push_str(",\"ladder\":[");
+        for (i, r) in c.ladder.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&fmt_f64(*r));
+        }
+        s.push(']');
+        s.push_str(&format!(
+            ",\"interactive_deadline_us\":{},\"batch_deadline_us\":{}}}",
+            fmt_f64(c.interactive_deadline_us),
+            fmt_f64(c.batch_deadline_us)
+        ));
+        s.push_str(",\"cells\":[");
+        for (i, cell) in self.cells.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&cell.to_json());
+        }
+        s.push_str("]}");
+        s.push('\n');
+        s
+    }
+
+    /// Writes the canonical JSON atomically (temp file + rename).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        let tmp = path.with_extension("json.tmp");
+        std::fs::write(&tmp, self.to_json())?;
+        std::fs::rename(&tmp, path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64, arrival: u64) -> Request {
+        Request {
+            id,
+            arrival,
+            prompt: vec![1, 2],
+            max_new: 2,
+            eos: None,
+            class: DeadlineClass::Interactive,
+        }
+    }
+
+    fn step(start: u64, cycles: u64, weight: u64, kv: u64) -> StepRecord {
+        StepRecord {
+            start,
+            cycles,
+            weight_cycles: weight,
+            kv_cycles: kv,
+            attended: 4,
+            omitted: 2,
+            context: 3,
+        }
+    }
+
+    #[test]
+    fn decomposition_sums_to_e2e() {
+        let mut tl = TimelineRecorder::new("t");
+        tl.offered(&req(1, 100), 100 + 50_000, 1.0);
+        tl.admitted(1, 150, 0.5, 1, 0);
+        tl.step(1, step(150, 100, 40, 20));
+        tl.first_token(1, 250);
+        tl.step(1, step(250, 110, 40, 25));
+        tl.finished(1, FinishReason::Completed, 360, 2);
+        let r = &tl.into_requests()[0];
+        assert_eq!(r.queue_cycles(), 50);
+        assert_eq!(r.prefill_cycles(), 100);
+        assert_eq!(r.decode_cycles(), 110);
+        assert_eq!(
+            r.queue_cycles() + r.prefill_cycles() + r.decode_cycles(),
+            r.e2e_cycles()
+        );
+        assert_eq!(r.weight_cycles(), 80);
+        assert_eq!(r.kv_cycles(), 45);
+        assert_eq!(r.hol_cycles(), 210 - 80 - 45);
+        assert_eq!(
+            r.weight_cycles() + r.kv_cycles() + r.hol_cycles(),
+            r.prefill_cycles() + r.decode_cycles()
+        );
+        assert_eq!(r.attended_total(), 8);
+        assert_eq!(r.omitted_total(), 4);
+        assert!((r.burn() - 260.0 / 50_000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn never_admitted_requests_decompose_as_pure_queueing() {
+        let mut tl = TimelineRecorder::new("t");
+        tl.offered(&req(3, 10), 510, 1.0);
+        tl.finished(3, FinishReason::QueueExpired, 510, 0);
+        let r = &tl.into_requests()[0];
+        assert_eq!(r.queue_cycles(), 500);
+        assert_eq!(r.prefill_cycles(), 0);
+        assert_eq!(r.decode_cycles(), 0);
+        assert_eq!(r.e2e_cycles(), 500);
+        assert_eq!(r.burn(), 1.0);
+        assert_eq!(r.lane, None);
+    }
+
+    #[test]
+    fn json_is_canonical_and_null_safe() {
+        let mut tl = TimelineRecorder::new("t");
+        tl.offered(&req(2, 0), 50_000, 1.0);
+        tl.finished(2, FinishReason::Rejected, 0, 0);
+        let report = TimelineReport {
+            config: TimelineConfig {
+                seed: 7,
+                requests: 1,
+                capacity: 8,
+                queue_capacity: 64,
+                seq: 48,
+                vocab: 16,
+                n_layers: 2,
+                n_heads: 2,
+                slo_window: 64,
+                ladder: vec![1.0, 0.5],
+                interactive_deadline_us: 50.0,
+                batch_deadline_us: 500.0,
+            },
+            cells: vec![CellTimeline {
+                shed: ShedPolicy::Retention,
+                load: 4.0,
+                slo_windows: Vec::new(),
+                requests: tl.into_requests(),
+            }],
+        };
+        let a = report.to_json();
+        let b = report.to_json();
+        assert_eq!(a, b);
+        assert!(a.contains("\"lane\":null"));
+        assert!(a.contains("\"admit\":null"));
+        assert!(a.contains("\"reason\":\"rejected\""));
+        assert!(a.ends_with("\n"));
+        // The document parses back as JSON.
+        assert!(serde_json::parse(&a).is_ok());
+    }
+
+    #[test]
+    fn finished_replays_slot_tracks_into_a_live_session() {
+        let t = dota_trace::session("timeline-chrome");
+        let mut tl = TimelineRecorder::new("cellA");
+        tl.offered(&req(5, 0), 50_000, 1.0);
+        tl.admitted(5, 40, 1.0, 0, 2);
+        tl.step(5, step(40, 100, 40, 20));
+        tl.finished(5, FinishReason::Completed, 140, 1);
+        let json = t.chrome_trace_json();
+        assert!(json.contains("cellA.slot2"), "{json}");
+        assert!(json.contains("req5 completed"));
+        assert!(json.contains("\"retention_milli\":1000"));
+        assert!(json.contains("req5 queued"));
+    }
+}

@@ -64,6 +64,9 @@ thread_local! {
 
 #[derive(Debug)]
 struct Event {
+    /// Chrome event phase: `'X'` for complete spans, `'C'` for counter
+    /// samples (rendered as a stacked-area track; `dur_us` is unused).
+    ph: char,
     pid: u32,
     tid: u64,
     name: String,
@@ -174,6 +177,7 @@ pub fn sim_event_args(
         }
     };
     st.events.push(Event {
+        ph: 'X',
         pid: SIM_PID,
         tid,
         name: name.to_owned(),
@@ -181,6 +185,28 @@ pub fn sim_event_args(
         ts_us: start_cycles as f64,
         dur_us: dur_cycles as f64,
         args: args.iter().map(|&(k, v)| (k.to_owned(), v)).collect(),
+    });
+}
+
+/// Records one sample of a simulated-time counter series (`ph:"C"` in the
+/// Chrome trace: viewers render successive samples of the same `name` as a
+/// stacked-area track under the simulator process). `ts` is in cycles on
+/// the same clock as [`sim_event`], so counter tracks line up with event
+/// tracks from any engine sharing the session. No-op outside a session.
+pub fn sim_counter(name: &str, ts_cycles: u64, value: u64) {
+    if !enabled() {
+        return;
+    }
+    let mut st = lock_state();
+    st.events.push(Event {
+        ph: 'C',
+        pid: SIM_PID,
+        tid: 0,
+        name: name.to_owned(),
+        cat: "sim",
+        ts_us: ts_cycles as f64,
+        dur_us: 0.0,
+        args: vec![("value".to_owned(), value)],
     });
 }
 
@@ -232,6 +258,7 @@ impl Drop for HostSpan {
         let name = std::mem::take(&mut self.name);
         let tid = self.tid;
         st.events.push(Event {
+            ph: 'X',
             pid: HOST_PID,
             tid,
             name,
@@ -331,16 +358,18 @@ impl TraceGuard {
         }
         for e in &st.events {
             push_sep(&mut out, &mut first);
-            out.push_str("{\"ph\":\"X\",\"name\":");
+            out.push_str(&format!("{{\"ph\":\"{}\",\"name\":", e.ph));
             write_json_string(&mut out, &e.name);
             out.push_str(&format!(
-                ",\"cat\":\"{}\",\"pid\":{},\"tid\":{},\"ts\":{},\"dur\":{}",
+                ",\"cat\":\"{}\",\"pid\":{},\"tid\":{},\"ts\":{}",
                 e.cat,
                 e.pid,
                 e.tid,
-                fmt_f64(e.ts_us),
-                fmt_f64(e.dur_us)
+                fmt_f64(e.ts_us)
             ));
+            if e.ph == 'X' {
+                out.push_str(&format!(",\"dur\":{}", fmt_f64(e.dur_us)));
+            }
             if !e.args.is_empty() {
                 out.push_str(",\"args\":{");
                 for (i, (k, v)) in e.args.iter().enumerate() {
@@ -489,6 +518,23 @@ mod tests {
         assert!(json.contains("RmmuFx"));
         assert!(json.contains("\"ph\":\"M\""));
         assert!(json.contains("\"cat\":\"host\""));
+    }
+
+    #[test]
+    fn sim_counters_emit_counter_phase_events() {
+        let t = session("counters");
+        sim_counter("serve.queue_depth", 0, 3);
+        sim_counter("serve.queue_depth", 120, 5);
+        let json = t.chrome_trace_json();
+        assert_eq!(json.matches("\"ph\":\"C\"").count(), 2, "{json}");
+        assert!(json.contains("\"value\":5"));
+        // Counter samples carry a timestamp but no duration.
+        assert!(json.contains("\"ts\":120,\"args\""), "{json}");
+        // Outside a session the call is a no-op.
+        drop(t);
+        sim_counter("serve.queue_depth", 0, 1);
+        let t = session("empty");
+        assert!(!t.chrome_trace_json().contains("\"ph\":\"C\""));
     }
 
     #[test]

@@ -237,6 +237,8 @@ fn cli_rejects_malformed_dota_serve_env() {
         ("DOTA_SERVE_DEADLINE", "soon"),
         ("DOTA_SERVE_SHED", "drop"),
         ("DOTA_SERVE_SHED", ""),
+        ("DOTA_SERVE_TIMELINE", ""),
+        ("DOTA_SERVE_TIMELINE", "   "),
     ] {
         let out = Command::new(env!("CARGO_BIN_EXE_dota"))
             .args(["table2"])
@@ -291,4 +293,44 @@ fn cli_serve_env_knobs_apply_with_flag_precedence() {
     );
     assert!(stdout.contains("capacity 5"), "stdout was: {stdout}");
     assert!(stdout.contains("retention"), "stdout was: {stdout}");
+}
+
+/// `DOTA_SERVE_TIMELINE` turns on timeline recording like `--timeline`,
+/// and the flag's path wins when both name a destination.
+#[test]
+fn cli_serve_timeline_env_applies_with_flag_precedence() {
+    let dir = std::env::temp_dir().join(format!("dota_tl_env_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let env_path = dir.join("from_env.json");
+    let flag_path = dir.join("from_flag.json");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_dota"))
+        .args(["serve", "--requests", "8"])
+        .env("DOTA_SERVE_TIMELINE", &env_path)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(env_path.exists(), "env-named timeline was not written");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_dota"))
+        .args(["serve", "--requests", "8", "--timeline"])
+        .arg(&flag_path)
+        .env("DOTA_SERVE_TIMELINE", dir.join("ignored.json"))
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(flag_path.exists(), "flag-named timeline was not written");
+    assert!(
+        !dir.join("ignored.json").exists(),
+        "env path used despite an explicit --timeline flag"
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }

@@ -167,6 +167,161 @@ fn cli_serve_report_roundtrips_through_report_diff() {
     );
 }
 
+/// The request timeline is byte-identical across thread counts, just like
+/// the bench report: the recorder only observes the (serial) scheduler
+/// loop, so parallel per-slot decode cannot leak into its bytes.
+#[test]
+fn timeline_bytes_ignore_thread_count() {
+    let opts = || BenchOptions {
+        timeline: true,
+        ..quick_opts()
+    };
+    let prev = std::env::var("DOTA_THREADS").ok();
+    std::env::set_var("DOTA_THREADS", "1");
+    let serial = run_bench(opts()).unwrap().timeline.unwrap().to_json();
+    std::env::set_var("DOTA_THREADS", "8");
+    let threaded = run_bench(opts()).unwrap().timeline.unwrap().to_json();
+    match prev {
+        Some(v) => std::env::set_var("DOTA_THREADS", v),
+        None => std::env::remove_var("DOTA_THREADS"),
+    }
+    assert_eq!(serial, threaded, "serve timeline depends on thread count");
+}
+
+/// Recording the timeline must not change the bench report by a single
+/// byte: the recorder and SLO monitor observe the schedule, never steer
+/// it. This pins the acceptance bar that enabling observability leaves
+/// `results/serve_baseline.json` untouched.
+#[test]
+fn timeline_recording_leaves_bench_report_bytes_unchanged() {
+    let without = run_bench(quick_opts()).unwrap().to_json();
+    let with = run_bench(BenchOptions {
+        timeline: true,
+        ..quick_opts()
+    })
+    .unwrap()
+    .to_json();
+    assert_eq!(without, with, "recording the timeline perturbed the report");
+}
+
+/// The CLI timeline round-trips: `serve --timeline` writes the same bytes
+/// whatever DOTA_THREADS says, `report diff` accepts the pair, and
+/// `analyze --serve` audits it clean (decomposition and ladder consistent)
+/// with a deterministic audit JSON.
+#[test]
+fn cli_timeline_byte_identical_and_audits_clean() {
+    let dir = scratch_dir("timeline");
+    let mut timelines = Vec::new();
+    for threads in ["1", "8"] {
+        let path = dir.join(format!("timeline_t{threads}.json"));
+        let out = Command::new(env!("CARGO_BIN_EXE_dota"))
+            .args(["serve", "--bench", "--requests", "40", "--timeline"])
+            .arg(&path)
+            .env("DOTA_THREADS", threads)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        timelines.push(std::fs::read(&path).unwrap());
+    }
+    assert_eq!(
+        timelines[0], timelines[1],
+        "CLI serve timeline depends on DOTA_THREADS"
+    );
+    let tl = dir.join("timeline_t1.json");
+    let diff = Command::new(env!("CARGO_BIN_EXE_dota"))
+        .args(["report", "diff"])
+        .arg(&tl)
+        .arg(dir.join("timeline_t8.json"))
+        .output()
+        .unwrap();
+    assert!(
+        diff.status.success(),
+        "report diff rejected identical timelines: {}",
+        String::from_utf8_lossy(&diff.stderr)
+    );
+    let mut audits = Vec::new();
+    for name in ["audit_a.json", "audit_b.json"] {
+        let audit_path = dir.join(name);
+        let audit = Command::new(env!("CARGO_BIN_EXE_dota"))
+            .args(["analyze", "--serve"])
+            .arg(&tl)
+            .arg("--out")
+            .arg(&audit_path)
+            .output()
+            .unwrap();
+        assert!(
+            audit.status.success(),
+            "audit rejected a freshly recorded timeline: {}",
+            String::from_utf8_lossy(&audit.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&audit.stdout).to_string();
+        assert!(stdout.contains("decomposition ok"), "stdout: {stdout}");
+        assert!(stdout.contains("ladder ok"), "stdout: {stdout}");
+        audits.push(std::fs::read(&audit_path).unwrap());
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(audits[0], audits[1], "audit JSON is not deterministic");
+}
+
+/// A corrupted timeline fails the audit loudly: flipping one attended
+/// count flips `ladder_consistent` and the exit code.
+#[test]
+fn cli_audit_flags_a_tampered_timeline() {
+    let dir = scratch_dir("tamper");
+    let tl = dir.join("timeline.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_dota"))
+        .args(["serve", "--bench", "--requests", "20", "--loads", "4.0"])
+        .args(["--timeline"])
+        .arg(&tl)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let raw = std::fs::read_to_string(&tl).unwrap();
+    // Bump one step's attended column (index 4 of 7) in place, keeping
+    // the JSON valid.
+    let start = raw.find("\"steps\":[[").expect("timeline has steps") + "\"steps\":[[".len();
+    let end = start + raw[start..].find(']').unwrap();
+    let mut cols: Vec<u64> = raw[start..end]
+        .split(',')
+        .map(|c| c.parse().unwrap())
+        .collect();
+    assert_eq!(cols.len(), 7, "step rows are 7 columns");
+    cols[4] += 1;
+    let tampered = format!(
+        "{}{}{}",
+        &raw[..start],
+        cols.iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(","),
+        &raw[end..]
+    );
+    std::fs::write(&tl, tampered).unwrap();
+    let audit = Command::new(env!("CARGO_BIN_EXE_dota"))
+        .args(["analyze", "--serve"])
+        .arg(&tl)
+        .output()
+        .unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(
+        !audit.status.success(),
+        "audit accepted a tampered timeline"
+    );
+    assert!(
+        String::from_utf8_lossy(&audit.stderr).contains("inconsistent"),
+        "stderr: {}",
+        String::from_utf8_lossy(&audit.stderr)
+    );
+}
+
 /// The sweep's underload cell serves everything: deadlines and shedding
 /// only bite when demand outruns capacity.
 #[test]
