@@ -11,6 +11,7 @@
 //! dota analyze BENCH [--out FILE]              # cycle-vs-time bottleneck report
 //! dota faults --seed S --rates 0,0.05,1       # fault-injection campaign
 //! dota serve [--bench] [--out FILE]           # continuous-batching load test
+//! dota serve --chaos [--out FILE]             # fault-rate x load availability sweep
 //! ```
 //!
 //! Every command accepts the global observability flags `--trace <path>`
@@ -215,10 +216,42 @@ fn validate_env() -> Result<(), String> {
     }
     if let Ok(v) = std::env::var("DOTA_SERVE_SHED") {
         match v.trim().to_ascii_lowercase().as_str() {
-            "queue" | "queue-only" | "retention" | "shed" | "both" => {}
+            "queue" | "queue-only" | "retention" | "shed" | "slo" | "both" => {}
             _ => {
                 return Err(format!(
-                    "DOTA_SERVE_SHED must be queue|retention|both, got `{v}`"
+                    "DOTA_SERVE_SHED must be queue|retention|slo|both, got `{v}`"
+                ))
+            }
+        }
+    }
+    if let Ok(v) = std::env::var("DOTA_SERVE_CHAOS") {
+        let rates: Result<Vec<f64>, _> = v
+            .split(',')
+            .filter(|s| !s.trim().is_empty())
+            .map(|s| s.trim().parse::<f64>())
+            .collect();
+        match rates {
+            Ok(rs) if !rs.is_empty() && rs.iter().all(|r| r.is_finite() && (0.0..=1.0).contains(r)) => {}
+            _ => {
+                return Err(format!(
+                    "DOTA_SERVE_CHAOS must be a comma-separated list of fault rates in [0, 1], got `{v}`"
+                ))
+            }
+        }
+    }
+    if let Ok(v) = std::env::var("DOTA_SERVE_RETRY_CAP") {
+        if v.trim().parse::<usize>().is_err() {
+            return Err(format!(
+                "DOTA_SERVE_RETRY_CAP must be a non-negative integer, got `{v}`"
+            ));
+        }
+    }
+    if let Ok(v) = std::env::var("DOTA_SERVE_RETRY_BACKOFF") {
+        match v.trim().parse::<u64>() {
+            Ok(n) if n >= 1 => {}
+            _ => {
+                return Err(format!(
+                    "DOTA_SERVE_RETRY_BACKOFF must be a positive cycle count, got `{v}`"
                 ))
             }
         }
@@ -350,6 +383,7 @@ fn cmd_faults(args: &[String]) -> Result<(), String> {
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut args = args.to_vec();
     let bench = take_bool_flag(&mut args, "--bench");
+    let chaos = take_bool_flag(&mut args, "--chaos");
     let (positional, flags) = parse_flags(&args)?;
     if let Some(extra) = positional.first() {
         return Err(format!(
@@ -392,14 +426,16 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         .get("shed")
         .cloned()
         .or_else(|| env_path("DOTA_SERVE_SHED"));
-    if let Some(spec) = shed_spec {
-        opts.sheds = match spec.trim().to_ascii_lowercase().as_str() {
-            "both" => vec![
-                dota_serve::ShedPolicy::QueueOnly,
-                dota_serve::ShedPolicy::Retention,
-            ],
-            other => vec![dota_serve::ShedPolicy::parse(other)?],
-        };
+    if let Some(spec) = &shed_spec {
+        if !chaos {
+            opts.sheds = match spec.trim().to_ascii_lowercase().as_str() {
+                "both" => vec![
+                    dota_serve::ShedPolicy::QueueOnly,
+                    dota_serve::ShedPolicy::Retention,
+                ],
+                other => vec![dota_serve::ShedPolicy::parse(other)?],
+            };
+        }
     }
     if let Some(list) = flags.get("loads") {
         opts.loads = list
@@ -411,7 +447,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                     .map_err(|_| format!("--loads entries must be numbers, got `{s}`"))
             })
             .collect::<Result<Vec<_>, _>>()?;
-    } else if !bench {
+    } else if !bench && !chaos {
         // Without --bench: one load point (default 2x capacity) instead of
         // the full sweep grid.
         opts.loads = vec![flag_f64(&flags, "load")?.unwrap_or(2.0)];
@@ -420,6 +456,16 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     }
     if let Some(w) = flag_usize(&flags, "slo-window")? {
         opts.slo_window = w;
+    }
+    if chaos {
+        if flags.contains_key("timeline") {
+            return Err(
+                "`serve --chaos` does not record timelines; run `dota serve --timeline` \
+                 under the global --faults flag to audit a faulted run"
+                    .to_owned(),
+            );
+        }
+        return cmd_serve_chaos(opts, shed_spec.as_deref(), &flags);
     }
     let timeline_path = flags
         .get("timeline")
@@ -479,6 +525,139 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             .write(std::path::Path::new(&path))
             .map_err(|e| format!("writing serve timeline {path}: {e}"))?;
         eprintln!("[serve timeline written to {path}]");
+    }
+    Ok(())
+}
+
+/// `dota serve --chaos`: the availability campaign — sweeps fault rate x
+/// offered load on identical seeded arrivals and reports goodput, served
+/// fraction, retry/quarantine activity and tail latency per cell.
+fn cmd_serve_chaos(
+    bench: dota_serve::BenchOptions,
+    shed_spec: Option<&str>,
+    flags: &std::collections::BTreeMap<String, String>,
+) -> Result<(), String> {
+    let mut opts = dota_serve::ChaosOptions {
+        bench,
+        ..Default::default()
+    };
+    if let Some(spec) = shed_spec {
+        if spec.trim().eq_ignore_ascii_case("both") {
+            return Err("a chaos campaign runs one shed policy per report; \
+                 use --shed queue|retention|slo"
+                .to_owned());
+        }
+        opts.shed = dota_serve::ShedPolicy::parse(spec.trim())?;
+    }
+    // Flag wins over environment wins over default ([`validate_env`] has
+    // already rejected malformed DOTA_SERVE_* values).
+    if let Some(list) = flags
+        .get("chaos-rates")
+        .cloned()
+        .or_else(|| env_path("DOTA_SERVE_CHAOS"))
+    {
+        opts.rates = list
+            .split(',')
+            .filter(|s| !s.trim().is_empty())
+            .map(|s| {
+                s.trim()
+                    .parse::<f64>()
+                    .map_err(|_| format!("--chaos-rates entries must be numbers, got `{s}`"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+    }
+    if let Some(sites) = flags.get("chaos-sites") {
+        opts.sites = sites
+            .split(',')
+            .filter(|s| !s.trim().is_empty())
+            .map(|s| dota_faults::FaultSite::parse(s.trim()))
+            .collect::<Result<Vec<_>, _>>()?;
+    }
+    if let Some(s) = flag_usize(flags, "chaos-seed")? {
+        opts.fault_seed = s as u64;
+    }
+    if let Some(c) = flag_usize(flags, "retry-cap")?.or_else(|| {
+        std::env::var("DOTA_SERVE_RETRY_CAP")
+            .ok()?
+            .trim()
+            .parse()
+            .ok()
+    }) {
+        opts.retry_cap = c;
+    }
+    if let Some(b) = flag_usize(flags, "retry-backoff")?.or_else(|| {
+        std::env::var("DOTA_SERVE_RETRY_BACKOFF")
+            .ok()?
+            .trim()
+            .parse()
+            .ok()
+    }) {
+        opts.retry_backoff_cycles = b as u64;
+    }
+    if let Some(q) = flag_usize(flags, "quarantine")? {
+        opts.quarantine_cycles = q as u64;
+    }
+    if let Some(x) = flag_f64(flags, "ctl-burn-high")? {
+        opts.control.burn_high = x;
+    }
+    if let Some(x) = flag_f64(flags, "ctl-burn-low")? {
+        opts.control.burn_low = x;
+    }
+    if let Some(n) = flag_usize(flags, "ctl-cooldown")? {
+        opts.control.cooldown_steps = n as u64;
+    }
+    println!(
+        "chaos campaign: traffic seed {}, fault seed {}, shed {}, {} requests/cell, \
+         {} site(s) x {} rate(s) x {} load(s)",
+        opts.bench.seed,
+        opts.fault_seed,
+        opts.shed.name(),
+        opts.bench.requests,
+        opts.sites.len(),
+        opts.rates.len(),
+        opts.bench.loads.len()
+    );
+    println!(
+        "retry cap {}, backoff {} cycles (doubling), quarantine {} cycles",
+        opts.retry_cap, opts.retry_backoff_cycles, opts.quarantine_cycles
+    );
+    let report = dota_serve::run_chaos(opts)?;
+    println!(
+        "{:>6} {:>6} {:>8} {:>7} {:>7} {:>7} {:>8} {:>9} {:>11} {:>10}",
+        "load",
+        "rate",
+        "offered",
+        "served",
+        "frac",
+        "failed",
+        "retries",
+        "timeouts",
+        "goodput/Mc",
+        "p99 e2e"
+    );
+    for c in &report.cells {
+        println!(
+            "{:>5.1}x {:>6} {:>8} {:>7} {:>6.1}% {:>7} {:>8} {:>9} {:>11.1} {:>10}",
+            c.load,
+            c.rate,
+            c.offered,
+            c.served,
+            c.served_fraction * 100.0,
+            c.failed,
+            c.retries,
+            c.timeout_steps,
+            c.goodput_per_mcycle,
+            match c.p99_e2e_us {
+                Some(x) => format!("{x:.1}us"),
+                None => "-".to_owned(),
+            }
+        );
+    }
+    if let Some(out) = flags.get("out") {
+        report
+            .write(std::path::Path::new(out))
+            .map_err(|e| format!("writing chaos report {out}: {e}"))?;
+        eprintln!("[chaos report written to {out}]");
     }
     Ok(())
 }
@@ -555,13 +734,17 @@ commands:
                                   burns; re-verifies every decomposition
                                   and attended count against the cost and
                                   window models and flags any drift
-  report diff A B [--tol T] [--ignore K1,K2]
+  report diff A B [--tol T] [--ignore K1,K2] [--allow-added]
                                   compare two runs (result files or run
                                   directories) value-by-value at relative
                                   tolerance T (default 1e-6); exits
-                                  nonzero when regressions are found
+                                  nonzero when regressions are found;
+                                  --allow-added tolerates keys/files that
+                                  exist only in run B (schema additions)
+                                  while still failing on vanished ones
   serve [--bench] [--requests N] [--seed S] [--capacity C] [--queue N]
-        [--seq N] [--load L | --loads L1,L2] [--shed queue|retention|both]
+        [--seq N] [--load L | --loads L1,L2]
+        [--shed queue|retention|slo|both]
         [--deadline-interactive US] [--deadline-batch US] [--out FILE]
         [--timeline FILE] [--slo-window N]
                                   continuous-batching inference load test
@@ -583,9 +766,34 @@ commands:
                                   tracks of any live --trace session;
                                   --slo-window sets the rolling SLO
                                   monitor's window (completions; 0
-                                  disables); env fallbacks:
+                                  disables); --shed slo runs the
+                                  closed-loop controller: rolling SLO burn
+                                  and queue depth drive the admission
+                                  retention rung (with hysteresis and a
+                                  cooldown) plus an admission gate under
+                                  sustained burn; env fallbacks:
                                   DOTA_SERVE_BATCH, DOTA_SERVE_DEADLINE,
                                   DOTA_SERVE_SHED, DOTA_SERVE_TIMELINE
+  serve --chaos [--shed queue|retention|slo] [--chaos-rates R1,R2]
+        [--chaos-sites a,b] [--chaos-seed S] [--retry-cap N]
+        [--retry-backoff CYCLES] [--quarantine CYCLES]
+        [--ctl-burn-high X] [--ctl-burn-low X] [--ctl-cooldown N]
+        [serve options] [--out FILE]
+                                  chaos campaign: sweep serve-layer fault
+                                  rates (slot.fail, kv.corrupt,
+                                  decode.timeout) x offered load on
+                                  identical seeded arrivals; failed decode
+                                  steps retry with exponential cycle
+                                  backoff up to --retry-cap before the
+                                  request fails typed, and faulty lanes
+                                  are quarantined then re-admitted via
+                                  deterministic probes; prints and (with
+                                  --out) writes a byte-stable availability
+                                  report: served fraction, goodput,
+                                  retries, quarantine occupancy, p99 e2e;
+                                  env fallbacks: DOTA_SERVE_CHAOS (rate
+                                  list), DOTA_SERVE_RETRY_CAP,
+                                  DOTA_SERVE_RETRY_BACKOFF
   faults [--seed S] [--sites a,b] [--rates r1,r2] [--seq N] [--out FILE]
                                   deterministic fault-injection campaign:
                                   sweep (site, rate) cells, report whether
@@ -940,7 +1148,9 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_report(args: &[String]) -> Result<(), String> {
-    let (positional, flags) = parse_flags(args)?;
+    let mut args = args.to_vec();
+    let allow_added = take_bool_flag(&mut args, "--allow-added");
+    let (positional, flags) = parse_flags(&args)?;
     match positional.first().map(String::as_str) {
         Some("diff") => {
             let a = positional
@@ -949,7 +1159,10 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
             let b = positional
                 .get(2)
                 .ok_or("report diff needs two paths: dota report diff <run-a> <run-b>")?;
-            let mut opts = report::DiffOptions::default();
+            let mut opts = report::DiffOptions {
+                allow_added,
+                ..Default::default()
+            };
             if let Some(t) = flag_f64(&flags, "tol")? {
                 if t.is_nan() || t < 0.0 {
                     return Err("--tol must be a non-negative number".to_owned());
@@ -1178,7 +1391,7 @@ fn cmd_analyze_serve(
     let consistent = audit
         .cells
         .iter()
-        .all(|c| c.decomposition_consistent && c.ladder_consistent);
+        .all(|c| c.decomposition_consistent && c.ladder_consistent && c.terminals_consistent);
     if let Some(p) = flags.get("out") {
         std::fs::write(p, audit.to_json()).map_err(|e| format!("writing serve audit {p}: {e}"))?;
         eprintln!("[serve audit written to {p}]");
@@ -1315,9 +1528,50 @@ mod tests {
                 assert!(err.contains("DOTA_SERVE_SHED"), "{err}");
             });
         }
-        for ok in ["queue", "retention", "both", "Queue-Only"] {
+        for ok in ["queue", "retention", "slo", "both", "Queue-Only"] {
             with_env("DOTA_SERVE_SHED", Some(ok), || validate_env().unwrap());
         }
+    }
+
+    #[test]
+    fn invalid_dota_serve_chaos_is_rejected() {
+        for bad in ["", "lots", "0.5,nan", "-0.1", "1.5", "0.2;0.4"] {
+            with_env("DOTA_SERVE_CHAOS", Some(bad), || {
+                let err = validate_env().unwrap_err();
+                assert!(err.contains("DOTA_SERVE_CHAOS"), "{err}");
+            });
+        }
+        for ok in ["0", "0.0,0.05,0.2", " 0.1 , 1 "] {
+            with_env("DOTA_SERVE_CHAOS", Some(ok), || validate_env().unwrap());
+        }
+        with_env("DOTA_SERVE_CHAOS", None, || validate_env().unwrap());
+    }
+
+    #[test]
+    fn invalid_dota_serve_retry_cap_is_rejected() {
+        for bad in ["-1", "many", "2.5", ""] {
+            with_env("DOTA_SERVE_RETRY_CAP", Some(bad), || {
+                let err = validate_env().unwrap_err();
+                assert!(err.contains("DOTA_SERVE_RETRY_CAP"), "{err}");
+            });
+        }
+        for ok in ["0", "3", "10"] {
+            with_env("DOTA_SERVE_RETRY_CAP", Some(ok), || validate_env().unwrap());
+        }
+    }
+
+    #[test]
+    fn invalid_dota_serve_retry_backoff_is_rejected() {
+        for bad in ["0", "-100", "fast", ""] {
+            with_env("DOTA_SERVE_RETRY_BACKOFF", Some(bad), || {
+                let err = validate_env().unwrap_err();
+                assert!(err.contains("DOTA_SERVE_RETRY_BACKOFF"), "{err}");
+            });
+        }
+        with_env("DOTA_SERVE_RETRY_BACKOFF", Some("2000"), || {
+            validate_env().unwrap()
+        });
+        with_env("DOTA_SERVE_RETRY_BACKOFF", None, || validate_env().unwrap());
     }
 
     #[test]

@@ -29,12 +29,19 @@ pub struct DiffOptions {
     /// Object keys skipped at every depth. Defaults to the manifest's
     /// volatile provenance fields.
     pub ignore_keys: Vec<String>,
+    /// Tolerate *additions* — keys or files present only in run B. Off by
+    /// default (a schema change should be deliberate); when set, additions
+    /// are tallied in [`DiffReport::added`] instead of raised as findings.
+    /// Keys or files that *vanished* (present only in run A) are always
+    /// findings: a disappeared measurement is a regression, not growth.
+    pub allow_added: bool,
 }
 
 impl Default for DiffOptions {
     fn default() -> Self {
         Self {
             tolerance: 1e-6,
+            allow_added: false,
             ignore_keys: [
                 "git_sha",
                 "wall_clock_secs",
@@ -63,6 +70,11 @@ pub struct Finding {
     pub expected: Option<f64>,
     /// Run B's value, when the divergence is numeric.
     pub actual: Option<f64>,
+    /// `true` when the divergence is an *addition* (a key or file present
+    /// only in run B) rather than a changed or vanished value. Rendered as
+    /// `ADDED` instead of `REGRESSION`, and suppressible with
+    /// [`DiffOptions::allow_added`].
+    pub added: bool,
 }
 
 /// Outcome of a diff: what was compared and every divergence found.
@@ -72,6 +84,9 @@ pub struct DiffReport {
     pub compared_files: usize,
     /// Number of leaf values compared.
     pub compared_values: usize,
+    /// Additions tolerated under [`DiffOptions::allow_added`] (keys or
+    /// files present only in run B that were *not* raised as findings).
+    pub added: usize,
     /// All divergences, in document order.
     pub findings: Vec<Finding>,
 }
@@ -88,7 +103,8 @@ impl DiffReport {
     pub fn render(&self) -> String {
         let mut out = String::new();
         for f in &self.findings {
-            out.push_str(&format!("REGRESSION {}: {}\n", f.path, f.detail));
+            let kind = if f.added { "ADDED" } else { "REGRESSION" };
+            out.push_str(&format!("{kind} {}: {}\n", f.path, f.detail));
         }
         let numeric: Vec<(&Finding, f64, f64)> = self
             .findings
@@ -139,13 +155,18 @@ impl DiffReport {
             out.push('\n');
         }
         out.push_str(&format!(
-            "{} file(s), {} value(s) compared: {}\n",
+            "{} file(s), {} value(s) compared: {}{}\n",
             self.compared_files,
             self.compared_values,
             if self.findings.is_empty() {
                 "no regressions".to_owned()
             } else {
                 format!("{} regression(s)", self.findings.len())
+            },
+            if self.added > 0 {
+                format!(", {} addition(s) tolerated", self.added)
+            } else {
+                String::new()
             }
         ));
         out
@@ -157,7 +178,24 @@ impl DiffReport {
             detail,
             expected: None,
             actual: None,
+            added: false,
         });
+    }
+
+    /// Records an addition (key/file present only in run B): a finding by
+    /// default, a tolerated tally under `allow_added`.
+    fn record_added(&mut self, path: &str, detail: String, opts: &DiffOptions) {
+        if opts.allow_added {
+            self.added += 1;
+        } else {
+            self.findings.push(Finding {
+                path: path.to_owned(),
+                detail,
+                expected: None,
+                actual: None,
+                added: true,
+            });
+        }
     }
 
     fn numeric_finding(&mut self, path: &str, expected: f64, actual: f64, detail: String) {
@@ -166,6 +204,7 @@ impl DiffReport {
             detail,
             expected: Some(expected),
             actual: Some(actual),
+            added: false,
         });
     }
 }
@@ -213,7 +252,7 @@ fn diff_dirs(
     }
     for name in &names_b {
         if !names_a.contains(name) {
-            report.finding(name, format!("only present in {}", b.display()));
+            report.record_added(name, format!("only present in {}", b.display()), opts);
         }
     }
     Ok(())
@@ -300,7 +339,11 @@ fn diff_values(path: &str, a: &Value, b: &Value, opts: &DiffOptions, report: &mu
                     continue;
                 }
                 if a.get(k).is_none() {
-                    report.finding(&format!("{path}.{k}"), "missing in run A".to_owned());
+                    report.record_added(
+                        &format!("{path}.{k}"),
+                        "added in run B (absent from run A)".to_owned(),
+                        opts,
+                    );
                 }
             }
         }
@@ -431,6 +474,32 @@ mod tests {
             &DiffOptions::default(),
         );
         assert_eq!(r.findings.len(), 2);
+        // The vanished key is a regression, the new key an addition —
+        // distinct classes with distinct render prefixes.
+        let missing = r.findings.iter().find(|f| f.path == "t.b").unwrap();
+        let extra = r.findings.iter().find(|f| f.path == "t.c").unwrap();
+        assert!(!missing.added);
+        assert!(extra.added);
+        let text = r.render();
+        assert!(text.contains("REGRESSION t.b"), "{text}");
+        assert!(text.contains("ADDED t.c"), "{text}");
+    }
+
+    #[test]
+    fn allow_added_tolerates_new_keys_but_not_vanished_ones() {
+        let opts = DiffOptions {
+            allow_added: true,
+            ..Default::default()
+        };
+        // A new key in run B is tolerated and tallied...
+        let r = diff_strs(r#"{"a": 1}"#, r#"{"a": 1, "c": 3}"#, &opts);
+        assert!(!r.has_regressions(), "{:?}", r.findings);
+        assert_eq!(r.added, 1);
+        assert!(r.render().contains("1 addition(s) tolerated"));
+        // ...but a vanished key is still a regression.
+        let r = diff_strs(r#"{"a": 1, "b": 2}"#, r#"{"a": 1}"#, &opts);
+        assert_eq!(r.findings.len(), 1);
+        assert!(!r.findings[0].added);
     }
 
     #[test]

@@ -19,11 +19,16 @@
 //! The audit *re-verifies* the timeline against the models it claims to
 //! reflect rather than trusting it: every request's decomposition must
 //! sum exactly to its recorded e2e latency
-//! (`decomposition_consistent`), and every attended count must equal what
+//! (`decomposition_consistent`), every attended count must equal what
 //! the retention window selector (`ceil(retention · t)`, clamped to
-//! `[1, t]`, per layer × head) would attend (`ladder_consistent`). A
-//! false flag means the engine and its telemetry have drifted apart,
-//! which is precisely what an observability layer must never hide.
+//! `[1, t]`, per layer × head) would attend (`ladder_consistent`), and
+//! the terminal records must be exactly-once and shape-consistent —
+//! unique ids, one per offered request, a valid reason, no tokens on a
+//! failed/expired/rejected exit, at least one on a served exit — even
+//! when fault-injection retries re-admitted requests mid-run
+//! (`terminals_consistent`). A false flag means the engine and its
+//! telemetry have drifted apart, which is precisely what an
+//! observability layer must never hide.
 //!
 //! Output is deterministic: derived purely from the (byte-deterministic)
 //! timeline document, serialized in canonical key order with [`fmt_f64`],
@@ -33,7 +38,7 @@ use dota_metrics::fmt_f64;
 use serde_json::Value;
 
 /// Audit format version (bump on any schema change).
-pub const SERVE_AUDIT_VERSION: u32 = 1;
+pub const SERVE_AUDIT_VERSION: u32 = 2;
 
 /// Cycles per microsecond on the simulated 1 GHz clock.
 const CYCLES_PER_US: f64 = 1e3;
@@ -112,6 +117,17 @@ pub struct CellAudit {
     /// Every request's attended count matched the retention window
     /// (`Σ layers·heads·clamp(ceil(r·t), 1, t)` over its steps).
     pub ladder_consistent: bool,
+    /// Terminal records were exactly-once and shape-consistent: unique
+    /// ids, one per offered request, a valid reason, zero tokens on
+    /// failed/expired/rejected exits and at least one on served exits.
+    pub terminals_consistent: bool,
+    /// Requests that went through at least one fault retry.
+    pub retried: u64,
+    /// Requests that terminated `failed` (fault retries exhausted).
+    pub failed: u64,
+    /// Tokens emitted by attempts a fault later aborted (discarded, never
+    /// delivered — retries restart the stream from scratch).
+    pub discarded_tokens: u64,
     /// Top-N requests by burn, descending (ties by id).
     pub worst: Vec<WorstBurn>,
 }
@@ -186,6 +202,9 @@ struct ParsedRequest {
     level: usize,
     admitted: bool,
     served: bool,
+    tokens: u64,
+    retries: u64,
+    discarded_tokens: u64,
     attended: u64,
     possible: u64,
     burn: f64,
@@ -247,6 +266,9 @@ fn parse_request(r: &Value, layers_heads: u64) -> Result<ParsedRequest, String> 
     let ladder_ok = total_steps_ok && step_sum == attended && expected_attended == attended;
 
     let served = reason == "completed" || reason == "eos";
+    // Fault-retry fields are emitted only when nonzero, so fault-free
+    // timelines keep their exact bytes; absence means zero.
+    let opt_u64 = |name: &str| r.get(name).map(|v| as_u64(v, name)).transpose();
     Ok(ParsedRequest {
         id,
         reason,
@@ -254,6 +276,9 @@ fn parse_request(r: &Value, layers_heads: u64) -> Result<ParsedRequest, String> 
         level,
         admitted,
         served,
+        tokens: u64_field(r, "tokens")?,
+        retries: opt_u64("retries")?.unwrap_or(0),
+        discarded_tokens: opt_u64("discarded_tokens")?.unwrap_or(0),
         attended,
         possible: attended + omitted,
         burn: f64_field(r, "burn")?,
@@ -281,6 +306,7 @@ pub fn audit(doc: &Value, top: usize) -> Result<ServeAudit, String> {
         .iter()
         .map(|v| as_f64(v, "ladder entry"))
         .collect::<Result<_, _>>()?;
+    let offered = u64_field(config, "requests")?;
     let mut cells = Vec::new();
     for cell in array(doc, "cells")? {
         let shed = str_field(cell, "shed")?;
@@ -289,6 +315,24 @@ pub fn audit(doc: &Value, top: usize) -> Result<ServeAudit, String> {
             .iter()
             .map(|r| parse_request(r, layers_heads))
             .collect::<Result<_, _>>()?;
+
+        // Identity 3: exactly-once, shape-consistent terminals. Holds even
+        // under fault-injection retries: a retried request still terminates
+        // once, and its token count reflects only the surviving attempt.
+        let mut ids: Vec<u64> = requests.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        let shapes_ok = requests.iter().all(|r| match r.reason.as_str() {
+            "completed" | "eos" => r.admitted && r.tokens >= 1,
+            "deadline_evicted" => r.admitted,
+            "queue_expired" | "rejected" => !r.admitted && r.tokens == 0,
+            // A failed request delivered nothing, whether it died in a
+            // slot (admitted) or waiting out a retry backoff (not).
+            "failed" => r.tokens == 0,
+            _ => false,
+        });
+        let terminals_consistent =
+            ids.len() == requests.len() && requests.len() as u64 == offered && shapes_ok;
 
         let mut tiers = Vec::new();
         for (level, &retention) in ladder.iter().enumerate() {
@@ -355,6 +399,10 @@ pub fn audit(doc: &Value, top: usize) -> Result<ServeAudit, String> {
             never_admitted: requests.iter().filter(|r| !r.admitted).count() as u64,
             decomposition_consistent: requests.iter().all(|r| r.decomposition_ok),
             ladder_consistent: requests.iter().all(|r| r.ladder_ok),
+            terminals_consistent,
+            retried: requests.iter().filter(|r| r.retries > 0).count() as u64,
+            failed: requests.iter().filter(|r| r.reason == "failed").count() as u64,
+            discarded_tokens: requests.iter().map(|r| r.discarded_tokens).sum(),
             tiers,
             worst,
         });
@@ -380,8 +428,12 @@ impl ServeAudit {
                 c.never_admitted
             ));
             s.push_str(&format!(
-                ",\"decomposition_consistent\":{},\"ladder_consistent\":{}",
-                c.decomposition_consistent, c.ladder_consistent
+                ",\"decomposition_consistent\":{},\"ladder_consistent\":{},\"terminals_consistent\":{}",
+                c.decomposition_consistent, c.ladder_consistent, c.terminals_consistent
+            ));
+            s.push_str(&format!(
+                ",\"retried\":{},\"failed\":{},\"discarded_tokens\":{}",
+                c.retried, c.failed, c.discarded_tokens
             ));
             s.push_str(",\"tiers\":[");
             for (j, t) in c.tiers.iter().enumerate() {
@@ -437,7 +489,7 @@ impl ServeAudit {
         let mut out = String::new();
         for c in &self.cells {
             out.push_str(&format!(
-                "cell {} @ {}x: {} requests, {} never admitted, decomposition {}, ladder {}\n",
+                "cell {} @ {}x: {} requests, {} never admitted, decomposition {}, ladder {}, terminals {}\n",
                 c.shed,
                 fmt_f64(c.load),
                 c.requests,
@@ -452,7 +504,18 @@ impl ServeAudit {
                 } else {
                     "INCONSISTENT"
                 },
+                if c.terminals_consistent {
+                    "ok"
+                } else {
+                    "INCONSISTENT"
+                },
             ));
+            if c.retried > 0 || c.failed > 0 {
+                out.push_str(&format!(
+                    "  faults: {} retried, {} failed, {} tokens discarded across aborted attempts\n",
+                    c.retried, c.failed, c.discarded_tokens
+                ));
+            }
             out.push_str(&format!(
                 "  {:>5} {:>9} {:>8} {:>7} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}\n",
                 "tier",
@@ -567,6 +630,58 @@ mod tests {
         // Worst burn leads with the expired request.
         assert_eq!(c.worst[0].id, 2);
         assert_eq!(c.worst[0].burn, 1.0);
+        // Fault-free sample: terminals are exactly-once and clean.
+        assert!(c.terminals_consistent);
+        assert_eq!(c.retried, 0);
+        assert_eq!(c.failed, 0);
+        assert_eq!(c.discarded_tokens, 0);
+    }
+
+    #[test]
+    fn audit_flags_duplicate_and_bogus_terminals() {
+        // Duplicate id: the same request terminated twice.
+        let dup = SAMPLE_JSON.replacen("\"id\":1,", "\"id\":0,", 1);
+        assert_ne!(dup, SAMPLE_JSON, "corruption target must exist");
+        let a = audit(&serde_json::parse(&dup).unwrap(), 2).unwrap();
+        assert!(!a.cells[0].terminals_consistent);
+        // Unknown terminal reason.
+        let bogus = SAMPLE_JSON.replacen("\"reason\":\"completed\"", "\"reason\":\"vanished\"", 1);
+        assert_ne!(bogus, SAMPLE_JSON, "corruption target must exist");
+        let a = audit(&serde_json::parse(&bogus).unwrap(), 2).unwrap();
+        assert!(!a.cells[0].terminals_consistent);
+        // A served request claiming zero tokens.
+        let empty = SAMPLE_JSON.replacen(
+            "\"finish\":220,\"tokens\":2",
+            "\"finish\":220,\"tokens\":0",
+            1,
+        );
+        assert_ne!(empty, SAMPLE_JSON, "corruption target must exist");
+        let a = audit(&serde_json::parse(&empty).unwrap(), 2).unwrap();
+        assert!(!a.cells[0].terminals_consistent);
+    }
+
+    #[test]
+    fn audit_reads_fault_retry_fields() {
+        // Splice retry fields into request 1, the way the recorder emits
+        // them (only when nonzero), and fail request 2 typed.
+        let faulted = SAMPLE_JSON
+            .replacen(
+                "\"burn\":0.00046,",
+                "\"burn\":0.00046,\"retries\":2,\"discarded_tokens\":3,",
+                1,
+            )
+            .replacen("\"reason\":\"queue_expired\"", "\"reason\":\"failed\"", 1);
+        let a = audit(&serde_json::parse(&faulted).unwrap(), 2).unwrap();
+        let c = &a.cells[0];
+        assert!(
+            c.terminals_consistent,
+            "retried + failed terminals are legal"
+        );
+        assert_eq!(c.retried, 1);
+        assert_eq!(c.failed, 1);
+        assert_eq!(c.discarded_tokens, 3);
+        assert!(a.to_json().contains("\"retried\":1"));
+        assert!(a.render_text().contains("1 retried, 1 failed"));
     }
 
     #[test]

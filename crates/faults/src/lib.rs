@@ -78,11 +78,25 @@ pub enum FaultSite {
     /// back to the last good state with lr backoff, bounded retries, then
     /// a typed error.
     TrainLoss,
+    /// A serving batch slot dies mid-decode; the request's in-flight state
+    /// is lost, the lane is quarantined until deterministic probe steps
+    /// pass, and the request retries with exponential cycle backoff
+    /// (absorbed) or fails typed once its retry cap is exhausted.
+    SlotFail,
+    /// A K/V-cache read comes back corrupted (detected by the serving
+    /// engine's integrity check); the cached state is untrustworthy, so
+    /// the request restarts from scratch via the retry path.
+    KvCorrupt,
+    /// One slot's decode step overruns its cycle budget; the step's output
+    /// is discarded and the position repeats next step (absorbed), with
+    /// repeated consecutive overruns escalating to a slot-level retry.
+    DecodeTimeout,
 }
 
 impl FaultSite {
     /// Every site, in a stable order (used by sweeps and `--sites all`).
-    pub const ALL: [FaultSite; 7] = [
+    /// New sites append so earlier sites keep their hash stream.
+    pub const ALL: [FaultSite; 10] = [
         FaultSite::SramBitFlip,
         FaultSite::DramRead,
         FaultSite::LaneStuck,
@@ -90,6 +104,29 @@ impl FaultSite {
         FaultSite::DetectorSaturate,
         FaultSite::AttnInput,
         FaultSite::TrainLoss,
+        FaultSite::SlotFail,
+        FaultSite::KvCorrupt,
+        FaultSite::DecodeTimeout,
+    ];
+
+    /// Sites exercised by the model/accelerator inference probe (the
+    /// `dota faults` campaign). The serve-layer sites below only fire
+    /// inside the serving engine and are swept by `dota serve --chaos`.
+    pub const MODEL: [FaultSite; 7] = [
+        FaultSite::SramBitFlip,
+        FaultSite::DramRead,
+        FaultSite::LaneStuck,
+        FaultSite::DetectorCorrupt,
+        FaultSite::DetectorSaturate,
+        FaultSite::AttnInput,
+        FaultSite::TrainLoss,
+    ];
+
+    /// Sites that fire inside the serving engine (`dota serve --chaos`).
+    pub const SERVE: [FaultSite; 3] = [
+        FaultSite::SlotFail,
+        FaultSite::KvCorrupt,
+        FaultSite::DecodeTimeout,
     ];
 
     /// The site's stable string name (used in CLI specs, counters and
@@ -103,6 +140,9 @@ impl FaultSite {
             FaultSite::DetectorSaturate => "detector.saturate",
             FaultSite::AttnInput => "attn.input",
             FaultSite::TrainLoss => "train.loss",
+            FaultSite::SlotFail => "slot.fail",
+            FaultSite::KvCorrupt => "kv.corrupt",
+            FaultSite::DecodeTimeout => "decode.timeout",
         }
     }
 
@@ -493,5 +533,14 @@ mod tests {
             assert_eq!(FaultSite::parse(site.name()).unwrap(), site);
         }
         assert!(FaultSite::parse("nope").is_err());
+    }
+
+    #[test]
+    fn serve_sites_append_after_model_sites() {
+        // The hash stream keys on the position in ALL, so the model-layer
+        // sites must keep indices 0..MODEL.len() forever; serve sites
+        // append after them. MODEL and SERVE partition ALL.
+        assert_eq!(&FaultSite::ALL[..FaultSite::MODEL.len()], &FaultSite::MODEL);
+        assert_eq!(&FaultSite::ALL[FaultSite::MODEL.len()..], &FaultSite::SERVE);
     }
 }

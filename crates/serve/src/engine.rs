@@ -26,6 +26,7 @@
 //! 5. **evict** — requests that finished (`max_new` tokens or EOS) or
 //!    overran their deadline leave the batch at step boundaries.
 
+use crate::control::{ControlConfig, ControlInputs, ControlSummary, Controller};
 use crate::cost::CostModel;
 use crate::request::{Completion, DeadlineClass, FinishReason, Request};
 use crate::selector::WindowSelector;
@@ -33,9 +34,18 @@ use crate::slo::{SloMonitor, SloWindow};
 use crate::timeline::{RequestTimeline, StepRecord, TimelineRecorder};
 use dota_accel::AccelConfig;
 use dota_autograd::ParamSet;
+use dota_faults::FaultSite;
 use dota_tensor::ops;
 use dota_transformer::{KvCache, Model};
 use std::collections::VecDeque;
+
+/// Coordinate namespace for quarantine probe decisions, disjoint from
+/// request ids (which are the first coordinate of in-slot fault checks).
+const PROBE_COORD: u64 = u64::MAX;
+
+/// Consecutive decode-step timeouts at one position before the attempt is
+/// abandoned and the request goes through the retry path.
+const TIMEOUT_ESCALATE: u64 = 3;
 
 /// What the scheduler does when demand outruns capacity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,6 +59,11 @@ pub enum ShedPolicy {
     /// their admitted retention for life, so output remains a pure
     /// function of the admission decision.
     Retention,
+    /// Closed-loop feedback: a [`Controller`] driven by the SLO monitor's
+    /// rolling burn (plus queue depth and occupancy) picks the rung, with
+    /// hysteresis and a cooldown, and can gate admission entirely under
+    /// extreme burn. Requires `slo_window > 0`.
+    Slo,
 }
 
 impl ShedPolicy {
@@ -57,6 +72,7 @@ impl ShedPolicy {
         match self {
             ShedPolicy::QueueOnly => "queue",
             ShedPolicy::Retention => "retention",
+            ShedPolicy::Slo => "slo",
         }
     }
 
@@ -64,13 +80,14 @@ impl ShedPolicy {
     ///
     /// # Errors
     ///
-    /// Describes the accepted spellings when `s` is neither.
+    /// Describes the accepted spellings when `s` is none of them.
     pub fn parse(s: &str) -> Result<Self, String> {
         match s.to_ascii_lowercase().as_str() {
             "queue" | "queue-only" => Ok(ShedPolicy::QueueOnly),
             "retention" | "shed" => Ok(ShedPolicy::Retention),
+            "slo" => Ok(ShedPolicy::Slo),
             other => Err(format!(
-                "unknown shed policy `{other}` (use queue|retention)"
+                "unknown shed policy `{other}` (use queue|retention|slo)"
             )),
         }
     }
@@ -95,9 +112,22 @@ pub struct ServeConfig {
     /// Deadline budget for [`DeadlineClass::Batch`], microseconds.
     pub batch_deadline_us: f64,
     /// Rolling window (in terminal requests) of the SLO monitor; `0`
-    /// disables the monitor entirely. The monitor never feeds back into
-    /// scheduling, so outcomes and reports are identical either way.
+    /// disables the monitor entirely. Under [`ShedPolicy::QueueOnly`] and
+    /// [`ShedPolicy::Retention`] the monitor never feeds back into
+    /// scheduling, so outcomes and reports are identical either way;
+    /// [`ShedPolicy::Slo`] consumes its rolling burn and requires a
+    /// nonzero window.
     pub slo_window: usize,
+    /// Hysteresis/cooldown parameters of the closed-loop controller
+    /// (consulted under [`ShedPolicy::Slo`] only).
+    pub control: ControlConfig,
+    /// Fault-retry attempts before a request fails typed. Only reachable
+    /// with serve-layer fault injection active.
+    pub retry_cap: usize,
+    /// Base retry backoff in cycles; doubles with each attempt.
+    pub retry_backoff_cycles: u64,
+    /// Cycles a failed lane stays quarantined between health probes.
+    pub quarantine_cycles: u64,
 }
 
 impl Default for ServeConfig {
@@ -110,6 +140,10 @@ impl Default for ServeConfig {
             interactive_deadline_us: 50.0,
             batch_deadline_us: 500.0,
             slo_window: 64,
+            control: ControlConfig::default(),
+            retry_cap: 3,
+            retry_backoff_cycles: 2_000,
+            quarantine_cycles: 20_000,
         }
     }
 }
@@ -146,6 +180,16 @@ impl ServeConfig {
                 return Err("deadline budgets must be positive and finite".into());
             }
         }
+        if self.shed == ShedPolicy::Slo && self.slo_window == 0 {
+            return Err("shed policy slo needs the SLO monitor (slo_window > 0)".into());
+        }
+        self.control.validate()?;
+        if self.retry_backoff_cycles == 0 {
+            return Err("retry_backoff_cycles must be at least 1".into());
+        }
+        if self.quarantine_cycles == 0 {
+            return Err("quarantine_cycles must be at least 1".into());
+        }
         Ok(())
     }
 
@@ -166,12 +210,64 @@ struct Queued {
     deadline: u64,
 }
 
+/// An injected fault that aborts a slot's current attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotFault {
+    /// The slot died mid-decode; the lane is quarantined too.
+    Lane,
+    /// A K/V-cache read came back corrupted; the cached state is lost.
+    Kv,
+    /// Consecutive decode-step timeouts exhausted the in-place budget.
+    Timeout,
+}
+
+/// A faulted request waiting out its retry backoff. Retention and rung are
+/// pinned from the original admission so a retried decode regenerates the
+/// identical token stream.
+#[derive(Debug)]
+struct RetryEntry {
+    req: Request,
+    deadline: u64,
+    retention: f64,
+    level: usize,
+    /// Attempt number the re-admission will run as (original run is 0).
+    attempt: u64,
+    /// Cycle at which the entry becomes admissible again.
+    ready_at: u64,
+}
+
+/// A lane taken out of rotation after a slot failure.
+#[derive(Debug)]
+struct Quarantine {
+    lane: usize,
+    /// Cycle of the next health probe.
+    release_at: u64,
+    /// Probes attempted so far (a coordinate of the probe decision).
+    probes: u64,
+    /// Cycle the lane entered quarantine.
+    from: u64,
+}
+
+/// One completed quarantine interval of a lane (closed at run end for
+/// lanes still quarantined).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuarantineSpan {
+    /// Batch-slot lane that was taken out of rotation.
+    pub lane: usize,
+    /// Cycle the lane entered quarantine.
+    pub from: u64,
+    /// Cycle the lane was re-admitted (run end if never).
+    pub until: u64,
+}
+
 /// One in-flight batch slot.
 #[derive(Debug)]
 struct Slot {
     req: Request,
     deadline: u64,
     retention: f64,
+    /// Retention-ladder rung the request was admitted at.
+    level: usize,
     /// Stable batch-slot lane (smallest index free at admission); lanes
     /// are reused as slots drain, giving timelines one track per slot.
     lane: usize,
@@ -190,6 +286,16 @@ struct Slot {
     /// Connections the last decode step attended (drives K/V cost).
     attended_last: u64,
     emitted_this_step: bool,
+    /// Fault-retry attempt this slot runs as (0 without faults).
+    attempt: u64,
+    /// Consecutive decode-step timeouts at the current position.
+    timeouts_here: u64,
+    /// The current step's decode timed out (output discarded, position
+    /// repeats next step).
+    timed_out: bool,
+    /// An injected fault aborted this attempt; resolved at the step
+    /// boundary (retry or typed failure).
+    fault: Option<SlotFault>,
 }
 
 /// Aggregate result of one [`ServeEngine::run`].
@@ -221,6 +327,20 @@ pub struct ServeOutcome {
     /// Per-request lifecycle records, sorted by id (`None` unless
     /// [`ServeEngine::enable_timeline`] was called).
     pub timeline: Option<Vec<RequestTimeline>>,
+    /// Fault-retry re-admissions performed (0 without injected faults).
+    pub retries: u64,
+    /// Requests that terminated as [`FinishReason::Failed`].
+    pub failed: u64,
+    /// Decode steps discarded to injected cycle-budget timeouts.
+    pub timeout_steps: u64,
+    /// Lanes sent to quarantine after a slot failure.
+    pub quarantine_events: u64,
+    /// Quarantine intervals, in event order (open intervals are closed at
+    /// the run's final cycle).
+    pub quarantine_log: Vec<QuarantineSpan>,
+    /// Closed-loop controller activity (`None` unless the policy was
+    /// [`ShedPolicy::Slo`]).
+    pub control: Option<ControlSummary>,
 }
 
 impl ServeOutcome {
@@ -268,6 +388,17 @@ pub struct ServeEngine<'m> {
     /// Prefix for Chrome-trace counter/track names, so engines sharing a
     /// trace session (e.g. bench cells) stay distinguishable.
     label: String,
+    /// Closed-loop controller (present under [`ShedPolicy::Slo`] only).
+    control: Option<Controller>,
+    /// Faulted requests waiting out their retry backoff.
+    retryq: VecDeque<RetryEntry>,
+    /// Lanes out of rotation after a slot failure.
+    quarantine: Vec<Quarantine>,
+    quarantine_log: Vec<QuarantineSpan>,
+    retries: u64,
+    failed: u64,
+    timeout_steps: u64,
+    quarantine_events: u64,
 }
 
 impl<'m> ServeEngine<'m> {
@@ -289,6 +420,8 @@ impl<'m> ServeEngine<'m> {
         }
         let cost = CostModel::new(accel, model.config());
         let slo = (cfg.slo_window > 0).then(|| SloMonitor::new(cfg.slo_window));
+        let control = (cfg.shed == ShedPolicy::Slo)
+            .then(|| Controller::new(cfg.control.clone(), cfg.ladder.len() - 1));
         Ok(Self {
             model,
             params,
@@ -309,6 +442,14 @@ impl<'m> ServeEngine<'m> {
             slo,
             timeline: None,
             label: "serve".to_owned(),
+            control,
+            retryq: VecDeque::new(),
+            quarantine: Vec::new(),
+            quarantine_log: Vec::new(),
+            retries: 0,
+            failed: 0,
+            timeout_steps: 0,
+            quarantine_events: 0,
         })
     }
 
@@ -353,20 +494,56 @@ impl<'m> ServeEngine<'m> {
                 self.enqueue(arrivals.next().expect("peeked"));
             }
             self.expire_queued();
+            self.expire_retries();
+            self.probe_quarantine();
+            self.observe_control();
             self.admit();
             if self.slots.is_empty() {
-                if let Some(next) = arrivals.peek().map(|r| r.arrival) {
-                    // Idle: jump to the next arrival.
-                    self.now = self.now.max(next);
-                    continue;
+                // Idle: jump to the next instant anything can happen — an
+                // arrival, a queued/retrying deadline, a retry backoff
+                // elapsing, or a quarantine probe.
+                let mut next = arrivals.peek().map(|r| r.arrival);
+                let mut consider = |t: u64| match next {
+                    Some(n) if n <= t => {}
+                    _ => next = Some(t),
+                };
+                if self.pending_len() > 0 || !self.retryq.is_empty() {
+                    for q in self.queues.iter().flat_map(|q| q.iter()) {
+                        consider(q.deadline);
+                    }
+                    for r in &self.retryq {
+                        consider(r.ready_at);
+                        consider(r.deadline);
+                    }
+                    for q in &self.quarantine {
+                        consider(q.release_at);
+                    }
                 }
-                assert!(
-                    self.pending_len() == 0,
-                    "pending requests with free capacity"
-                );
-                break;
+                match next {
+                    // Every candidate in the past was already drained
+                    // above, but guarantee forward progress regardless.
+                    Some(t) if t <= self.now => self.now += 1,
+                    Some(t) => self.now = t,
+                    None => {
+                        assert!(
+                            self.pending_len() == 0 && self.retryq.is_empty(),
+                            "pending requests with free capacity"
+                        );
+                        break;
+                    }
+                }
+                continue;
             }
             self.step();
+        }
+        // Close quarantine intervals still open at run end.
+        let end = self.now;
+        for q in self.quarantine.drain(..) {
+            self.quarantine_log.push(QuarantineSpan {
+                lane: q.lane,
+                from: q.from,
+                until: end,
+            });
         }
         if let Some(slo) = self.slo.as_mut() {
             slo.finish();
@@ -388,6 +565,18 @@ impl<'m> ServeEngine<'m> {
             if let Some(mean_milli) = (self.occupancy_sum * 1000).checked_div(self.steps) {
                 dota_trace::count("serve.occupancy_mean_milli", mean_milli);
             }
+            // Fault-path counters only exist when something fired, so
+            // fault-free traces keep their exact counter set.
+            for (name, v) in [
+                ("serve.retries", self.retries),
+                ("serve.failed", self.failed),
+                ("serve.timeout_steps", self.timeout_steps),
+                ("serve.quarantine_events", self.quarantine_events),
+            ] {
+                if v > 0 {
+                    dota_trace::count(name, v);
+                }
+            }
         }
         let (slo_hits, slo_misses, slo_windows) = match self.slo {
             Some(slo) => (slo.hits(), slo.misses(), slo.into_windows()),
@@ -406,6 +595,12 @@ impl<'m> ServeEngine<'m> {
             slo_misses,
             slo_windows,
             timeline: self.timeline.map(TimelineRecorder::into_requests),
+            retries: self.retries,
+            failed: self.failed,
+            timeout_steps: self.timeout_steps,
+            quarantine_events: self.quarantine_events,
+            quarantine_log: self.quarantine_log,
+            control: self.control.as_ref().map(Controller::summary),
         }
     }
 
@@ -474,6 +669,7 @@ impl<'m> ServeEngine<'m> {
                 first_token: None,
                 finish: self.now,
                 admit_seq: None,
+                retries: 0,
             });
             self.observe_terminal(
                 req.id,
@@ -508,6 +704,7 @@ impl<'m> ServeEngine<'m> {
                     first_token: None,
                     finish: q.deadline,
                     admit_seq: None,
+                    retries: 0,
                 });
                 self.observe_terminal(
                     q.req.id,
@@ -521,9 +718,164 @@ impl<'m> ServeEngine<'m> {
         }
     }
 
+    /// Feeds the controller one observation of the current engine state
+    /// (no-op outside [`ShedPolicy::Slo`]). Runs once per scheduler
+    /// iteration, before admission, entirely on the simulated clock.
+    fn observe_control(&mut self) {
+        let Some(ctl) = self.control.as_mut() else {
+            return;
+        };
+        let slo = self.slo.as_ref().expect("slo policy validated the monitor");
+        ctl.observe(&ControlInputs {
+            rolling_burn: slo.rolling_burn(),
+            rolling_hit_rate: slo.rolling_hit_rate(),
+            samples: slo.hits() + slo.misses(),
+            queue_depth: self.queues[0].len() + self.queues[1].len(),
+            occupancy: self.slots.len(),
+            capacity: self.cfg.capacity,
+            step: self.steps,
+        });
+        if dota_trace::enabled() {
+            dota_trace::sim_counter(
+                &format!("{}.ctl.level", self.label),
+                self.now,
+                ctl.level() as u64,
+            );
+        }
+    }
+
+    /// Fails retrying requests whose deadline passed during backoff.
+    fn expire_retries(&mut self) {
+        let now = self.now;
+        let mut i = 0;
+        while i < self.retryq.len() {
+            if self.retryq[i].deadline > now {
+                i += 1;
+                continue;
+            }
+            let r = self.retryq.remove(i).expect("index checked");
+            self.failed += 1;
+            dota_faults::record("faults.serve.failed", 1);
+            self.completions.push(Completion {
+                id: r.req.id,
+                class: r.req.class,
+                reason: FinishReason::Failed,
+                retention: r.retention,
+                tokens: Vec::new(),
+                arrival: r.req.arrival,
+                admit: None,
+                first_token: None,
+                finish: r.deadline,
+                admit_seq: None,
+                retries: r.attempt,
+            });
+            self.observe_terminal(
+                r.req.id,
+                FinishReason::Failed,
+                r.req.arrival,
+                r.deadline,
+                r.deadline,
+                0,
+            );
+        }
+    }
+
+    /// Runs due health probes on quarantined lanes; a passing probe
+    /// re-admits the lane, a failing one (the fault site fires on the
+    /// probe's own coordinates) extends the quarantine by another window.
+    fn probe_quarantine(&mut self) {
+        let now = self.now;
+        let window = self.cfg.quarantine_cycles;
+        let mut i = 0;
+        while i < self.quarantine.len() {
+            if self.quarantine[i].release_at > now {
+                i += 1;
+                continue;
+            }
+            let q = &mut self.quarantine[i];
+            q.probes += 1;
+            dota_faults::record("faults.serve.probes", 1);
+            let failed = dota_faults::should_inject(
+                FaultSite::SlotFail,
+                &[PROBE_COORD, q.lane as u64, q.probes],
+            );
+            if failed {
+                q.release_at = now + window;
+                i += 1;
+            } else {
+                let q = self.quarantine.remove(i);
+                self.quarantine_log.push(QuarantineSpan {
+                    lane: q.lane,
+                    from: q.from,
+                    until: now,
+                });
+                dota_faults::record("faults.serve.lanes_restored", 1);
+            }
+        }
+    }
+
+    /// Smallest lane neither occupied nor quarantined (`None` when every
+    /// lane is in use — possible below capacity while lanes sit in
+    /// quarantine).
+    fn free_lane(&self) -> Option<usize> {
+        (0..self.cfg.capacity).find(|l| {
+            self.slots.iter().all(|s| s.lane != *l) && self.quarantine.iter().all(|q| q.lane != *l)
+        })
+    }
+
+    fn place(&mut self, req: Request, deadline: u64, retention: f64, level: usize, attempt: u64) {
+        let seq = self.admit_seq;
+        self.admit_seq += 1;
+        // Smallest free lane; lanes recycle as slots drain, so a timeline
+        // gets one stable track per batch slot.
+        let lane = self.free_lane().expect("caller checked a lane is free");
+        if let Some(tl) = self.timeline.as_mut() {
+            tl.admitted(req.id, self.now, retention, level, lane);
+        }
+        let mcfg = self.model.config();
+        self.slots.push(Slot {
+            deadline,
+            retention,
+            level,
+            lane,
+            cache: KvCache::new(mcfg.n_layers, mcfg.d_model),
+            selector: WindowSelector::new(retention),
+            consumed: 0,
+            tokens: Vec::new(),
+            next_token: None,
+            eos_hit: false,
+            admit: self.now,
+            admit_seq: seq,
+            first_token: None,
+            attended_last: 0,
+            emitted_this_step: false,
+            attempt,
+            timeouts_here: 0,
+            timed_out: false,
+            fault: None,
+            req,
+        });
+    }
+
     fn admit(&mut self) {
         let _sp = dota_prof::span("serve.admit");
-        while self.slots.len() < self.cfg.capacity {
+        // Ready retries re-admit first, at their pinned retention and rung
+        // (so the restarted decode regenerates the identical tokens). They
+        // bypass the admission gate: the system already accepted them.
+        loop {
+            if self.slots.len() >= self.cfg.capacity || self.free_lane().is_none() {
+                break;
+            }
+            let Some(pos) = self.retryq.iter().position(|r| r.ready_at <= self.now) else {
+                break;
+            };
+            let r = self.retryq.remove(pos).expect("position from iterator");
+            self.place(r.req, r.deadline, r.retention, r.level, r.attempt);
+        }
+        if self.control.as_ref().is_some_and(Controller::gated) {
+            return;
+        }
+        while self.slots.len() < self.cfg.capacity && self.free_lane().is_some() {
             // Backlog behind the request being admitted sets the shed
             // pressure (an empty queue admits at full service).
             let backlog = self.pending_len().saturating_sub(1);
@@ -538,46 +890,58 @@ impl<'m> ServeEngine<'m> {
                 ShedPolicy::Retention => {
                     (backlog / self.cfg.capacity).min(self.cfg.ladder.len() - 1)
                 }
+                ShedPolicy::Slo => self
+                    .control
+                    .as_ref()
+                    .expect("slo policy constructs the controller")
+                    .level(),
             };
             let retention = self.cfg.ladder[level];
             if level > 0 {
                 self.degraded += 1;
             }
-            let seq = self.admit_seq;
-            self.admit_seq += 1;
-            // Smallest lane no live slot occupies; lanes recycle as slots
-            // drain, so a timeline gets one stable track per batch slot.
-            let lane = (0..self.cfg.capacity)
-                .find(|l| self.slots.iter().all(|s| s.lane != *l))
-                .expect("a free lane exists below capacity");
-            if let Some(tl) = self.timeline.as_mut() {
-                tl.admitted(q.req.id, self.now, retention, level, lane);
-            }
-            let mcfg = self.model.config();
-            self.slots.push(Slot {
-                deadline: q.deadline,
-                retention,
-                lane,
-                cache: KvCache::new(mcfg.n_layers, mcfg.d_model),
-                selector: WindowSelector::new(retention),
-                consumed: 0,
-                tokens: Vec::new(),
-                next_token: None,
-                eos_hit: false,
-                admit: self.now,
-                admit_seq: seq,
-                first_token: None,
-                attended_last: 0,
-                emitted_this_step: false,
-                req: q.req,
-            });
+            self.place(q.req, q.deadline, retention, level, 0);
         }
         debug_assert!(self.slots.len() <= self.cfg.capacity);
     }
 
     /// One decode step for one slot; independent of every other slot, so
     /// the parallel fan-out below is bitwise equivalent to the serial loop.
+    /// Fault decisions are pure hashes of `(request, attempt, position)`,
+    /// so they too are independent of thread interleaving.
     fn decode_slot(model: &Model, params: &ParamSet, slot: &mut Slot) {
+        if dota_faults::enabled() {
+            let coords = [slot.req.id, slot.attempt, slot.consumed as u64];
+            if dota_faults::should_inject(FaultSite::SlotFail, &coords) {
+                slot.fault = Some(SlotFault::Lane);
+                slot.attended_last = 0;
+                return;
+            }
+            if slot.consumed > 0 && dota_faults::should_inject(FaultSite::KvCorrupt, &coords) {
+                slot.fault = Some(SlotFault::Kv);
+                slot.attended_last = 0;
+                return;
+            }
+            // Decided before the decode runs, so a timed-out step mutates
+            // nothing: the position simply repeats next step. The retry
+            // counter is a coordinate, so the re-decision is fresh.
+            let t_coords = [
+                slot.req.id,
+                slot.attempt,
+                slot.consumed as u64,
+                slot.timeouts_here,
+            ];
+            if dota_faults::should_inject(FaultSite::DecodeTimeout, &t_coords) {
+                slot.timeouts_here += 1;
+                slot.timed_out = true;
+                slot.attended_last = 0;
+                if slot.timeouts_here >= TIMEOUT_ESCALATE {
+                    slot.fault = Some(SlotFault::Timeout);
+                }
+                return;
+            }
+            slot.timeouts_here = 0;
+        }
         let input = if slot.consumed < slot.req.prompt.len() {
             slot.req.prompt[slot.consumed]
         } else {
@@ -642,7 +1006,15 @@ impl<'m> ServeEngine<'m> {
         if let Some(tl) = self.timeline.as_mut() {
             let lh = (self.model.config().n_layers * self.model.config().n_heads) as u64;
             for (slot, &kv_cycles) in self.slots.iter().zip(&kv) {
-                let context = slot.consumed as u64;
+                // A slot whose decode was discarded (injected fault or
+                // timeout) consumed no position this step; its record
+                // carries zero context and traffic so the audit's window
+                // identities keep holding under injection.
+                let context = if slot.fault.is_some() || slot.timed_out {
+                    0
+                } else {
+                    slot.consumed as u64
+                };
                 tl.step(
                     slot.req.id,
                     StepRecord {
@@ -658,9 +1030,24 @@ impl<'m> ServeEngine<'m> {
             }
         }
 
+        let timeouts: u64 = self
+            .slots
+            .iter_mut()
+            .map(|s| u64::from(std::mem::take(&mut s.timed_out)))
+            .sum();
+        if timeouts > 0 {
+            self.timeout_steps += timeouts;
+            dota_faults::record("faults.serve.timeout_steps", timeouts);
+        }
+
         let now = self.now;
         let mut i = 0;
         while i < self.slots.len() {
+            if self.slots[i].fault.is_some() {
+                let slot = self.slots.remove(i);
+                self.resolve_fault(slot, now);
+                continue;
+            }
             let slot = &mut self.slots[i];
             if slot.emitted_this_step {
                 self.tokens += 1;
@@ -696,6 +1083,7 @@ impl<'m> ServeEngine<'m> {
                     first_token: slot.first_token,
                     finish: now,
                     admit_seq: Some(slot.admit_seq),
+                    retries: slot.attempt,
                 });
                 self.observe_terminal(
                     slot.req.id,
@@ -730,6 +1118,71 @@ impl<'m> ServeEngine<'m> {
             }
         }
     }
+
+    /// Resolves a slot whose attempt an injected fault aborted: quarantine
+    /// the lane on a slot failure, then either schedule a retry (attempts
+    /// left) or fail the request typed. Partial tokens of the aborted
+    /// attempt are always discarded — a retry restarts decode from scratch
+    /// at the pinned retention, regenerating the identical stream, so no
+    /// token is ever duplicated or lost across attempts.
+    fn resolve_fault(&mut self, slot: Slot, now: u64) {
+        if slot.fault == Some(SlotFault::Lane) {
+            self.quarantine_events += 1;
+            dota_faults::record("faults.serve.lanes_quarantined", 1);
+            self.quarantine.push(Quarantine {
+                lane: slot.lane,
+                release_at: now + self.cfg.quarantine_cycles,
+                probes: 0,
+                from: now,
+            });
+        }
+        let discarded = slot.tokens.len() as u64;
+        if slot.attempt < self.cfg.retry_cap as u64 {
+            self.retries += 1;
+            dota_faults::record("faults.serve.retries", 1);
+            if let Some(tl) = self.timeline.as_mut() {
+                tl.retried(slot.req.id, discarded);
+            }
+            // Exponential cycle backoff, doubling per attempt (shift
+            // capped so pathological retry caps cannot overflow).
+            let backoff = self.cfg.retry_backoff_cycles << slot.attempt.min(20);
+            self.retryq.push_back(RetryEntry {
+                req: slot.req,
+                deadline: slot.deadline,
+                retention: slot.retention,
+                level: slot.level,
+                attempt: slot.attempt + 1,
+                ready_at: now + backoff,
+            });
+        } else {
+            self.failed += 1;
+            dota_faults::record("faults.serve.failed", 1);
+            if let Some(tl) = self.timeline.as_mut() {
+                tl.discarded(slot.req.id, discarded);
+            }
+            self.completions.push(Completion {
+                id: slot.req.id,
+                class: slot.req.class,
+                reason: FinishReason::Failed,
+                retention: slot.retention,
+                tokens: Vec::new(),
+                arrival: slot.req.arrival,
+                admit: Some(slot.admit),
+                first_token: None,
+                finish: now,
+                admit_seq: Some(slot.admit_seq),
+                retries: slot.attempt,
+            });
+            self.observe_terminal(
+                slot.req.id,
+                FinishReason::Failed,
+                slot.req.arrival,
+                slot.deadline,
+                now,
+                0,
+            );
+        }
+    }
 }
 
 #[cfg(test)]
@@ -760,6 +1213,7 @@ mod tests {
 
     #[test]
     fn single_request_is_served_with_full_timestamps() {
+        let _quiet = crate::quiet_faults();
         let (model, params) = tiny_model(24);
         let cfg = ServeConfig::default();
         let out = engine(&model, &params, cfg).run(vec![req(1, 0, &[1, 2, 3], 4)]);
@@ -777,6 +1231,7 @@ mod tests {
 
     #[test]
     fn engine_output_matches_offline_generate() {
+        let _quiet = crate::quiet_faults();
         let (model, params) = tiny_model(24);
         let prompt = [1usize, 4, 2, 7];
         let offline = model.generate(&params, &prompt, 5, &dota_transformer::DenseDecode);
@@ -790,6 +1245,7 @@ mod tests {
 
     #[test]
     fn eos_stops_generation_early() {
+        let _quiet = crate::quiet_faults();
         let (model, params) = tiny_model(32);
         let prompt = [1usize, 2, 3];
         // First run to learn what the model emits, then use that token as EOS.
@@ -806,6 +1262,7 @@ mod tests {
 
     #[test]
     fn occupancy_is_bounded_and_queue_rejects_overflow() {
+        let _quiet = crate::quiet_faults();
         let (model, params) = tiny_model(24);
         let cfg = ServeConfig {
             capacity: 2,
@@ -832,6 +1289,7 @@ mod tests {
 
     #[test]
     fn queued_requests_expire_at_their_deadline() {
+        let _quiet = crate::quiet_faults();
         let (model, params) = tiny_model(24);
         let cfg = ServeConfig {
             capacity: 1,
@@ -859,6 +1317,7 @@ mod tests {
 
     #[test]
     fn retention_shed_degrades_under_backlog() {
+        let _quiet = crate::quiet_faults();
         let (model, params) = tiny_model(24);
         let cfg = ServeConfig {
             capacity: 2,
@@ -882,6 +1341,7 @@ mod tests {
 
     #[test]
     fn interactive_admits_before_batch() {
+        let _quiet = crate::quiet_faults();
         let (model, params) = tiny_model(24);
         let cfg = ServeConfig {
             capacity: 1,

@@ -40,6 +40,8 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+mod chaos;
+mod control;
 mod cost;
 mod engine;
 mod report;
@@ -49,8 +51,10 @@ mod slo;
 mod timeline;
 mod traffic;
 
+pub use chaos::{run_chaos, ChaosCell, ChaosOptions, ChaosReport, SERVE_CHAOS_VERSION};
+pub use control::{ControlConfig, ControlInputs, ControlSummary, Controller};
 pub use cost::CostModel;
-pub use engine::{ServeConfig, ServeEngine, ServeOutcome, ShedPolicy};
+pub use engine::{QuarantineSpan, ServeConfig, ServeEngine, ServeOutcome, ShedPolicy};
 pub use report::{run_bench, BenchOptions, BenchReport, CellReport, SERVE_REPORT_VERSION};
 pub use request::{Completion, DeadlineClass, FinishReason, Request};
 pub use selector::WindowSelector;
@@ -60,6 +64,17 @@ pub use timeline::{
     TIMELINE_VERSION,
 };
 pub use traffic::TrafficConfig;
+
+/// Holds a zero-rate fault session for the duration of a test that runs
+/// engines and asserts fault-free outcomes. Fault sessions are process
+/// global and exclusive, so tests that *do* inject (the chaos suite, the
+/// fault property tests) would otherwise contaminate concurrently running
+/// fault-free tests in this binary; an empty session injects nothing but
+/// takes the same exclusivity gate, serializing the two groups.
+#[cfg(test)]
+pub(crate) fn quiet_faults() -> dota_faults::FaultGuard {
+    dota_faults::session(dota_faults::FaultPlan::new(0))
+}
 
 #[cfg(test)]
 mod prop_tests {
@@ -133,6 +148,7 @@ mod prop_tests {
             gaps in proptest::collection::vec(0u64..3000, 1..25),
             capacity in 1usize..5,
         ) {
+            let _quiet = crate::quiet_faults();
             let requests = trace_from(&gaps);
             let (model, params) = model();
             let n = requests.len();
@@ -155,6 +171,7 @@ mod prop_tests {
             gaps in proptest::collection::vec(0u64..3000, 1..21),
             capacity in 1usize..4,
         ) {
+            let _quiet = crate::quiet_faults();
             let requests = trace_from(&gaps);
             let (model, params) = model();
             let out = ServeEngine::new(
@@ -175,6 +192,7 @@ mod prop_tests {
             gaps in proptest::collection::vec(0u64..3000, 1..21),
             capacity in 1usize..4,
         ) {
+            let _quiet = crate::quiet_faults();
             let requests = trace_from(&gaps);
             let (model, params) = model();
             let out = ServeEngine::new(
@@ -210,6 +228,7 @@ mod prop_tests {
             gaps in proptest::collection::vec(0u64..800, 1..17),
             capacity in 1usize..4,
         ) {
+            let _quiet = crate::quiet_faults();
             let requests = trace_from(&gaps);
             let (model, params) = model();
             let cfg = generous_cfg(capacity, ShedPolicy::Retention);
@@ -261,6 +280,7 @@ mod prop_tests {
             gaps in proptest::collection::vec(0u64..3000, 1..13),
             capacity in 2usize..5,
         ) {
+            let _quiet = crate::quiet_faults();
             let requests = trace_from(&gaps);
             let (model, params) = model();
             let accel = AccelConfig::default();
@@ -276,6 +296,131 @@ mod prop_tests {
                 ).unwrap().run(vec![solo_req]);
                 let shared_c = shared.completions.iter().find(|c| c.id == req.id).unwrap();
                 prop_assert_eq!(&shared_c.tokens, &solo.completions[0].tokens);
+            }
+        }
+
+        /// Conservation survives fault injection: under a random plan
+        /// arming every serve-layer site, each offered request still
+        /// terminates exactly once, occupancy stays bounded, and the
+        /// served/failed split is clean (served requests have tokens,
+        /// failed ones have none).
+        #[test]
+        fn faults_preserve_exactly_one_terminal(
+            gaps in proptest::collection::vec(0u64..3000, 1..17),
+            capacity in 1usize..4,
+            fault_seed in 0u64..1000,
+            rate_pct in 0u32..30,
+        ) {
+            let requests = trace_from(&gaps);
+            let (model, params) = model();
+            let n = requests.len();
+            let ids: Vec<u64> = requests.iter().map(|r| r.id).collect();
+            let rate = f64::from(rate_pct) / 100.0;
+            let plan = dota_faults::FaultSite::SERVE
+                .iter()
+                .fold(dota_faults::FaultPlan::new(fault_seed), |p, &site| {
+                    p.with_rate(site, rate)
+                });
+            let _session = dota_faults::session(plan);
+            let out = ServeEngine::new(
+                &model, &params, generous_cfg(capacity, ShedPolicy::Retention),
+                &AccelConfig::default(),
+            ).unwrap().run(requests);
+            prop_assert!(out.max_occupancy <= capacity);
+            prop_assert_eq!(out.completions.len(), n);
+            let mut seen: Vec<u64> = out.completions.iter().map(|c| c.id).collect();
+            seen.sort_unstable();
+            prop_assert_eq!(seen, ids);
+            for c in &out.completions {
+                match c.reason {
+                    FinishReason::Completed | FinishReason::Eos =>
+                        prop_assert!(!c.tokens.is_empty(), "served {} has no tokens", c.id),
+                    FinishReason::Failed =>
+                        prop_assert!(c.tokens.is_empty(), "failed {} kept tokens", c.id),
+                    _ => {}
+                }
+            }
+        }
+
+        /// Retries never corrupt output: a request served under fault
+        /// injection — however many attempts it took — emits a token
+        /// stream bit-identical to a fault-free solo run. Aborted
+        /// attempts' partial tokens are discarded, never leaked.
+        #[test]
+        fn retried_tokens_match_fault_free_run(
+            gaps in proptest::collection::vec(0u64..3000, 1..9),
+            capacity in 2usize..4,
+            fault_seed in 0u64..1000,
+        ) {
+            let requests = trace_from(&gaps);
+            let (model, params) = model();
+            let accel = AccelConfig::default();
+            // QueueOnly pins retention at ladder[0], so the fault-free
+            // solo run is admitted at the same retention as the faulted
+            // shared run (retries re-pin the original level anyway).
+            let plan = dota_faults::FaultSite::SERVE
+                .iter()
+                .fold(dota_faults::FaultPlan::new(fault_seed), |p, &site| {
+                    p.with_rate(site, 0.15)
+                });
+            let faulted = {
+                let _session = dota_faults::session(plan);
+                ServeEngine::new(
+                    &model, &params, generous_cfg(capacity, ShedPolicy::QueueOnly), &accel,
+                ).unwrap().run(requests.clone())
+            };
+            let _quiet = crate::quiet_faults();
+            for req in &requests {
+                let c = faulted.completions.iter().find(|c| c.id == req.id).unwrap();
+                if !c.reason.is_served() {
+                    continue;
+                }
+                let solo_req = Request { arrival: 0, ..req.clone() };
+                let solo = ServeEngine::new(
+                    &model, &params, generous_cfg(capacity, ShedPolicy::QueueOnly), &accel,
+                ).unwrap().run(vec![solo_req]);
+                prop_assert_eq!(
+                    &c.tokens, &solo.completions[0].tokens,
+                    "request {} ({} retries) diverged from its fault-free run",
+                    req.id, c.retries
+                );
+            }
+        }
+
+        /// Quarantined lanes are out of rotation: no request is admitted
+        /// into a lane inside one of its quarantine windows (re-admission
+        /// at the window's closing probe cycle is the first legal use).
+        #[test]
+        fn quarantined_lanes_receive_no_admissions(
+            gaps in proptest::collection::vec(0u64..2000, 1..13),
+            capacity in 2usize..4,
+            fault_seed in 0u64..1000,
+        ) {
+            let requests = trace_from(&gaps);
+            let (model, params) = model();
+            let plan = dota_faults::FaultPlan::new(fault_seed)
+                .with_rate(dota_faults::FaultSite::SlotFail, 0.3);
+            let _session = dota_faults::session(plan);
+            let mut engine = ServeEngine::new(
+                &model, &params, generous_cfg(capacity, ShedPolicy::Retention),
+                &AccelConfig::default(),
+            ).unwrap();
+            engine.enable_timeline("prop");
+            let out = engine.run(requests);
+            let timelines = out.timeline.as_deref().unwrap();
+            for span in &out.quarantine_log {
+                // A lane quarantined on the run's last cycle closes empty
+                // (from == until) at run end.
+                prop_assert!(span.from <= span.until);
+                for tl in timelines {
+                    if let (Some(lane), Some(admit)) = (tl.lane, tl.admit) {
+                        prop_assert!(
+                            lane != span.lane || admit < span.from || admit >= span.until,
+                            "request {} admitted into lane {} at {} inside quarantine [{}, {})",
+                            tl.id, lane, admit, span.from, span.until
+                        );
+                    }
+                }
             }
         }
     }

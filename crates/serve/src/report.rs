@@ -117,7 +117,7 @@ impl BenchOptions {
         Ok(())
     }
 
-    fn serve_config(&self, shed: ShedPolicy) -> ServeConfig {
+    pub(crate) fn serve_config(&self, shed: ShedPolicy) -> ServeConfig {
         ServeConfig {
             capacity: self.capacity,
             queue_capacity: self.queue_capacity,
@@ -126,6 +126,7 @@ impl BenchOptions {
             interactive_deadline_us: self.interactive_deadline_us,
             batch_deadline_us: self.batch_deadline_us,
             slo_window: self.slo_window,
+            ..ServeConfig::default()
         }
     }
 }
@@ -152,6 +153,12 @@ pub struct CellReport {
     pub queue_expired: usize,
     /// Rejected at arrival (queue full).
     pub rejected: usize,
+    /// Lost to injected faults (retry cap exhausted or deadline passed
+    /// during backoff). Always 0 without fault injection, and then omitted
+    /// from the JSON so fault-free reports keep their exact bytes.
+    pub failed: usize,
+    /// Fault-retry re-admissions. Omitted from the JSON when 0.
+    pub retries: u64,
     /// Requests admitted below full retention.
     pub degraded: u64,
     /// Admissions per ladder rung (index-aligned with the ladder).
@@ -175,6 +182,15 @@ pub struct CellReport {
     /// End-to-end residence histogram, microseconds (all non-rejected
     /// terminals, so SLO misses show up in the tail).
     pub e2e_us: Histogram,
+    /// SLO-monitor terminal hits (0 when the monitor was off). Not
+    /// serialized; the windows already summarize SLO behaviour.
+    pub slo_hits: u64,
+    /// SLO-monitor terminal misses (0 when the monitor was off). Not
+    /// serialized.
+    pub slo_misses: u64,
+    /// Closed-loop controller activity; present (and serialized) only for
+    /// [`ShedPolicy::Slo`] cells, so other cells keep their exact bytes.
+    pub control: Option<crate::control::ControlSummary>,
 }
 
 impl CellReport {
@@ -195,6 +211,8 @@ impl CellReport {
             deadline_evicted: 0,
             queue_expired: 0,
             rejected: 0,
+            failed: 0,
+            retries: out.retries,
             degraded: out.degraded,
             admitted_per_level: vec![0; ladder.len()],
             steps: out.steps,
@@ -206,6 +224,9 @@ impl CellReport {
             ttft_us: Histogram::new(),
             per_token_us: Histogram::new(),
             e2e_us: Histogram::new(),
+            slo_hits: out.slo_hits,
+            slo_misses: out.slo_misses,
+            control: out.control,
         };
         for c in &out.completions {
             match c.reason {
@@ -214,6 +235,7 @@ impl CellReport {
                 FinishReason::DeadlineEvicted => cell.deadline_evicted += 1,
                 FinishReason::QueueExpired => cell.queue_expired += 1,
                 FinishReason::Rejected => cell.rejected += 1,
+                FinishReason::Failed => cell.failed += 1,
             }
             if c.admit_seq.is_some() {
                 if let Some(level) = ladder.iter().position(|&r| r == c.retention) {
@@ -248,6 +270,13 @@ impl CellReport {
         self.completed + self.eos
     }
 
+    /// The SLO monitor's overall deadline hit rate for the cell (`None`
+    /// when the monitor was off or saw no terminals).
+    pub fn slo_hit_rate(&self) -> Option<f64> {
+        let total = self.slo_hits + self.slo_misses;
+        (total > 0).then(|| self.slo_hits as f64 / total as f64)
+    }
+
     fn to_json(&self) -> String {
         let mut s = String::new();
         s.push_str(&format!(
@@ -261,6 +290,14 @@ impl CellReport {
             ",\"completed\":{},\"eos\":{},\"deadline_evicted\":{},\"queue_expired\":{},\"rejected\":{}",
             self.completed, self.eos, self.deadline_evicted, self.queue_expired, self.rejected
         ));
+        // Fault-path keys appear only when the path fired, so fault-free
+        // reports (every committed baseline) keep their exact bytes.
+        if self.failed > 0 {
+            s.push_str(&format!(",\"failed\":{}", self.failed));
+        }
+        if self.retries > 0 {
+            s.push_str(&format!(",\"retries\":{}", self.retries));
+        }
         s.push_str(&format!(",\"degraded\":{}", self.degraded));
         s.push_str(",\"admitted_per_level\":[");
         for (i, n) in self.admitted_per_level.iter().enumerate() {
@@ -288,6 +325,9 @@ impl CellReport {
             self.per_token_us.summary_json()
         ));
         s.push_str(&format!(",\"e2e_us\":{}", self.e2e_us.summary_json()));
+        if let Some(ctl) = &self.control {
+            s.push_str(&format!(",\"control\":{}", ctl.to_json()));
+        }
         s.push('}');
         s
     }
@@ -369,6 +409,36 @@ impl BenchReport {
     }
 }
 
+/// Traffic-trace prototype for one sweep (per-load `mean_gap_cycles` is
+/// filled in by the caller). Shared with the chaos campaign so both sweeps
+/// offer identical seeded arrivals for identical options.
+pub(crate) fn traffic_proto(opts: &BenchOptions) -> TrafficConfig {
+    TrafficConfig {
+        requests: opts.requests,
+        seed: opts.seed,
+        mean_gap_cycles: 1.0, // placeholder, set per load by the caller
+        prompt_len: opts.prompt_len,
+        new_tokens: opts.new_tokens,
+        interactive_fraction: opts.interactive_fraction,
+        vocab: opts.vocab,
+        eos: None,
+    }
+}
+
+/// Dense per-request service estimate (cycles) at full occupancy, over the
+/// mean context a request sees across its lifetime; offered load `L` maps
+/// to a mean interarrival gap of `mean_service / L`.
+pub(crate) fn mean_service_cycles(
+    opts: &BenchOptions,
+    cost: &CostModel,
+    mcfg: &TransformerConfig,
+) -> f64 {
+    let mean_positions = traffic_proto(opts).mean_positions();
+    let mean_context = (mean_positions / 2.0).max(1.0) as usize;
+    let per_token = cost.per_token_estimate(mcfg, opts.capacity, mean_context);
+    mean_positions * per_token
+}
+
 /// Runs the load-test sweep described by `opts`.
 ///
 /// Traffic for a given load point uses the same seed for every shed
@@ -388,22 +458,8 @@ pub fn run_bench(opts: BenchOptions) -> Result<BenchReport, String> {
     let accel = AccelConfig::default();
     let cost = CostModel::new(&accel, &mcfg);
 
-    // Dense per-token service share at full occupancy, over the mean
-    // context a request sees across its lifetime.
-    let traffic_proto = TrafficConfig {
-        requests: opts.requests,
-        seed: opts.seed,
-        mean_gap_cycles: 1.0, // placeholder, set per load below
-        prompt_len: opts.prompt_len,
-        new_tokens: opts.new_tokens,
-        interactive_fraction: opts.interactive_fraction,
-        vocab: opts.vocab,
-        eos: None,
-    };
-    let mean_positions = traffic_proto.mean_positions();
-    let mean_context = (mean_positions / 2.0).max(1.0) as usize;
-    let per_token = cost.per_token_estimate(&mcfg, opts.capacity, mean_context);
-    let mean_service = mean_positions * per_token;
+    let traffic_proto = traffic_proto(&opts);
+    let mean_service = mean_service_cycles(&opts, &cost, &mcfg);
 
     let mut cells = Vec::with_capacity(opts.loads.len() * opts.sheds.len());
     let mut timeline_cells = Vec::new();
@@ -476,6 +532,7 @@ mod tests {
 
     #[test]
     fn bench_report_is_deterministic() {
+        let _quiet = crate::quiet_faults();
         let a = run_bench(quick_opts()).unwrap().to_json();
         let b = run_bench(quick_opts()).unwrap().to_json();
         assert_eq!(a, b);
@@ -483,6 +540,7 @@ mod tests {
 
     #[test]
     fn every_offered_request_terminates() {
+        let _quiet = crate::quiet_faults();
         let report = run_bench(quick_opts()).unwrap();
         for cell in &report.cells {
             assert_eq!(cell.offered, report.options.requests);
@@ -491,7 +549,8 @@ mod tests {
                     + cell.eos
                     + cell.deadline_evicted
                     + cell.queue_expired
-                    + cell.rejected,
+                    + cell.rejected
+                    + cell.failed,
                 cell.offered
             );
             assert!(cell.max_occupancy <= report.options.capacity);
@@ -500,6 +559,7 @@ mod tests {
 
     #[test]
     fn underload_serves_nearly_everything() {
+        let _quiet = crate::quiet_faults();
         let report = run_bench(quick_opts()).unwrap();
         for &shed in &report.options.sheds {
             let cell = report.cell(shed, 0.8).unwrap();
@@ -515,6 +575,7 @@ mod tests {
 
     #[test]
     fn retention_shedding_beats_queueing_at_overload() {
+        let _quiet = crate::quiet_faults();
         let report = run_bench(quick_opts()).unwrap();
         let queue = report.cell(ShedPolicy::QueueOnly, 4.0).unwrap();
         let shed = report.cell(ShedPolicy::Retention, 4.0).unwrap();
@@ -530,6 +591,7 @@ mod tests {
 
     #[test]
     fn json_has_all_cells_and_round_trips_write() {
+        let _quiet = crate::quiet_faults();
         let report = run_bench(quick_opts()).unwrap();
         let json = report.to_json();
         assert_eq!(json.matches("\"shed\"").count(), 4);

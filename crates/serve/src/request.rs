@@ -58,6 +58,10 @@ pub enum FinishReason {
     QueueExpired,
     /// The pending queue was full at arrival.
     Rejected,
+    /// Lost to injected faults: the retry cap was exhausted, or the
+    /// deadline passed while the request waited out a retry backoff.
+    /// Only reachable with serve-layer fault injection active.
+    Failed,
 }
 
 impl FinishReason {
@@ -69,6 +73,7 @@ impl FinishReason {
             FinishReason::DeadlineEvicted => "deadline_evicted",
             FinishReason::QueueExpired => "queue_expired",
             FinishReason::Rejected => "rejected",
+            FinishReason::Failed => "failed",
         }
     }
 
@@ -105,8 +110,12 @@ pub struct Completion {
     pub finish: u64,
     /// Global admission sequence number (`None` when never admitted);
     /// strictly increasing in admission order, so FIFO properties are
-    /// checkable from completions alone.
+    /// checkable from completions alone. Fault retries re-admit under a
+    /// fresh sequence number, so this reflects the final attempt.
     pub admit_seq: Option<u64>,
+    /// Fault-retry attempts the request went through (0 without injected
+    /// faults; each retry restarts decode from scratch).
+    pub retries: u64,
 }
 
 impl Completion {

@@ -88,6 +88,13 @@ pub struct RequestTimeline {
     pub reason: FinishReason,
     /// Tokens generated.
     pub tokens: u64,
+    /// Fault-retry attempts (0 without injected faults). A retry resets
+    /// the in-flight fields, so `admit`/`first_token`/`steps` describe the
+    /// final attempt; everything before it counts as queueing.
+    pub retries: u64,
+    /// Tokens emitted by aborted attempts and discarded (never delivered;
+    /// a retry regenerates the identical stream from scratch).
+    pub discarded_tokens: u64,
     /// One record per decode step the request participated in.
     pub steps: Vec<StepRecord>,
 }
@@ -192,6 +199,14 @@ impl RequestTimeline {
             self.hol_cycles(),
             fmt_f64(self.burn())
         ));
+        // Fault-path fields only appear when a fault actually touched the
+        // request, so fault-free timelines keep their exact byte layout.
+        if self.retries > 0 || self.discarded_tokens > 0 {
+            s.push_str(&format!(
+                ",\"retries\":{},\"discarded_tokens\":{}",
+                self.retries, self.discarded_tokens
+            ));
+        }
         s.push_str(",\"steps\":[");
         for (i, st) in self.steps.iter().enumerate() {
             if i > 0 {
@@ -249,6 +264,8 @@ impl TimelineRecorder {
                 finish: req.arrival,
                 reason: FinishReason::Rejected,
                 tokens: 0,
+                retries: 0,
+                discarded_tokens: 0,
                 steps: Vec::new(),
             },
         );
@@ -278,6 +295,32 @@ impl TimelineRecorder {
             if r.first_token.is_none() {
                 r.first_token = Some(now);
             }
+        }
+    }
+
+    /// An injected fault aborted the request's current attempt and a retry
+    /// was scheduled: the in-flight fields reset (the time spent so far
+    /// reads as queueing, keeping the phase decomposition exact for the
+    /// final attempt) and the aborted attempt's tokens count as discarded.
+    pub fn retried(&mut self, id: u64, discarded_tokens: u64) {
+        if let Some(r) = self.requests.get_mut(&id) {
+            r.retries += 1;
+            r.discarded_tokens += discarded_tokens;
+            r.admit = None;
+            r.first_token = None;
+            r.lane = None;
+            r.steps.clear();
+        }
+    }
+
+    /// Tokens of a final, non-retried attempt were discarded (the request
+    /// failed with its retry cap exhausted).
+    pub fn discarded(&mut self, id: u64, discarded_tokens: u64) {
+        if let Some(r) = self.requests.get_mut(&id) {
+            r.discarded_tokens += discarded_tokens;
+            // The failed attempt delivered nothing, so its first-token
+            // timestamp is not a serving event; fold decode into prefill.
+            r.first_token = None;
         }
     }
 

@@ -239,6 +239,13 @@ fn cli_rejects_malformed_dota_serve_env() {
         ("DOTA_SERVE_SHED", ""),
         ("DOTA_SERVE_TIMELINE", ""),
         ("DOTA_SERVE_TIMELINE", "   "),
+        ("DOTA_SERVE_CHAOS", "lots"),
+        ("DOTA_SERVE_CHAOS", "0.5,1.5"),
+        ("DOTA_SERVE_CHAOS", "-0.1"),
+        ("DOTA_SERVE_RETRY_CAP", "many"),
+        ("DOTA_SERVE_RETRY_CAP", "-1"),
+        ("DOTA_SERVE_RETRY_BACKOFF", "0"),
+        ("DOTA_SERVE_RETRY_BACKOFF", "fast"),
     ] {
         let out = Command::new(env!("CARGO_BIN_EXE_dota"))
             .args(["table2"])
@@ -333,4 +340,130 @@ fn cli_serve_timeline_env_applies_with_flag_precedence() {
         "env path used despite an explicit --timeline flag"
     );
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `--shed slo` is a first-class policy everywhere a shed is named: the
+/// CLI accepts it (flag and environment) and the run reports `slo` cells.
+#[test]
+fn cli_accepts_slo_shed_policy() {
+    for setup in [&["--shed", "slo"][..], &[][..]] {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_dota"));
+        cmd.args(["serve", "--requests", "8"]).args(setup);
+        if setup.is_empty() {
+            cmd.env("DOTA_SERVE_SHED", "slo");
+        }
+        let out = cmd.output().unwrap();
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(stdout.contains("slo"), "stdout was: {stdout}");
+    }
+}
+
+/// Chaos knobs honor flag-over-environment precedence: the campaign's
+/// printed configuration reflects `DOTA_SERVE_CHAOS` and
+/// `DOTA_SERVE_RETRY_CAP`, and explicit flags win over both.
+#[test]
+fn cli_chaos_env_knobs_apply_with_flag_precedence() {
+    let out = Command::new(env!("CARGO_BIN_EXE_dota"))
+        .args(["serve", "--chaos", "--requests", "6", "--loads", "1.0"])
+        .env("DOTA_SERVE_CHAOS", "0,0.5")
+        .env("DOTA_SERVE_RETRY_CAP", "5")
+        .env("DOTA_SERVE_RETRY_BACKOFF", "4000")
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("2 rate(s)"), "stdout was: {stdout}");
+    assert!(stdout.contains("retry cap 5"), "stdout was: {stdout}");
+    assert!(
+        stdout.contains("backoff 4000 cycles"),
+        "stdout was: {stdout}"
+    );
+
+    let out = Command::new(env!("CARGO_BIN_EXE_dota"))
+        .args(["serve", "--chaos", "--requests", "6", "--loads", "1.0"])
+        .args([
+            "--chaos-rates",
+            "0",
+            "--retry-cap",
+            "1",
+            "--retry-backoff",
+            "100",
+        ])
+        .env("DOTA_SERVE_CHAOS", "0,0.5")
+        .env("DOTA_SERVE_RETRY_CAP", "5")
+        .env("DOTA_SERVE_RETRY_BACKOFF", "4000")
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("1 rate(s)"), "stdout was: {stdout}");
+    assert!(stdout.contains("retry cap 1"), "stdout was: {stdout}");
+    assert!(
+        stdout.contains("backoff 100 cycles"),
+        "stdout was: {stdout}"
+    );
+}
+
+/// `report diff --allow-added` tolerates keys that exist only in run B
+/// (schema additions) but still fails on vanished ones: additions are a
+/// distinct class, not silently-accepted regressions.
+#[test]
+fn cli_report_diff_allow_added_tolerates_additions_not_removals() {
+    let dir = scratch_dir("allow_added");
+    let old = dir.join("old.json");
+    let new = dir.join("new.json");
+    std::fs::write(&old, "{\"x\":1}\n").unwrap();
+    std::fs::write(&new, "{\"x\":1,\"y\":2}\n").unwrap();
+
+    let strict = Command::new(env!("CARGO_BIN_EXE_dota"))
+        .args(["report", "diff"])
+        .args([old.display().to_string(), new.display().to_string()])
+        .output()
+        .unwrap();
+    assert!(
+        !strict.status.success(),
+        "strict diff accepted an added key"
+    );
+    assert!(
+        String::from_utf8_lossy(&strict.stdout).contains("ADDED"),
+        "stdout: {}",
+        String::from_utf8_lossy(&strict.stdout)
+    );
+
+    let tolerant = Command::new(env!("CARGO_BIN_EXE_dota"))
+        .args(["report", "diff", "--allow-added"])
+        .args([old.display().to_string(), new.display().to_string()])
+        .output()
+        .unwrap();
+    assert!(
+        tolerant.status.success(),
+        "--allow-added still failed: {}\n{}",
+        String::from_utf8_lossy(&tolerant.stdout),
+        String::from_utf8_lossy(&tolerant.stderr)
+    );
+
+    // Vanished keys stay fatal either way: run the pair in reverse.
+    let vanished = Command::new(env!("CARGO_BIN_EXE_dota"))
+        .args(["report", "diff", "--allow-added"])
+        .args([new.display().to_string(), old.display().to_string()])
+        .output()
+        .unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(
+        !vanished.status.success(),
+        "--allow-added tolerated a vanished key"
+    );
 }

@@ -11,7 +11,7 @@
 //! 3. The canonical JSON **round-trips through `dota report diff`**: two
 //!    same-seed runs diff clean, and a different-seed run is flagged.
 
-use dota_serve::{run_bench, BenchOptions, ShedPolicy};
+use dota_serve::{run_bench, run_chaos, BenchOptions, ChaosOptions, ShedPolicy};
 use std::path::PathBuf;
 use std::process::Command;
 
@@ -19,6 +19,14 @@ fn scratch_dir(name: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("dota_serve_{name}_{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     dir
+}
+
+/// Holds a zero-rate fault session while an in-process, fault-free engine
+/// run executes: fault sessions are process-global and exclusive, so this
+/// serializes against the chaos tests below instead of being contaminated
+/// by their injection. CLI tests spawn subprocesses and need no guard.
+fn quiet_faults() -> dota_faults::FaultGuard {
+    dota_faults::session(dota_faults::FaultPlan::new(0))
 }
 
 fn quick_opts() -> BenchOptions {
@@ -34,6 +42,7 @@ fn quick_opts() -> BenchOptions {
 /// call by the thread pool) yields the same bytes.
 #[test]
 fn bench_report_bytes_ignore_thread_count() {
+    let _quiet = quiet_faults();
     let prev = std::env::var("DOTA_THREADS").ok();
     std::env::set_var("DOTA_THREADS", "1");
     let serial = run_bench(quick_opts()).unwrap().to_json();
@@ -79,6 +88,7 @@ fn cli_serve_report_byte_identical_across_thread_counts() {
 /// reason to exist; if the gap closes, something real regressed.
 #[test]
 fn retention_shedding_beats_queue_only_p99_at_overload() {
+    let _quiet = quiet_faults();
     let opts = BenchOptions {
         requests: 120,
         loads: vec![4.0],
@@ -172,6 +182,7 @@ fn cli_serve_report_roundtrips_through_report_diff() {
 /// loop, so parallel per-slot decode cannot leak into its bytes.
 #[test]
 fn timeline_bytes_ignore_thread_count() {
+    let _quiet = quiet_faults();
     let opts = || BenchOptions {
         timeline: true,
         ..quick_opts()
@@ -194,6 +205,7 @@ fn timeline_bytes_ignore_thread_count() {
 /// `results/serve_baseline.json` untouched.
 #[test]
 fn timeline_recording_leaves_bench_report_bytes_unchanged() {
+    let _quiet = quiet_faults();
     let without = run_bench(quick_opts()).unwrap().to_json();
     let with = run_bench(BenchOptions {
         timeline: true,
@@ -326,6 +338,7 @@ fn cli_audit_flags_a_tampered_timeline() {
 /// only bite when demand outruns capacity.
 #[test]
 fn underload_cell_serves_every_request() {
+    let _quiet = quiet_faults();
     let report = run_bench(quick_opts()).unwrap();
     for &shed in &[ShedPolicy::QueueOnly, ShedPolicy::Retention] {
         let cell = report.cell(shed, 0.8).unwrap();
@@ -337,4 +350,159 @@ fn underload_cell_serves_every_request() {
         );
         assert_eq!(cell.rejected, 0);
     }
+}
+
+/// The closed-loop controller earns its keep: at 4x overload on identical
+/// arrivals, `--shed slo` is no worse than the static retention ladder on
+/// both p99 e2e latency and the rolling deadline hit rate, and it actually
+/// engages (degraded admissions, controller activity in the report).
+#[test]
+fn slo_control_no_worse_than_static_retention_at_overload() {
+    let _quiet = quiet_faults();
+    let opts = BenchOptions {
+        requests: 120,
+        loads: vec![4.0],
+        sheds: vec![ShedPolicy::Retention, ShedPolicy::Slo],
+        ..Default::default()
+    };
+    let report = run_bench(opts).unwrap();
+    let fixed = report.cell(ShedPolicy::Retention, 4.0).unwrap();
+    let slo = report.cell(ShedPolicy::Slo, 4.0).unwrap();
+    assert!(slo.degraded > 0, "controller never degraded at 4x overload");
+    let ctl = slo
+        .control
+        .as_ref()
+        .expect("slo cell carries a control summary");
+    assert!(ctl.changes > 0, "controller never moved off the top rung");
+    let fp99 = fixed.e2e_us.quantile(0.99).unwrap();
+    let sp99 = slo.e2e_us.quantile(0.99).unwrap();
+    assert!(
+        sp99 <= fp99,
+        "slo p99 {sp99}us must be no worse than static retention p99 {fp99}us"
+    );
+    let fixed_hit = fixed.slo_hit_rate().unwrap();
+    let slo_hit = slo.slo_hit_rate().unwrap();
+    assert!(
+        slo_hit >= fixed_hit,
+        "slo hit rate {slo_hit} must be no worse than static retention {fixed_hit}"
+    );
+}
+
+/// The chaos report is byte-identical across `DOTA_THREADS`: fault
+/// decisions hash deterministic coordinates and the scheduler loop is
+/// serial, so injection cannot make thread count visible.
+#[test]
+fn chaos_report_bytes_ignore_thread_count() {
+    let opts = || ChaosOptions {
+        bench: BenchOptions {
+            requests: 30,
+            loads: vec![1.0, 4.0],
+            ..Default::default()
+        },
+        rates: vec![0.0, 0.1],
+        ..Default::default()
+    };
+    let prev = std::env::var("DOTA_THREADS").ok();
+    std::env::set_var("DOTA_THREADS", "1");
+    let serial = run_chaos(opts()).unwrap().to_json();
+    std::env::set_var("DOTA_THREADS", "8");
+    let threaded = run_chaos(opts()).unwrap().to_json();
+    match prev {
+        Some(v) => std::env::set_var("DOTA_THREADS", v),
+        None => std::env::remove_var("DOTA_THREADS"),
+    }
+    assert_eq!(serial, threaded, "chaos report depends on thread count");
+}
+
+/// The chaos CLI writes the same bytes whatever `DOTA_THREADS` says, the
+/// pair diffs clean, and the faulted cells still serve: availability
+/// degrades, it does not collapse.
+#[test]
+fn cli_chaos_report_byte_identical_and_serves_under_faults() {
+    let dir = scratch_dir("chaos");
+    let mut reports = Vec::new();
+    for threads in ["1", "8"] {
+        let path = dir.join(format!("chaos_t{threads}.json"));
+        let out = Command::new(env!("CARGO_BIN_EXE_dota"))
+            .args(["serve", "--chaos", "--requests", "30"])
+            .args(["--loads", "1.0,4.0", "--chaos-rates", "0,0.1", "--out"])
+            .arg(&path)
+            .env("DOTA_THREADS", threads)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        reports.push(std::fs::read(&path).unwrap());
+    }
+    assert_eq!(
+        reports[0], reports[1],
+        "CLI chaos report depends on DOTA_THREADS"
+    );
+    let diff = Command::new(env!("CARGO_BIN_EXE_dota"))
+        .args(["report", "diff"])
+        .arg(dir.join("chaos_t1.json"))
+        .arg(dir.join("chaos_t8.json"))
+        .output()
+        .unwrap();
+    assert!(
+        diff.status.success(),
+        "report diff rejected identical chaos reports: {}",
+        String::from_utf8_lossy(&diff.stderr)
+    );
+    let raw = std::fs::read_to_string(dir.join("chaos_t1.json")).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+    // Every cell — including the faulted ones — served something.
+    assert!(
+        !raw.contains("\"served_fraction\":0,"),
+        "a cell served nothing: {raw}"
+    );
+    assert!(
+        raw.contains("\"rate\":0.1"),
+        "faulted cells missing from the report"
+    );
+}
+
+/// A timeline recorded under live fault injection still audits clean:
+/// retries re-emit identical tokens (exactly-once terminals hold), the
+/// decomposition identities survive faulted steps, and the audit surfaces
+/// the retry/failure tallies instead of miscounting them as losses.
+#[test]
+fn cli_faulted_timeline_audits_clean() {
+    let dir = scratch_dir("faulted_tl");
+    let tl = dir.join("timeline.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_dota"))
+        .args(["serve", "--requests", "30", "--load", "4.0", "--timeline"])
+        .arg(&tl)
+        .args([
+            "--faults",
+            "slot.fail=0.05,kv.corrupt=0.05,decode.timeout=0.05",
+        ])
+        .args(["--fault-seed", "11"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let audit = Command::new(env!("CARGO_BIN_EXE_dota"))
+        .args(["analyze", "--serve"])
+        .arg(&tl)
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&audit.stdout).to_string();
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(
+        audit.status.success(),
+        "audit rejected a faulted timeline: {stdout}\n{}",
+        String::from_utf8_lossy(&audit.stderr)
+    );
+    assert!(stdout.contains("terminals ok"), "stdout: {stdout}");
+    assert!(
+        stdout.contains("retried"),
+        "faulted run should surface retry tallies: {stdout}"
+    );
 }
