@@ -12,6 +12,8 @@
 //! dota faults --seed S --rates 0,0.05,1       # fault-injection campaign
 //! dota serve [--bench] [--out FILE]           # continuous-batching load test
 //! dota serve --chaos [--out FILE]             # fault-rate x load availability sweep
+//! dota serve --metrics-addr H:P [--flight-out F]  # live telemetry plane
+//! dota top --addr H:P                         # terminal dashboard over /metrics
 //! ```
 //!
 //! Every command accepts the global observability flags `--trace <path>`
@@ -107,6 +109,7 @@ fn main() -> ExitCode {
         "report" => cmd_report(rest),
         "faults" => cmd_faults(rest),
         "serve" => cmd_serve(rest),
+        "top" => cmd_top(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -260,6 +263,21 @@ fn validate_env() -> Result<(), String> {
         if v.trim().is_empty() {
             return Err(
                 "DOTA_SERVE_TIMELINE is set but empty; set it to an output path or unset it"
+                    .to_owned(),
+            );
+        }
+    }
+    if let Ok(v) = std::env::var("DOTA_SERVE_METRICS_ADDR") {
+        if v.trim().parse::<std::net::SocketAddr>().is_err() {
+            return Err(format!(
+                "DOTA_SERVE_METRICS_ADDR must be a socket address like 127.0.0.1:9184, got `{v}`"
+            ));
+        }
+    }
+    if let Ok(v) = std::env::var("DOTA_SERVE_FLIGHT") {
+        if v.trim().is_empty() {
+            return Err(
+                "DOTA_SERVE_FLIGHT is set but empty; set it to an output path or unset it"
                     .to_owned(),
             );
         }
@@ -457,11 +475,28 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if let Some(w) = flag_usize(&flags, "slo-window")? {
         opts.slo_window = w;
     }
+    // Flag wins over environment wins over off (same ladder as --timeline;
+    // [`validate_env`] has already rejected malformed values).
+    let metrics_addr = flags
+        .get("metrics-addr")
+        .cloned()
+        .or_else(|| env_path("DOTA_SERVE_METRICS_ADDR"));
+    let flight_path = flags
+        .get("flight-out")
+        .cloned()
+        .or_else(|| env_path("DOTA_SERVE_FLIGHT"));
     if chaos {
         if flags.contains_key("timeline") {
             return Err(
                 "`serve --chaos` does not record timelines; run `dota serve --timeline` \
                  under the global --faults flag to audit a faulted run"
+                    .to_owned(),
+            );
+        }
+        if metrics_addr.is_some() || flight_path.is_some() {
+            return Err(
+                "`serve --chaos` has no live telemetry plane; use `dota serve --bench` \
+                 with --metrics-addr/--flight-out (optionally under the global --faults flag)"
                     .to_owned(),
             );
         }
@@ -472,7 +507,60 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         .cloned()
         .or_else(|| env_path("DOTA_SERVE_TIMELINE"));
     opts.timeline = timeline_path.is_some();
-    let report = dota_serve::run_bench(opts)?;
+
+    // The telemetry plane observes the engine and never feeds back into
+    // it, so enabling it cannot move a single scheduling decision: bench
+    // reports and timelines keep their exact bytes (pinned by tests).
+    let flight = (metrics_addr.is_some() || flight_path.is_some())
+        .then(|| dota_telemetry::FlightRecorder::shared(FLIGHT_CAPACITY));
+    if let Some(f) = &flight {
+        opts.flight = Some(std::sync::Arc::clone(f));
+    }
+    let gauges = metrics_addr
+        .is_some()
+        .then(|| std::sync::Arc::new(dota_telemetry::ServeGauges::new()));
+    if let Some(g) = &gauges {
+        opts.gauges = Some(std::sync::Arc::clone(g));
+    }
+    // A live endpoint is only useful with something to scrape: open
+    // counter/histogram collection for the run when no --trace/--counters
+    // or --hists session is already doing so (outputs are discarded — the
+    // exposition snapshot is the consumer).
+    let _live_trace = (metrics_addr.is_some() && !dota_trace::enabled())
+        .then(|| dota_trace::session("serve-live"));
+    let _live_hists = (metrics_addr.is_some() && !dota_metrics::hist_enabled())
+        .then(|| dota_metrics::hist_session("serve-live"));
+    let server = match &metrics_addr {
+        Some(addr) => {
+            dota_telemetry::install_term_handler();
+            let g = std::sync::Arc::clone(gauges.as_ref().expect("gauges accompany the endpoint"));
+            let srv = dota_telemetry::MetricsServer::start(addr.trim(), move || {
+                dota_telemetry::exposition::render(
+                    &dota_trace::counters_snapshot(),
+                    &g.snapshot(),
+                    &dota_metrics::hists_snapshot(),
+                )
+            })
+            .map_err(|e| format!("binding metrics endpoint {addr}: {e}"))?;
+            // The bound address (stderr, one line) is the contract for
+            // scrapers started with port 0.
+            eprintln!("[metrics listening on http://{}/metrics]", srv.addr());
+            Some(srv)
+        }
+        None => None,
+    };
+    let report = match dota_serve::run_bench(opts) {
+        Ok(r) => r,
+        Err(e) => {
+            // A typed failure is exactly when the last seconds of engine
+            // events matter: dump the flight recorder before surfacing it.
+            if let Some(f) = &flight {
+                let path = flight_path.as_deref().unwrap_or(DEFAULT_FLIGHT_PATH);
+                let _ = write_flight(f, path);
+            }
+            return Err(e);
+        }
+    };
     let o = &report.options;
     println!(
         "serve load test: seed {}, {} requests/cell, capacity {}, queue {}, seq {}",
@@ -526,7 +614,88 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             .map_err(|e| format!("writing serve timeline {path}: {e}"))?;
         eprintln!("[serve timeline written to {path}]");
     }
+    if let (Some(f), Some(path)) = (&flight, &flight_path) {
+        write_flight(f, path)?;
+    }
+    if let Some(srv) = server {
+        // Keep the endpoint scrapeable until the operator releases it; a
+        // SIGTERM that already arrived mid-run falls straight through.
+        eprintln!(
+            "[serve complete; metrics endpoint http://{}/metrics stays up until SIGTERM]",
+            srv.addr()
+        );
+        while !dota_telemetry::term_requested() {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+        drop(srv);
+        if let (Some(f), None) = (&flight, &flight_path) {
+            // SIGTERM postmortem dump for runs that never asked for a
+            // flight file explicitly.
+            write_flight(f, DEFAULT_FLIGHT_PATH)?;
+        }
+    }
     Ok(())
+}
+
+/// Flight-recorder ring size: enough for the full event stream of a
+/// default bench sweep, so `dropped` is informative rather than routine.
+const FLIGHT_CAPACITY: usize = 65_536;
+
+/// Where the flight recorder lands when dumped without `--flight-out`
+/// (typed failure or SIGTERM postmortems).
+const DEFAULT_FLIGHT_PATH: &str = "flight.json";
+
+/// Dumps the shared flight recorder as canonical JSON.
+fn write_flight(flight: &dota_telemetry::FlightHandle, path: &str) -> Result<(), String> {
+    flight
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .write(std::path::Path::new(path))
+        .map_err(|e| format!("writing flight recorder {path}: {e}"))?;
+    eprintln!("[flight recorder written to {path}]");
+    Ok(())
+}
+
+/// `dota top` — terminal dashboard over a live `/metrics` endpoint.
+fn cmd_top(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let once = take_bool_flag(&mut args, "--once");
+    let (positional, flags) = parse_flags(&args)?;
+    if let Some(extra) = positional.first() {
+        return Err(format!("top takes no positional arguments, got `{extra}`"));
+    }
+    let addr = flags
+        .get("addr")
+        .cloned()
+        .or_else(|| env_path("DOTA_SERVE_METRICS_ADDR"))
+        .ok_or("top needs --addr HOST:PORT (or DOTA_SERVE_METRICS_ADDR)")?;
+    let interval_ms = flag_usize(&flags, "interval-ms")?.unwrap_or(1000) as u64;
+    let ticks = if once {
+        Some(1)
+    } else {
+        flag_usize(&flags, "ticks")?
+    };
+    let bounded = ticks.is_some();
+    let mut top = dota_telemetry::top::TopState::new();
+    let mut polled = 0usize;
+    loop {
+        let body = dota_telemetry::http::get(addr.trim(), "/metrics")
+            .map_err(|e| format!("fetching http://{addr}/metrics: {e}"))?;
+        let samples = dota_telemetry::exposition::parse(&body)
+            .map_err(|e| format!("parsing http://{addr}/metrics: {e}"))?;
+        top.observe(&samples);
+        if !bounded {
+            // Clear + home; plain appends in bounded mode keep the output
+            // pipeable for tests and scripts.
+            print!("\x1b[2J\x1b[H");
+        }
+        print!("{}", top.render(&samples));
+        polled += 1;
+        if ticks == Some(polled) {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
 }
 
 /// `dota serve --chaos`: the availability campaign — sweeps fault rate x
@@ -774,6 +943,34 @@ commands:
                                   sustained burn; env fallbacks:
                                   DOTA_SERVE_BATCH, DOTA_SERVE_DEADLINE,
                                   DOTA_SERVE_SHED, DOTA_SERVE_TIMELINE
+  serve ... [--metrics-addr HOST:PORT] [--flight-out FILE]
+                                  live telemetry plane: --metrics-addr
+                                  serves Prometheus text exposition at
+                                  /metrics (read-only snapshots of trace
+                                  counters, histogram buckets and serve
+                                  gauges: queue depth, occupancy, SLO
+                                  burn, retention rung, admission gate,
+                                  quarantined lanes, per-lane skew; the
+                                  bound address is printed to stderr, port
+                                  0 picks a free one; the endpoint stays
+                                  up after the run until SIGTERM);
+                                  --flight-out dumps the flight recorder —
+                                  a bounded ring of cycle-stamped engine
+                                  events (admissions, terminals, rung/gate
+                                  flips, retries, quarantine) — as
+                                  byte-deterministic JSON, also written to
+                                  flight.json on typed failure or SIGTERM;
+                                  env fallbacks: DOTA_SERVE_METRICS_ADDR,
+                                  DOTA_SERVE_FLIGHT
+  top --addr HOST:PORT [--interval-ms N] [--ticks N | --once]
+                                  terminal dashboard polling a /metrics
+                                  endpoint: occupancy, queue depth, SLO
+                                  hit-rate/burn sparklines, retention
+                                  rung, admission gate, per-lane retained
+                                  work and skew; --ticks/--once bound the
+                                  number of polls (and keep the output
+                                  pipeable); env fallback:
+                                  DOTA_SERVE_METRICS_ADDR
   serve --chaos [--shed queue|retention|slo] [--chaos-rates R1,R2]
         [--chaos-sites a,b] [--chaos-seed S] [--retry-cap N]
         [--retry-backoff CYCLES] [--quarantine CYCLES]
@@ -1590,6 +1787,40 @@ mod tests {
             );
         });
         with_env("DOTA_SERVE_TIMELINE", None, || validate_env().unwrap());
+    }
+
+    #[test]
+    fn invalid_dota_serve_metrics_addr_is_rejected() {
+        for bad in ["", "localhost", "127.0.0.1", ":9184", "127.0.0.1:port"] {
+            with_env("DOTA_SERVE_METRICS_ADDR", Some(bad), || {
+                let err = validate_env().unwrap_err();
+                assert!(err.contains("DOTA_SERVE_METRICS_ADDR"), "{err}");
+            });
+        }
+        for ok in ["127.0.0.1:9184", "0.0.0.0:0", " [::1]:8080 "] {
+            with_env("DOTA_SERVE_METRICS_ADDR", Some(ok), || {
+                validate_env().unwrap()
+            });
+        }
+        with_env("DOTA_SERVE_METRICS_ADDR", None, || validate_env().unwrap());
+    }
+
+    #[test]
+    fn empty_dota_serve_flight_is_rejected() {
+        for bad in ["", "  "] {
+            with_env("DOTA_SERVE_FLIGHT", Some(bad), || {
+                let err = validate_env().unwrap_err();
+                assert!(err.contains("DOTA_SERVE_FLIGHT"), "{err}");
+            });
+        }
+        with_env("DOTA_SERVE_FLIGHT", Some("/tmp/flight.json"), || {
+            validate_env().unwrap();
+            assert_eq!(
+                env_path("DOTA_SERVE_FLIGHT").as_deref(),
+                Some("/tmp/flight.json")
+            );
+        });
+        with_env("DOTA_SERVE_FLIGHT", None, || validate_env().unwrap());
     }
 
     #[test]

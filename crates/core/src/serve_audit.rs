@@ -98,6 +98,22 @@ pub struct WorstBurn {
     pub decode_us: f64,
 }
 
+/// Closed-loop controller activity of one cell, mirrored from the
+/// timeline's `control` object (emitted for `slo` shed cells only).
+#[derive(Debug)]
+pub struct ControlAudit {
+    /// Retention-rung transitions over the run.
+    pub changes: u64,
+    /// Steps the admission gate spent closed.
+    pub gated_steps: u64,
+    /// Rung the controller ended the run on.
+    pub final_level: u64,
+    /// Deepest rung reached.
+    pub max_level: u64,
+    /// Mean rung across steps.
+    pub mean_level: f64,
+}
+
 /// Audit of one (shed policy, load) cell.
 #[derive(Debug)]
 pub struct CellAudit {
@@ -128,6 +144,9 @@ pub struct CellAudit {
     /// Tokens emitted by attempts a fault later aborted (discarded, never
     /// delivered — retries restart the stream from scratch).
     pub discarded_tokens: u64,
+    /// Controller activity, present only when the timeline cell carried a
+    /// `control` object (closed-loop `slo` cells).
+    pub control: Option<ControlAudit>,
     /// Top-N requests by burn, descending (ties by id).
     pub worst: Vec<WorstBurn>,
 }
@@ -311,6 +330,19 @@ pub fn audit(doc: &Value, top: usize) -> Result<ServeAudit, String> {
     for cell in array(doc, "cells")? {
         let shed = str_field(cell, "shed")?;
         let load = f64_field(cell, "load")?;
+        // Emitted only for closed-loop cells; absence means no controller.
+        let control = cell
+            .get("control")
+            .map(|v| -> Result<ControlAudit, String> {
+                Ok(ControlAudit {
+                    changes: u64_field(v, "changes")?,
+                    gated_steps: u64_field(v, "gated_steps")?,
+                    final_level: u64_field(v, "final_level")?,
+                    max_level: u64_field(v, "max_level")?,
+                    mean_level: f64_field(v, "mean_level")?,
+                })
+            })
+            .transpose()?;
         let requests: Vec<ParsedRequest> = array(cell, "requests")?
             .iter()
             .map(|r| parse_request(r, layers_heads))
@@ -403,6 +435,7 @@ pub fn audit(doc: &Value, top: usize) -> Result<ServeAudit, String> {
             retried: requests.iter().filter(|r| r.retries > 0).count() as u64,
             failed: requests.iter().filter(|r| r.reason == "failed").count() as u64,
             discarded_tokens: requests.iter().map(|r| r.discarded_tokens).sum(),
+            control,
             tiers,
             worst,
         });
@@ -435,6 +468,18 @@ impl ServeAudit {
                 ",\"retried\":{},\"failed\":{},\"discarded_tokens\":{}",
                 c.retried, c.failed, c.discarded_tokens
             ));
+            // Conditional, so audits of controller-free timelines (all
+            // committed baselines) keep their exact bytes.
+            if let Some(ctl) = &c.control {
+                s.push_str(&format!(
+                    ",\"control\":{{\"changes\":{},\"gated_steps\":{},\"final_level\":{},\"max_level\":{},\"mean_level\":{}}}",
+                    ctl.changes,
+                    ctl.gated_steps,
+                    ctl.final_level,
+                    ctl.max_level,
+                    fmt_f64(ctl.mean_level)
+                ));
+            }
             s.push_str(",\"tiers\":[");
             for (j, t) in c.tiers.iter().enumerate() {
                 if j > 0 {
@@ -514,6 +559,12 @@ impl ServeAudit {
                 out.push_str(&format!(
                     "  faults: {} retried, {} failed, {} tokens discarded across aborted attempts\n",
                     c.retried, c.failed, c.discarded_tokens
+                ));
+            }
+            if let Some(ctl) = &c.control {
+                out.push_str(&format!(
+                    "  control: {} rung changes, {} gated steps, final rung {}, max rung {}, mean rung {:.2}\n",
+                    ctl.changes, ctl.gated_steps, ctl.final_level, ctl.max_level, ctl.mean_level
                 ));
             }
             out.push_str(&format!(
@@ -682,6 +733,46 @@ mod tests {
         assert_eq!(c.discarded_tokens, 3);
         assert!(a.to_json().contains("\"retried\":1"));
         assert!(a.render_text().contains("1 retried, 1 failed"));
+    }
+
+    #[test]
+    fn audit_surfaces_the_control_summary_when_present() {
+        // The fault-free sample carries no controller: the key must stay
+        // absent so controller-free audit baselines keep their bytes.
+        let plain = audit(&sample_doc(), 2).unwrap();
+        assert!(plain.cells[0].control.is_none());
+        assert!(!plain.to_json().contains("\"control\""));
+        assert!(!plain.render_text().contains("control:"));
+        // Splice a control object in, the way the timeline emits it for
+        // closed-loop slo cells (between slo_windows and requests).
+        let looped = SAMPLE_JSON.replacen(
+            "\"slo_windows\":[],",
+            "\"slo_windows\":[],\"control\":{\"changes\":3,\"gated_steps\":5,\
+             \"final_level\":1,\"max_level\":2,\"mean_level\":0.75},",
+            1,
+        );
+        assert_ne!(looped, SAMPLE_JSON, "splice target must exist");
+        let a = audit(&serde_json::parse(&looped).unwrap(), 2).unwrap();
+        let ctl = a.cells[0].control.as_ref().expect("control parsed");
+        assert_eq!(ctl.changes, 3);
+        assert_eq!(ctl.gated_steps, 5);
+        assert_eq!(ctl.final_level, 1);
+        assert_eq!(ctl.max_level, 2);
+        assert_eq!(ctl.mean_level, 0.75);
+        assert!(a.to_json().contains(
+            "\"control\":{\"changes\":3,\"gated_steps\":5,\"final_level\":1,\
+             \"max_level\":2,\"mean_level\":0.75}"
+        ));
+        assert!(a.render_text().contains(
+            "control: 3 rung changes, 5 gated steps, final rung 1, max rung 2, mean rung 0.75"
+        ));
+        // A malformed control object is a structural error, not ignored.
+        let broken = SAMPLE_JSON.replacen(
+            "\"slo_windows\":[],",
+            "\"slo_windows\":[],\"control\":{\"changes\":3},",
+            1,
+        );
+        assert!(audit(&serde_json::parse(&broken).unwrap(), 2).is_err());
     }
 
     #[test]

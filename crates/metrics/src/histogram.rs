@@ -175,6 +175,45 @@ impl Histogram {
         &self.buckets
     }
 
+    /// The least upper bound of a bucket's value range. Upper bounds are
+    /// strictly increasing in the bucket key, so walking the sparse table
+    /// in key order yields Prometheus-style ascending `le` boundaries.
+    ///
+    /// The top bucket is a clamp bucket: magnitudes at or above 2⁶⁴ all
+    /// land in it, so samples there may exceed the nominal bound (the
+    /// `+Inf` bucket of an exposition absorbs the discrepancy).
+    pub fn bucket_upper(key: i32) -> f64 {
+        if key == 0 {
+            // Zero bucket: |v| < 2⁻⁶⁴.
+            return 2f64.powi(-64);
+        }
+        let e = key.abs() - 1 + E_MIN;
+        if key > 0 {
+            // Positive bucket: v in [2^(e/S), 2^((e+1)/S)).
+            2f64.powf((e + 1) as f64 / SUB_BUCKETS as f64)
+        } else {
+            // Negative bucket mirrors: v in (-2^((e+1)/S), -2^(e/S)].
+            -(2f64.powf(e as f64 / SUB_BUCKETS as f64))
+        }
+    }
+
+    /// Cumulative view of the occupied buckets as ascending
+    /// `(upper_bound, cumulative_count)` pairs — the exact shape a
+    /// Prometheus histogram exposition needs. Upper bounds are strictly
+    /// increasing, cumulative counts non-decreasing, and the final count
+    /// equals [`Histogram::count`]. Because the merged bucket table is
+    /// independent of merge order, so is this view.
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let mut cum = 0u64;
+        self.buckets
+            .iter()
+            .map(|(&k, &c)| {
+                cum += c;
+                (Self::bucket_upper(k), cum)
+            })
+            .collect()
+    }
+
     /// The `q`-quantile (nearest-rank on the bucket cumulative counts),
     /// `q` clamped to `[0, 1]`. `q = 0` and `q = 1` return the exact
     /// tracked `min`/`max`; interior quantiles return the containing
@@ -311,6 +350,58 @@ mod tests {
         assert_eq!(a.min(), Some(-3.0));
         assert_eq!(a.max(), Some(4.0));
         assert_eq!(a.sum(), 4.0);
+    }
+
+    #[test]
+    fn cumulative_buckets_are_monotone_and_cover_every_sample() {
+        let mut h = Histogram::new();
+        let samples = [
+            -1234.5, -3.0, -0.004, 0.0, 1e-300, 0.25, 1.0, 1.5, 17.0, 8e9,
+        ];
+        h.record_all(samples);
+        let cum = h.cumulative_buckets();
+        assert!(!cum.is_empty());
+        // Bounds strictly increase, counts never decrease, and the final
+        // cumulative count is the total sample count.
+        for w in cum.windows(2) {
+            assert!(w[0].0 < w[1].0, "bounds not increasing: {cum:?}");
+            assert!(w[0].1 <= w[1].1, "counts decreased: {cum:?}");
+        }
+        assert_eq!(cum.last().unwrap().1, h.count());
+        // Every in-range sample sits at or below its bucket's upper bound.
+        for v in samples {
+            let key = Histogram::bucket_key(v);
+            assert!(
+                v <= Histogram::bucket_upper(key),
+                "{v} above bound {}",
+                Histogram::bucket_upper(key)
+            );
+        }
+        // Empty histogram: no buckets at all.
+        assert!(Histogram::new().cumulative_buckets().is_empty());
+    }
+
+    #[test]
+    fn cumulative_buckets_are_merge_consistent() {
+        let xs = [0.1, 0.1, 2.5, -7.0, 40.0, 0.0];
+        let ys = [2.5, 3.1, -7.0, 900.0];
+        let mut direct = Histogram::new();
+        direct.record_all(xs.iter().chain(&ys).copied());
+        let mut a = Histogram::new();
+        a.record_all(xs);
+        let mut b = Histogram::new();
+        b.record_all(ys);
+        // Either merge direction yields the same cumulative view as
+        // recording everything into one histogram.
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab.cumulative_buckets(), direct.cumulative_buckets());
+        assert_eq!(ba.cumulative_buckets(), direct.cumulative_buckets());
+        // And the exact _sum/_count accessors agree across the merge.
+        assert_eq!(ab.count(), direct.count());
+        assert_eq!(ab.count(), xs.len() as u64 + ys.len() as u64);
     }
 
     #[test]

@@ -117,6 +117,18 @@ pub fn observe_many(name: &str, values: impl IntoIterator<Item = f64>) {
         .record_all(values);
 }
 
+/// A snapshot of every named histogram collected by the active session,
+/// without needing the session's [`HistGuard`] (which the opening thread
+/// owns). Empty when no session is live. Built for pull-based exporters —
+/// the `/metrics` endpoint snapshots the registry from its accept thread
+/// at scrape time.
+pub fn hists_snapshot() -> BTreeMap<String, Histogram> {
+    if !hist_enabled() {
+        return BTreeMap::new();
+    }
+    lock_state().hists.clone()
+}
+
 /// Begins an exclusive histogram session: clears the registry, enables
 /// collection, and returns a guard through which the histograms are read
 /// and exported. Collection stops when the guard drops.
@@ -236,6 +248,8 @@ mod tests {
         assert_eq!(g.histogram("b").unwrap().count(), 3);
         assert!(g.histogram("free").is_none(), "pre-session sample leaked");
         assert_eq!(g.snapshot().len(), 2);
+        // The guard-free registry snapshot sees the same tables.
+        assert_eq!(hists_snapshot(), g.snapshot());
         drop(g);
         assert!(!hist_enabled());
     }

@@ -35,9 +35,11 @@ use crate::timeline::{RequestTimeline, StepRecord, TimelineRecorder};
 use dota_accel::AccelConfig;
 use dota_autograd::ParamSet;
 use dota_faults::FaultSite;
+use dota_telemetry::{FlightEventKind, FlightHandle, GaugesSample, ServeGauges};
 use dota_tensor::ops;
 use dota_transformer::{KvCache, Model};
 use std::collections::VecDeque;
+use std::sync::{Arc, PoisonError};
 
 /// Coordinate namespace for quarantine probe decisions, disjoint from
 /// request ids (which are the first coordinate of in-slot fault checks).
@@ -399,6 +401,12 @@ pub struct ServeEngine<'m> {
     failed: u64,
     timeout_steps: u64,
     quarantine_events: u64,
+    /// Flight recorder handle (shared with the CLI so the ring survives
+    /// a typed failure). Pure observation: never read back.
+    flight: Option<FlightHandle>,
+    /// Live gauge cell the metrics endpoint scrapes. Pure observation:
+    /// the engine only publishes into it.
+    gauges: Option<Arc<ServeGauges>>,
 }
 
 impl<'m> ServeEngine<'m> {
@@ -450,6 +458,8 @@ impl<'m> ServeEngine<'m> {
             failed: 0,
             timeout_steps: 0,
             quarantine_events: 0,
+            flight: None,
+            gauges: None,
         })
     }
 
@@ -471,6 +481,30 @@ impl<'m> ServeEngine<'m> {
     pub fn enable_timeline(&mut self, label: &str) {
         self.label = label.to_owned();
         self.timeline = Some(TimelineRecorder::new(label));
+    }
+
+    /// Attaches a shared flight recorder. The engine appends
+    /// cycle-stamped events (admissions, terminals, controller moves,
+    /// retries, quarantine transitions) and never reads the ring back,
+    /// so attaching one changes no scheduling decision or report byte.
+    pub fn set_flight(&mut self, flight: FlightHandle) {
+        self.flight = Some(flight);
+    }
+
+    /// Attaches a live gauge cell for the metrics endpoint to scrape.
+    /// The engine publishes a fresh [`GaugesSample`] at every step
+    /// boundary and never reads the cell back.
+    pub fn set_gauges(&mut self, gauges: Arc<ServeGauges>) {
+        self.gauges = Some(gauges);
+    }
+
+    /// Appends one flight event, when a recorder is attached.
+    fn flight_record(&self, cycle: u64, kind: FlightEventKind) {
+        if let Some(f) = &self.flight {
+            f.lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .record(cycle, kind);
+        }
     }
 
     /// Runs the trace to completion: every offered request terminates
@@ -630,6 +664,14 @@ impl<'m> ServeEngine<'m> {
         if let Some(tl) = self.timeline.as_mut() {
             tl.finished(id, reason, finish, tokens);
         }
+        self.flight_record(
+            finish,
+            FlightEventKind::Terminal {
+                id,
+                reason: reason.name().to_owned(),
+                tokens,
+            },
+        );
         if let Some(slo) = self.slo.as_mut() {
             let hit = reason.is_served() && finish <= deadline;
             let budget = deadline.saturating_sub(arrival).max(1);
@@ -725,6 +767,7 @@ impl<'m> ServeEngine<'m> {
         let Some(ctl) = self.control.as_mut() else {
             return;
         };
+        let (level_before, gated_before) = (ctl.level(), ctl.gated());
         let slo = self.slo.as_ref().expect("slo policy validated the monitor");
         ctl.observe(&ControlInputs {
             rolling_burn: slo.rolling_burn(),
@@ -735,11 +778,29 @@ impl<'m> ServeEngine<'m> {
             capacity: self.cfg.capacity,
             step: self.steps,
         });
+        let (level_after, gated_after) = (ctl.level(), ctl.gated());
         if dota_trace::enabled() {
             dota_trace::sim_counter(
                 &format!("{}.ctl.level", self.label),
                 self.now,
-                ctl.level() as u64,
+                level_after as u64,
+            );
+        }
+        if level_after != level_before {
+            self.flight_record(
+                self.now,
+                FlightEventKind::Rung {
+                    from: level_before as u64,
+                    to: level_after as u64,
+                },
+            );
+        }
+        if gated_after != gated_before {
+            self.flight_record(
+                self.now,
+                FlightEventKind::Gate {
+                    closed: gated_after,
+                },
             );
         }
     }
@@ -799,6 +860,7 @@ impl<'m> ServeEngine<'m> {
                 FaultSite::SlotFail,
                 &[PROBE_COORD, q.lane as u64, q.probes],
             );
+            let lane = q.lane;
             if failed {
                 q.release_at = now + window;
                 i += 1;
@@ -811,6 +873,13 @@ impl<'m> ServeEngine<'m> {
                 });
                 dota_faults::record("faults.serve.lanes_restored", 1);
             }
+            self.flight_record(
+                now,
+                FlightEventKind::Probe {
+                    lane: lane as u64,
+                    passed: !failed,
+                },
+            );
         }
     }
 
@@ -832,6 +901,14 @@ impl<'m> ServeEngine<'m> {
         if let Some(tl) = self.timeline.as_mut() {
             tl.admitted(req.id, self.now, retention, level, lane);
         }
+        self.flight_record(
+            self.now,
+            FlightEventKind::Admit {
+                id: req.id,
+                lane: lane as u64,
+                rung: level as u64,
+            },
+        );
         let mcfg = self.model.config();
         self.slots.push(Slot {
             deadline,
@@ -1099,8 +1176,9 @@ impl<'m> ServeEngine<'m> {
         }
         // Burn of the worst still-in-flight request at this step boundary
         // (pure observation: histograms and Chrome counter tracks only).
+        let mut max_burn = None;
         if self.slo.is_some() && !self.slots.is_empty() {
-            let max_burn = self
+            let burn = self
                 .slots
                 .iter()
                 .map(|s| {
@@ -1108,14 +1186,46 @@ impl<'m> ServeEngine<'m> {
                     (now - s.req.arrival) as f64 / budget as f64
                 })
                 .fold(0.0f64, f64::max);
-            dota_metrics::observe("serve.slo.step_burn_max", max_burn);
+            dota_metrics::observe("serve.slo.step_burn_max", burn);
             if dota_trace::enabled() {
                 dota_trace::sim_counter(
                     &format!("{}.slo.burn_max_milli", self.label),
                     now,
-                    (max_burn * 1e3).round() as u64,
+                    (burn * 1e3).round() as u64,
                 );
             }
+            max_burn = Some(burn);
+        }
+        // Publish the live gauges last, so a scrape between steps sees
+        // one coherent post-eviction view of this boundary.
+        if let Some(g) = &self.gauges {
+            let mut lane_retained = vec![0u64; self.cfg.capacity];
+            for s in &self.slots {
+                if let Some(r) = lane_retained.get_mut(s.lane) {
+                    *r = s.attended_last;
+                }
+            }
+            let lane_skew_milli = dota_telemetry::gauges::lane_skew_milli(&lane_retained);
+            g.publish(&GaugesSample {
+                cell: self.label.clone(),
+                cycle: now,
+                steps: self.steps,
+                queue_depth: depth as u64,
+                occupancy: self.slots.len() as u64,
+                capacity: self.cfg.capacity as u64,
+                admitted: self.admit_seq,
+                decoded_tokens: self.tokens,
+                slo_hit_rate_milli: self
+                    .slo
+                    .as_ref()
+                    .map(|s| (s.rolling_hit_rate().clamp(0.0, 1.0) * 1000.0).round() as u64),
+                slo_burn_milli: max_burn.map(|b| (b.max(0.0) * 1000.0).round() as u64),
+                rung: self.control.as_ref().map(|c| c.level() as u64),
+                gate_closed: self.control.as_ref().map(Controller::gated),
+                quarantined_lanes: self.quarantine.len() as u64,
+                lane_retained,
+                lane_skew_milli,
+            });
         }
     }
 
@@ -1135,6 +1245,12 @@ impl<'m> ServeEngine<'m> {
                 probes: 0,
                 from: now,
             });
+            self.flight_record(
+                now,
+                FlightEventKind::Quarantine {
+                    lane: slot.lane as u64,
+                },
+            );
         }
         let discarded = slot.tokens.len() as u64;
         if slot.attempt < self.cfg.retry_cap as u64 {
@@ -1143,6 +1259,13 @@ impl<'m> ServeEngine<'m> {
             if let Some(tl) = self.timeline.as_mut() {
                 tl.retried(slot.req.id, discarded);
             }
+            self.flight_record(
+                now,
+                FlightEventKind::Retry {
+                    id: slot.req.id,
+                    attempt: slot.attempt + 1,
+                },
+            );
             // Exponential cycle backoff, doubling per attempt (shift
             // capped so pathological retry caps cannot overflow).
             let backoff = self.cfg.retry_backoff_cycles << slot.attempt.min(20);

@@ -17,8 +17,10 @@ use crate::traffic::TrafficConfig;
 use dota_accel::AccelConfig;
 use dota_autograd::ParamSet;
 use dota_metrics::{fmt_f64, Histogram};
+use dota_telemetry::{FlightHandle, ServeGauges};
 use dota_transformer::{Model, TransformerConfig};
 use std::path::Path;
+use std::sync::{Arc, PoisonError};
 
 /// Report format version (bump on any schema change).
 pub const SERVE_REPORT_VERSION: u32 = 1;
@@ -62,6 +64,12 @@ pub struct BenchOptions {
     /// Record per-request lifecycle timelines ([`BenchReport::timeline`]).
     /// Observation-only: scheduling and the bench report are unchanged.
     pub timeline: bool,
+    /// Shared flight recorder fed by every cell's engine (one section per
+    /// cell). Observation-only: the bench report is byte-identical with or
+    /// without it.
+    pub flight: Option<FlightHandle>,
+    /// Live gauge cell for the metrics endpoint. Observation-only.
+    pub gauges: Option<Arc<ServeGauges>>,
 }
 
 impl Default for BenchOptions {
@@ -83,6 +91,8 @@ impl Default for BenchOptions {
             interactive_fraction: 0.5,
             slo_window: 64,
             timeline: false,
+            flight: None,
+            gauges: None,
         }
     }
 }
@@ -476,12 +486,23 @@ pub fn run_bench(opts: BenchOptions) -> Result<BenchReport, String> {
             if opts.timeline {
                 engine.enable_timeline(&label);
             }
+            if let Some(flight) = &opts.flight {
+                flight
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .begin_cell(&label);
+                engine.set_flight(Arc::clone(flight));
+            }
+            if let Some(gauges) = &opts.gauges {
+                engine.set_gauges(Arc::clone(gauges));
+            }
             let mut outcome = engine.run(requests.clone());
             if let Some(requests) = outcome.timeline.take() {
                 timeline_cells.push(CellTimeline {
                     shed,
                     load,
                     slo_windows: std::mem::take(&mut outcome.slo_windows),
+                    control: outcome.control,
                     requests,
                 });
             }

@@ -397,6 +397,11 @@ pub struct CellTimeline {
     pub load: f64,
     /// SLO monitor window summaries (empty when the monitor was off).
     pub slo_windows: Vec<SloWindow>,
+    /// Closed-loop controller activity, present for
+    /// [`ShedPolicy::Slo`] cells only and then serialized, so the audit
+    /// can cross-check controller behaviour; other cells keep their
+    /// exact bytes.
+    pub control: Option<crate::control::ControlSummary>,
     /// Per-request lifecycles, sorted by id.
     pub requests: Vec<RequestTimeline>,
 }
@@ -421,7 +426,11 @@ impl CellTimeline {
                 fmt_f64(w.mean_burn)
             ));
         }
-        s.push_str("],\"requests\":[");
+        s.push(']');
+        if let Some(ctl) = &self.control {
+            s.push_str(&format!(",\"control\":{}", ctl.to_json()));
+        }
+        s.push_str(",\"requests\":[");
         for (i, r) in self.requests.iter().enumerate() {
             if i > 0 {
                 s.push(',');
@@ -617,6 +626,7 @@ mod tests {
                 shed: ShedPolicy::Retention,
                 load: 4.0,
                 slo_windows: Vec::new(),
+                control: None,
                 requests: tl.into_requests(),
             }],
         };

@@ -1,0 +1,34 @@
+//! Lints Prometheus text-exposition files with the strict validator.
+//!
+//! ```text
+//! cargo run -p dota-telemetry --example validate_exposition -- scrape.txt...
+//! ```
+//!
+//! Exits nonzero on the first malformed document — CI runs this over
+//! every `/metrics` scrape it takes during the serve telemetry smoke.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: validate_exposition FILE...");
+        return ExitCode::FAILURE;
+    }
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = dota_telemetry::exposition::validate(&text) {
+            eprintln!("{path}: invalid exposition: {e}");
+            return ExitCode::FAILURE;
+        }
+        let samples = dota_telemetry::exposition::parse(&text).expect("validated above");
+        println!("{path}: ok ({} samples)", samples.len());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,384 @@
+//! Flight recorder: a bounded ring buffer of cycle-stamped engine events.
+//!
+//! The recorder keeps the **last `capacity` events** of a serve run —
+//! admissions, terminals (completions, expiries, drops, failures),
+//! controller rung changes and admission-gate flips, fault retries, and
+//! quarantine enter/probe/exit — so a postmortem after a typed failure or
+//! a SIGTERM has the recent control history even when the full run is
+//! too long to log.
+//!
+//! Events are stamped with **simulated cycles and a monotone sequence
+//! number**, never wall time, and recorded from the serial scheduler
+//! loop, so [`FlightRecorder::to_json`] is byte-identical across
+//! `DOTA_THREADS` values and build modes. The JSON is canonical (fixed
+//! key order) and structured for `dota report diff`.
+
+use std::collections::VecDeque;
+use std::io;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// Version stamp of the flight JSON schema.
+pub const FLIGHT_VERSION: u32 = 1;
+
+/// Shared handle to a [`FlightRecorder`]: the engine records through it
+/// while the CLI keeps a clone to dump from, even when the run returns a
+/// typed error. The scheduler loop is serial, so the mutex is
+/// uncontended in practice.
+pub type FlightHandle = Arc<Mutex<FlightRecorder>>;
+
+/// What happened (see module docs for the sources).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlightEventKind {
+    /// A request was admitted into a decode slot.
+    Admit {
+        /// Request id.
+        id: u64,
+        /// Lane (slot index) it landed in.
+        lane: u64,
+        /// Retention-ladder rung it was admitted at.
+        rung: u64,
+    },
+    /// A request reached a terminal state (completed, expired, dropped,
+    /// failed, …).
+    Terminal {
+        /// Request id.
+        id: u64,
+        /// Terminal reason, e.g. `completed`, `expired_queued`, `failed`.
+        reason: String,
+        /// Tokens decoded for the request by then.
+        tokens: u64,
+    },
+    /// The closed-loop controller moved between retention rungs.
+    Rung {
+        /// Rung before the change.
+        from: u64,
+        /// Rung after the change.
+        to: u64,
+    },
+    /// The controller's admission gate flipped.
+    Gate {
+        /// `true` when the gate closed, `false` when it reopened.
+        closed: bool,
+    },
+    /// A faulted request was scheduled for re-admission.
+    Retry {
+        /// Request id.
+        id: u64,
+        /// Decode attempt number after this retry.
+        attempt: u64,
+    },
+    /// A lane entered quarantine after a fault.
+    Quarantine {
+        /// Lane index.
+        lane: u64,
+    },
+    /// A quarantined lane was probed.
+    Probe {
+        /// Lane index.
+        lane: u64,
+        /// `true` when the probe passed and the lane was restored.
+        passed: bool,
+    },
+}
+
+impl FlightEventKind {
+    fn name(&self) -> &'static str {
+        match self {
+            Self::Admit { .. } => "admit",
+            Self::Terminal { .. } => "terminal",
+            Self::Rung { .. } => "rung",
+            Self::Gate { .. } => "gate",
+            Self::Retry { .. } => "retry",
+            Self::Quarantine { .. } => "quarantine",
+            Self::Probe { .. } => "probe",
+        }
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Monotone sequence number across the whole run (never resets, so
+    /// ring wraparound is visible as a nonzero first sequence).
+    pub seq: u64,
+    /// Index into [`FlightRecorder::cells`] of the cell that was running.
+    pub cell: u32,
+    /// Simulated cycle the event happened at.
+    pub cycle: u64,
+    /// What happened.
+    pub kind: FlightEventKind,
+}
+
+impl FlightEvent {
+    fn to_json(&self, out: &mut String) {
+        use std::fmt::Write;
+        let _ = write!(
+            out,
+            "{{\"seq\":{},\"cell\":{},\"cycle\":{},\"kind\":\"{}\"",
+            self.seq,
+            self.cell,
+            self.cycle,
+            self.kind.name()
+        );
+        match &self.kind {
+            FlightEventKind::Admit { id, lane, rung } => {
+                let _ = write!(out, ",\"id\":{id},\"lane\":{lane},\"rung\":{rung}");
+            }
+            FlightEventKind::Terminal { id, reason, tokens } => {
+                let _ = write!(out, ",\"id\":{id},\"reason\":");
+                dota_metrics::write_json_string(out, reason);
+                let _ = write!(out, ",\"tokens\":{tokens}");
+            }
+            FlightEventKind::Rung { from, to } => {
+                let _ = write!(out, ",\"from\":{from},\"to\":{to}");
+            }
+            FlightEventKind::Gate { closed } => {
+                let _ = write!(out, ",\"closed\":{}", u8::from(*closed));
+            }
+            FlightEventKind::Retry { id, attempt } => {
+                let _ = write!(out, ",\"id\":{id},\"attempt\":{attempt}");
+            }
+            FlightEventKind::Quarantine { lane } => {
+                let _ = write!(out, ",\"lane\":{lane}");
+            }
+            FlightEventKind::Probe { lane, passed } => {
+                let _ = write!(out, ",\"lane\":{lane},\"passed\":{}", u8::from(*passed));
+            }
+        }
+        out.push('}');
+    }
+}
+
+/// The bounded ring buffer (see module docs).
+#[derive(Debug)]
+pub struct FlightRecorder {
+    capacity: usize,
+    cells: Vec<String>,
+    events: VecDeque<FlightEvent>,
+    seq: u64,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the last `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            cells: Vec::new(),
+            events: VecDeque::new(),
+            seq: 0,
+        }
+    }
+
+    /// A shared handle around a fresh recorder.
+    pub fn shared(capacity: usize) -> FlightHandle {
+        Arc::new(Mutex::new(Self::new(capacity)))
+    }
+
+    /// Starts a new cell section; subsequent events are attributed to
+    /// `label`.
+    pub fn begin_cell(&mut self, label: &str) {
+        self.cells.push(label.to_owned());
+    }
+
+    /// Records one event at the given simulated cycle, evicting the
+    /// oldest event when the ring is full.
+    pub fn record(&mut self, cycle: u64, kind: FlightEventKind) {
+        if self.cells.is_empty() {
+            self.cells.push("default".to_owned());
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+        }
+        self.events.push_back(FlightEvent {
+            seq: self.seq,
+            cell: (self.cells.len() - 1) as u32,
+            cycle,
+            kind,
+        });
+        self.seq += 1;
+    }
+
+    /// Events currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when nothing has been recorded (or everything was evicted —
+    /// impossible, eviction only happens on insert).
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total events ever recorded, including evicted ones.
+    pub fn recorded(&self) -> u64 {
+        self.seq
+    }
+
+    /// Events lost to ring eviction.
+    pub fn dropped(&self) -> u64 {
+        self.seq - self.events.len() as u64
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &FlightEvent> {
+        self.events.iter()
+    }
+
+    /// Cell labels, in the order `begin_cell` declared them.
+    pub fn cells(&self) -> &[String] {
+        &self.cells
+    }
+
+    /// The canonical flight document: fixed key order, integers only,
+    /// trailing newline. A pure function of the recorded events, hence
+    /// byte-deterministic.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(128 + self.events.len() * 64);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"version\": {},\n", FLIGHT_VERSION));
+        out.push_str(&format!("  \"capacity\": {},\n", self.capacity));
+        out.push_str(&format!("  \"recorded\": {},\n", self.seq));
+        out.push_str(&format!("  \"dropped\": {},\n", self.dropped()));
+        out.push_str("  \"cells\": [");
+        for (i, cell) in self.cells.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            dota_metrics::write_json_string(&mut out, cell);
+        }
+        out.push_str("],\n");
+        out.push_str("  \"events\": [");
+        for (i, ev) in self.events.iter().enumerate() {
+            out.push_str(if i > 0 { ",\n    " } else { "\n    " });
+            ev.to_json(&mut out);
+        }
+        if !self.events.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Writes the flight document to `path` (write-then-rename so a
+    /// crash mid-dump never leaves a torn file).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn write(&self, path: &Path) -> io::Result<()> {
+        let tmp = path.with_extension("json.tmp");
+        std::fs::write(&tmp, self.to_json())?;
+        std::fs::rename(&tmp, path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(id: u64) -> FlightEventKind {
+        FlightEventKind::Terminal {
+            id,
+            reason: "completed".to_owned(),
+            tokens: id * 2,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_the_last_capacity_events() {
+        let mut fr = FlightRecorder::new(4);
+        fr.begin_cell("cell-a");
+        for i in 0..10 {
+            fr.record(i * 100, ev(i));
+        }
+        assert_eq!(fr.len(), 4);
+        assert_eq!(fr.recorded(), 10);
+        assert_eq!(fr.dropped(), 6);
+        let seqs: Vec<u64> = fr.events().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+        // Dropped count is visible in the dump.
+        assert!(fr.to_json().contains("\"dropped\": 6"));
+    }
+
+    #[test]
+    fn events_attribute_to_the_current_cell() {
+        let mut fr = FlightRecorder::new(16);
+        fr.begin_cell("first");
+        fr.record(1, ev(0));
+        fr.begin_cell("second");
+        fr.record(2, ev(1));
+        let cells: Vec<u32> = fr.events().map(|e| e.cell).collect();
+        assert_eq!(cells, vec![0, 1]);
+        assert_eq!(fr.cells(), ["first", "second"]);
+    }
+
+    #[test]
+    fn recording_without_a_cell_synthesizes_one() {
+        let mut fr = FlightRecorder::new(4);
+        fr.record(0, FlightEventKind::Gate { closed: true });
+        assert_eq!(fr.cells(), ["default"]);
+    }
+
+    #[test]
+    fn json_is_canonical_and_covers_every_kind() {
+        let mut fr = FlightRecorder::new(16);
+        fr.begin_cell("cell");
+        fr.record(
+            10,
+            FlightEventKind::Admit {
+                id: 1,
+                lane: 2,
+                rung: 0,
+            },
+        );
+        fr.record(20, FlightEventKind::Rung { from: 0, to: 1 });
+        fr.record(21, FlightEventKind::Gate { closed: true });
+        fr.record(30, FlightEventKind::Retry { id: 1, attempt: 2 });
+        fr.record(31, FlightEventKind::Quarantine { lane: 2 });
+        fr.record(
+            40,
+            FlightEventKind::Probe {
+                lane: 2,
+                passed: false,
+            },
+        );
+        fr.record(
+            50,
+            FlightEventKind::Terminal {
+                id: 1,
+                reason: "failed".to_owned(),
+                tokens: 3,
+            },
+        );
+        let json = fr.to_json();
+        // Deterministic: same recorder, same bytes.
+        assert_eq!(json, fr.to_json());
+        for needle in [
+            "\"kind\":\"admit\",\"id\":1,\"lane\":2,\"rung\":0",
+            "\"kind\":\"rung\",\"from\":0,\"to\":1",
+            "\"kind\":\"gate\",\"closed\":1",
+            "\"kind\":\"retry\",\"id\":1,\"attempt\":2",
+            "\"kind\":\"quarantine\",\"lane\":2",
+            "\"kind\":\"probe\",\"lane\":2,\"passed\":0",
+            "\"kind\":\"terminal\",\"id\":1,\"reason\":\"failed\",\"tokens\":3",
+        ] {
+            assert!(json.contains(needle), "missing `{needle}` in:\n{json}");
+        }
+        assert!(json.ends_with("]\n}\n"));
+    }
+
+    #[test]
+    fn write_is_atomic_and_readable() {
+        let dir = std::env::temp_dir().join("dota-telemetry-flight-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("flight.json");
+        let mut fr = FlightRecorder::new(4);
+        fr.begin_cell("c");
+        fr.record(1, ev(0));
+        fr.write(&path).unwrap();
+        let back = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(back, fr.to_json());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

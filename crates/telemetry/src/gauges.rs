@@ -1,0 +1,130 @@
+//! Shared live gauges the serve engine publishes into.
+//!
+//! The engine owns the scheduling loop; the metrics endpoint runs on an
+//! accept thread. [`ServeGauges`] is the cell between them: the engine
+//! [`publish`](ServeGauges::publish)es a full [`GaugesSample`] once per
+//! step (and at terminal transitions), the endpoint
+//! [`snapshot`](ServeGauges::snapshot)s it at scrape time. Publishing is
+//! observation-only — nothing in the engine ever reads the cell back.
+
+use std::sync::{Mutex, PoisonError};
+
+/// One coherent reading of the engine's live state, in simulated cycles
+/// and counts — never wall time, so published values are deterministic
+/// functions of the workload.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GaugesSample {
+    /// Label of the cell currently running (e.g. `serve[slo@4x]`).
+    pub cell: String,
+    /// Simulated cycle of this sample.
+    pub cycle: u64,
+    /// Scheduler steps taken so far in the current cell.
+    pub steps: u64,
+    /// Requests waiting in the admission queue.
+    pub queue_depth: u64,
+    /// Occupied decode slots.
+    pub occupancy: u64,
+    /// Total decode slots.
+    pub capacity: u64,
+    /// Requests admitted so far in the current cell.
+    pub admitted: u64,
+    /// Tokens decoded so far in the current cell.
+    pub decoded_tokens: u64,
+    /// Rolling SLO hit rate ×1000 (`None` until the monitor has a window).
+    pub slo_hit_rate_milli: Option<u64>,
+    /// Worst per-slot SLO burn this step ×1000 (`None` without a monitor).
+    pub slo_burn_milli: Option<u64>,
+    /// Current retention rung of the closed-loop controller
+    /// (`None` when no controller is attached).
+    pub rung: Option<u64>,
+    /// Whether the controller's admission gate is closed.
+    pub gate_closed: Option<bool>,
+    /// Lanes currently quarantined.
+    pub quarantined_lanes: u64,
+    /// Per-lane retained (attended) connections at the last step; index
+    /// is the lane id, `0` for idle lanes.
+    pub lane_retained: Vec<u64>,
+    /// Retained-work skew across busy lanes ×1000: max lane retention
+    /// over mean lane retention (1000 = perfectly balanced).
+    pub lane_skew_milli: u64,
+}
+
+/// The shared gauge cell (see module docs).
+#[derive(Debug, Default)]
+pub struct ServeGauges {
+    inner: Mutex<GaugesSample>,
+}
+
+impl ServeGauges {
+    /// An empty gauge cell.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replaces the published sample.
+    pub fn publish(&self, sample: &GaugesSample) {
+        *self.inner.lock().unwrap_or_else(PoisonError::into_inner) = sample.clone();
+    }
+
+    /// A copy of the most recently published sample.
+    pub fn snapshot(&self) -> GaugesSample {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+}
+
+/// Retained-work skew across busy lanes ×1000 (max/mean); 1000 when the
+/// busy lanes are perfectly balanced, 0 when every lane is idle.
+pub fn lane_skew_milli(lane_retained: &[u64]) -> u64 {
+    let busy: Vec<u64> = lane_retained.iter().copied().filter(|&r| r > 0).collect();
+    if busy.is_empty() {
+        return 0;
+    }
+    let max = *busy.iter().max().expect("non-empty");
+    let sum: u64 = busy.iter().sum();
+    // max/mean = max * n / sum, scaled to milli.
+    (max * busy.len() as u64 * 1000) / sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_then_snapshot_round_trips() {
+        let g = ServeGauges::new();
+        assert_eq!(g.snapshot(), GaugesSample::default());
+        let s = GaugesSample {
+            cell: "serve[slo@4x]".into(),
+            cycle: 123,
+            steps: 7,
+            queue_depth: 3,
+            occupancy: 8,
+            capacity: 8,
+            admitted: 11,
+            decoded_tokens: 40,
+            slo_hit_rate_milli: Some(925),
+            slo_burn_milli: Some(1310),
+            rung: Some(2),
+            gate_closed: Some(false),
+            quarantined_lanes: 1,
+            lane_retained: vec![4, 0, 2, 2],
+            lane_skew_milli: 1500,
+        };
+        g.publish(&s);
+        assert_eq!(g.snapshot(), s);
+    }
+
+    #[test]
+    fn lane_skew_ignores_idle_lanes() {
+        assert_eq!(lane_skew_milli(&[]), 0);
+        assert_eq!(lane_skew_milli(&[0, 0, 0]), 0);
+        // Balanced busy lanes: skew exactly 1000 regardless of idle lanes.
+        assert_eq!(lane_skew_milli(&[3, 3, 0, 3]), 1000);
+        // One lane with all the work among two busy lanes: max/mean = 2.
+        assert_eq!(lane_skew_milli(&[4, 0, 0, 0]), 1000);
+        assert_eq!(lane_skew_milli(&[6, 2]), 1500);
+    }
+}

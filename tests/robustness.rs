@@ -246,6 +246,12 @@ fn cli_rejects_malformed_dota_serve_env() {
         ("DOTA_SERVE_RETRY_CAP", "-1"),
         ("DOTA_SERVE_RETRY_BACKOFF", "0"),
         ("DOTA_SERVE_RETRY_BACKOFF", "fast"),
+        ("DOTA_SERVE_METRICS_ADDR", ""),
+        ("DOTA_SERVE_METRICS_ADDR", "localhost"),
+        ("DOTA_SERVE_METRICS_ADDR", ":9184"),
+        ("DOTA_SERVE_METRICS_ADDR", "127.0.0.1:port"),
+        ("DOTA_SERVE_FLIGHT", ""),
+        ("DOTA_SERVE_FLIGHT", "   "),
     ] {
         let out = Command::new(env!("CARGO_BIN_EXE_dota"))
             .args(["table2"])
@@ -338,6 +344,46 @@ fn cli_serve_timeline_env_applies_with_flag_precedence() {
     assert!(
         !dir.join("ignored.json").exists(),
         "env path used despite an explicit --timeline flag"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `DOTA_SERVE_FLIGHT` turns on the flight recorder like `--flight-out`,
+/// and the flag's path wins when both name a destination.
+#[test]
+fn cli_serve_flight_env_applies_with_flag_precedence() {
+    let dir = std::env::temp_dir().join(format!("dota_fl_env_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let env_path = dir.join("from_env.json");
+    let flag_path = dir.join("from_flag.json");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_dota"))
+        .args(["serve", "--requests", "8"])
+        .env("DOTA_SERVE_FLIGHT", &env_path)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(env_path.exists(), "env-named flight dump was not written");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_dota"))
+        .args(["serve", "--requests", "8", "--flight-out"])
+        .arg(&flag_path)
+        .env("DOTA_SERVE_FLIGHT", dir.join("ignored.json"))
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(flag_path.exists(), "flag-named flight dump was not written");
+    assert!(
+        !dir.join("ignored.json").exists(),
+        "env path used despite an explicit --flight-out flag"
     );
     std::fs::remove_dir_all(&dir).ok();
 }

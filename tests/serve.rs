@@ -216,6 +216,37 @@ fn timeline_recording_leaves_bench_report_bytes_unchanged() {
     assert_eq!(without, with, "recording the timeline perturbed the report");
 }
 
+/// The telemetry plane is observation-only: attaching a flight recorder
+/// and live gauges to a bench run cannot move a single scheduling
+/// decision, so the report keeps its exact bytes. This is the invariant
+/// that lets `--metrics-addr` run against production baselines.
+#[test]
+fn telemetry_attachment_leaves_bench_report_bytes_unchanged() {
+    let _quiet = quiet_faults();
+    let without = run_bench(quick_opts()).unwrap().to_json();
+    let flight = dota_telemetry::FlightRecorder::shared(4096);
+    let gauges = std::sync::Arc::new(dota_telemetry::ServeGauges::new());
+    let with = run_bench(BenchOptions {
+        flight: Some(std::sync::Arc::clone(&flight)),
+        gauges: Some(std::sync::Arc::clone(&gauges)),
+        ..quick_opts()
+    })
+    .unwrap()
+    .to_json();
+    assert_eq!(without, with, "attaching telemetry perturbed the report");
+    // And the observers did observe: events were recorded and the last
+    // published sample names the final cell.
+    let rec = flight
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    assert!(rec.recorded() > 0, "flight recorder saw no events");
+    assert_eq!(
+        rec.cells().last().map(String::as_str),
+        Some("serve[retention@4x]")
+    );
+    assert_eq!(gauges.snapshot().cell, "serve[retention@4x]");
+}
+
 /// The CLI timeline round-trips: `serve --timeline` writes the same bytes
 /// whatever DOTA_THREADS says, `report diff` accepts the pair, and
 /// `analyze --serve` audits it clean (decomposition and ladder consistent)
